@@ -1,0 +1,17 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index), asserts the *shape* claims that should
+hold regardless of implementation details, and prints a paper-vs-measured
+comparison for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print a paper-vs-measured table to the benchmark log."""
+    print(f"\n=== {title} ===")
+    print(f"{'metric':<38} {'paper':>20} {'measured':>20}")
+    for metric, paper, measured in rows:
+        print(f"{metric:<38} {str(paper):>20} {str(measured):>20}")

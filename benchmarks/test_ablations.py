@@ -1,0 +1,97 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Not a paper table; these quantify the mechanisms behind the reproduction:
+(a) ripple-carry vs QFT adder (the TF ``Alternatives`` module),
+(b) hash-consed vs Template-Haskell-style unshared lifting,
+(c) boxed vs inlined representation size.
+"""
+
+from repro import aggregate_gate_count, build, inline, qubit, total_gates
+from repro.arith import add_in_place, qft_add_in_place
+from repro.datatypes import qdint_shape
+from repro.algorithms.bf import hex_oracle_gatecount
+from conftest import report
+
+L = 16
+
+
+def test_ablation_adder_styles(benchmark):
+    def run():
+        def ripple(qc, x, y):
+            add_in_place(qc, x, y)
+            return x, y
+
+        def draper(qc, x, y):
+            qft_add_in_place(qc, x, y)
+            return x, y
+
+        shapes = (qdint_shape(L), qdint_shape(L))
+        ripple_bc, _ = build(ripple, *shapes)
+        draper_bc, _ = build(draper, *shapes)
+        return (
+            total_gates(aggregate_gate_count(ripple_bc)),
+            ripple_bc.check(),
+            total_gates(aggregate_gate_count(draper_bc)),
+            draper_bc.check(),
+        )
+
+    ripple_gates, ripple_width, draper_gates, draper_width = benchmark(run)
+    # The trade the Alternatives module exists to explore: the QFT adder
+    # needs no ancillas at all, the ripple adder needs l of them.
+    assert draper_width == 2 * L
+    assert ripple_width == 3 * L
+    assert draper_gates > 0 and ripple_gates > 0
+    report(
+        "Ablation: ripple-carry vs Draper (QFT) adder at l=16",
+        [
+            ("ripple gates / width", "-", f"{ripple_gates} / {ripple_width}"),
+            ("draper gates / width", "-", f"{draper_gates} / {draper_width}"),
+        ],
+    )
+
+
+def test_ablation_sharing(benchmark):
+    def run():
+        return (
+            hex_oracle_gatecount(3, 3, share=True),
+            hex_oracle_gatecount(3, 3, share=False),
+        )
+
+    shared, unshared = benchmark(run)
+    assert shared <= unshared
+    report(
+        "Ablation: hash-consed vs unshared lifting (3x3 Hex oracle)",
+        [
+            ("share=True gates", "-", shared),
+            ("share=False gates (Quipper-like)", "-", unshared),
+        ],
+    )
+
+
+def test_ablation_boxed_vs_inlined(benchmark):
+    def run():
+        def body(qc, a, b):
+            qc.hadamard(a)
+            qc.qnot(b, controls=a)
+            qc.gate_T(b)
+            return a, b
+
+        def circ(qc, a, b):
+            return qc.nbox("step", 2000, body, a, b)
+
+        bc, _ = build(circ, qubit, qubit)
+        flat = inline(bc)
+        return len(bc), len(flat), total_gates(aggregate_gate_count(bc))
+
+    stored, inlined, counted = benchmark(run)
+    assert counted == 6000
+    assert inlined == 6000
+    assert stored < 10  # one box call + 3 body gates
+    report(
+        "Ablation: boxed vs inlined representation (2000 iterations)",
+        [
+            ("stored gates (boxed)", "-", stored),
+            ("inlined gates", "-", inlined),
+            ("counted gates", "-", counted),
+        ],
+    )

@@ -1,0 +1,74 @@
+"""D3: the Section 4.6.1 parity example, both figures.
+
+The paper lifts the parity function and shows (a) the raw template circuit
+on 4 qubits -- "the top four qubits are the inputs, the bottom qubit is
+the output, and the remaining two qubits are scratch space" -- and (b) its
+``classical_to_reversible`` form, where "all intermediate ancillas have
+been uncomputed".
+"""
+
+from repro import build, qubit
+from repro.core.gates import Init, NamedGate, Term
+from repro.lifting import bool_xor, build_circuit, classical_to_reversible, unpack
+from conftest import report
+
+
+@build_circuit
+def parity(bits):
+    result = False
+    for b in bits:
+        result = bool_xor(b, result)
+    return result
+
+
+def test_d3_raw_template_figure(benchmark):
+    def run():
+        def circ(qc, qs):
+            out = unpack(parity)(qc, qs)
+            return qs, out
+
+        return build(circ, [qubit] * 4)[0]
+
+    bc = benchmark(run)
+    inits = sum(isinstance(g, Init) for g in bc.circuit.gates)
+    terms = sum(isinstance(g, Term) for g in bc.circuit.gates)
+    cnots = sum(
+        isinstance(g, NamedGate) and len(g.controls) == 1
+        for g in bc.circuit.gates
+    )
+    assert bc.circuit.in_arity == 4
+    assert inits == 3 and terms == 0       # 2 scratch + 1 output, kept live
+    assert cnots == 6                      # two CNOTs per XOR node
+    report(
+        "D3a raw lifted parity (4 qubits)",
+        [
+            ("inputs", 4, bc.circuit.in_arity),
+            ("scratch + output qubits", 3, inits),
+            ("CNOT gates", 6, cnots),
+        ],
+    )
+
+
+def test_d3_reversible_figure(benchmark):
+    def run():
+        rev = classical_to_reversible(unpack(parity))
+
+        def circ(qc, qs, target):
+            return rev(qc, qs, target)
+
+        return build(circ, [qubit] * 4, qubit)[0]
+
+    bc = benchmark(run)
+    inits = sum(isinstance(g, Init) for g in bc.circuit.gates)
+    terms = sum(isinstance(g, Term) for g in bc.circuit.gates)
+    assert inits == terms == 3            # every ancilla uncomputed
+    assert bc.circuit.in_arity == 5       # 4 inputs + the target
+    assert bc.circuit.out_arity == 5
+    report(
+        "D3b classical_to_reversible parity",
+        [
+            ("ancillas uncomputed", "all", f"{terms}/{inits}"),
+            ("in/out arity", "5/5",
+             f"{bc.circuit.in_arity}/{bc.circuit.out_arity}"),
+        ],
+    )

@@ -1,0 +1,61 @@
+"""F1: Figure 1 -- the BWT diffusion timestep.
+
+"Example of a quantum circuit ... showing a diffusion step from the Binary
+Welded Tree algorithm": W gates on each (a_i, b_i) pair, a controlled-NOT
+cascade onto an ancilla (positive on a, negative on b), the exp(-iZt)
+evolution negatively controlled on r, and the mirror image.
+"""
+
+from repro import aggregate_gate_count, build
+from repro.core.gates import Init, NamedGate, Term
+from repro.algorithms.bwt import register_size, timestep
+from conftest import report
+
+
+def _build_timestep(n):
+    m = register_size(n)
+
+    def circ(qc):
+        a = [qc.qinit_qubit(False) for _ in range(m)]
+        b = [qc.qinit_qubit(False) for _ in range(m)]
+        r = qc.qinit_qubit(False)
+        timestep(qc, a, b, r, 0.2)
+        return a, b, r
+
+    bc, _ = build(circ)
+    return bc, m
+
+
+def test_figure1_structure(benchmark):
+    bc, m = benchmark(_build_timestep, 4)
+    counts = aggregate_gate_count(bc)
+    w_count = counts[("W", 0, 0)]
+    cascade = counts[("Not", 1, 1)]
+    evolution = counts[("exp(-i%Z)", 0, 1)]
+    assert w_count == 2 * m          # W forward + W dagger (self-inverse)
+    assert cascade == 2 * m          # the (+a_i, -b_i) cascade and mirror
+    assert evolution == 1            # e^{-iZt}, empty-dot controlled on r
+    # the scope of the gadget ancilla is explicit
+    body = bc.circuit.gates
+    init_positions = [i for i, g in enumerate(body) if isinstance(g, Init)]
+    term_positions = [i for i, g in enumerate(body) if isinstance(g, Term)]
+    assert term_positions[-1] > init_positions[-1]
+    report(
+        "F1 BWT diffusion timestep (Figure 1)",
+        [
+            ("W gates (pairs x fwd/bwd)", "2 per pair", w_count),
+            ("controlled-not cascade", "1 per pair, mirrored", cascade),
+            ("exp(-iZt), neg. control on r", 1, evolution),
+        ],
+    )
+
+
+def test_figure1_scales_with_n(benchmark):
+    def run():
+        return [
+            aggregate_gate_count(_build_timestep(n)[0])[("W", 0, 0)]
+            for n in (2, 4, 8)
+        ]
+
+    w_counts = benchmark(run)
+    assert w_counts == [2 * register_size(n) for n in (2, 4, 8)]

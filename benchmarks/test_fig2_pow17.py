@@ -1,0 +1,45 @@
+"""F2: Figure 2 -- the circuit for o4_POW17 at l=4, n=3, r=2.
+
+The paper's command line: ``./tf -s pow17 -l 4 -n 3 -r 2``.  The figure
+shows the ENTER/EXIT comments, four squarings as boxed o8 invocations, the
+final multiply, and the four mirrored (starred) squarings.
+"""
+
+from repro.core.gates import BoxCall, Comment
+from repro.algorithms.tf.main import build_part
+from conftest import report
+
+
+def test_figure2_structure(benchmark):
+    bc = benchmark(build_part, "pow17", 4, 3, 2, "orthodox")
+    o4 = bc.namespace["o4"].circuit
+    comments = [g.text for g in o4.gates if isinstance(g, Comment)]
+    assert "ENTER: o4_POW17" in comments
+    assert "EXIT: o4_POW17" in comments
+    o8_calls = [
+        g for g in o4.gates if isinstance(g, BoxCall) and g.name == "o8"
+    ]
+    forward = [c for c in o8_calls if not c.inverted]
+    mirrored = [c for c in o8_calls if c.inverted]
+    # 4 squarings + 1 multiply forward; 4 squarings uncomputed
+    assert len(forward) == 5
+    assert len(mirrored) == 4
+    assert bc.circuit.in_arity == 4
+    assert bc.circuit.out_arity == 8
+    report(
+        "F2 o4_POW17 circuit (Figure 2)",
+        [
+            ("boxed o8 invocations", "9 (5 fwd + 4 mirrored)",
+             f"{len(forward)} fwd + {len(mirrored)} mirrored"),
+            ("inputs", 4, bc.circuit.in_arity),
+            ("outputs", 8, bc.circuit.out_arity),
+            ("ENTER/EXIT comments", "present", "present"),
+        ],
+    )
+
+
+def test_pow17_is_correct(benchmark):
+    """The Figure 2 circuit computes x^17 mod 2^l - 1 (oracle test suite)."""
+    from repro.algorithms.tf.simulate import check_pow17
+
+    assert benchmark(check_pow17, 4, 5)

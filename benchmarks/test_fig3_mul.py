@@ -1,0 +1,61 @@
+"""F3: Figure 3 -- the circuit for o8_MUL at l=4.
+
+The figure shows the shift-and-add ladder: four o7_ADD_controlled boxes
+interleaved with gate-free double_TF label rotations, the product copy,
+and the fully mirrored (starred) uncomputation.
+"""
+
+from repro.core.gates import BoxCall, Comment
+from repro.algorithms.tf.main import build_part
+from conftest import report
+
+
+def test_figure3_structure(benchmark):
+    bc = benchmark(build_part, "mul", 4, 3, 2, "orthodox")
+    o8 = bc.namespace["o8"].circuit
+    o7_calls = [
+        g for g in o8.gates if isinstance(g, BoxCall) and g.name == "o7"
+    ]
+    forward = [c for c in o7_calls if not c.inverted]
+    mirrored = [c for c in o7_calls if c.inverted]
+    assert len(forward) == 4       # one controlled add per bit of y
+    assert len(mirrored) == 4      # the ladder mirror
+    # double_TF appears as comment-only regions with permuted labels,
+    # four in the forward ladder and four starred ones in the mirror
+    # (the paper's "EXIT: double_TF*" regions).
+    enters = [
+        g for g in o8.gates
+        if isinstance(g, Comment) and g.text == "ENTER: double_TF"
+    ]
+    assert sum(not g.inverted for g in enters) == 4
+    assert sum(g.inverted for g in enters) == 4
+    report(
+        "F3 o8_MUL circuit (Figure 3)",
+        [
+            ("o7_ADD_controlled boxes", "4 fwd + 4 mirrored",
+             f"{len(forward)} fwd + {len(mirrored)} mirrored"),
+            ("double_TF", "gate-free label rotation", "comment-only"),
+        ],
+    )
+
+
+def test_double_tf_is_gate_free(benchmark):
+    """double_TF must emit no gates at all -- only relabeling."""
+    from repro import Circ
+    from repro.arith import rotate_left_tf
+    from repro.datatypes import QIntTF
+
+    def run():
+        qc = Circ()
+        reg = QIntTF([qc.qinit_qubit(False) for _ in range(8)])
+        before = len(qc.gates)
+        rotate_left_tf(qc, reg)
+        return len(qc.gates) - before
+
+    assert benchmark(run) == 0
+
+
+def test_mul_is_correct(benchmark):
+    from repro.algorithms.tf.simulate import check_mul
+
+    assert benchmark(check_mul, 4, 10)

@@ -1,0 +1,101 @@
+"""S4: the paper's Section 4.4 inline circuits, regenerated exactly.
+
+``mycirc``, ``mycirc2`` (block controls), ``mycirc3`` (ancilla),
+``timestep`` (mid-circuit reversal) and ``timestep2`` (Binary
+decomposition with V / V*) -- the five worked examples whose circuits the
+paper draws next to the code.
+"""
+
+from repro import BINARY, build, decompose_generic, qubit
+from repro.core.gates import Init, NamedGate, Term
+from conftest import report
+
+
+def mycirc(qc, a, b):
+    qc.hadamard(a)
+    qc.hadamard(b)
+    qc.controlled_not(a, b)
+    return a, b
+
+
+def mycirc2(qc, a, b, c):
+    mycirc(qc, a, b)
+    with qc.controls(c):
+        mycirc(qc, a, b)
+        mycirc(qc, b, a)
+    mycirc(qc, a, c)
+    return a, b, c
+
+
+def mycirc3(qc, a, b, c):
+    with qc.ancilla() as x:
+        qc.qnot(x, controls=(a, b))
+        qc.hadamard(c, controls=x)
+        qc.qnot(x, controls=(a, b))
+    return a, b, c
+
+
+def timestep(qc, a, b, c):
+    mycirc(qc, a, b)
+    qc.qnot(c, controls=(a, b))
+    qc.reverse_endo(mycirc, a, b)
+    return a, b, c
+
+
+def test_mycirc_figure(benchmark):
+    bc, _ = benchmark(build, mycirc, qubit, qubit)
+    names = [g.name for g in bc.circuit.gates]
+    assert names == ["H", "H", "not"]
+    assert bc.circuit.gates[2].controls[0].wire == 1
+
+
+def test_mycirc2_block_controls(benchmark):
+    bc, _ = benchmark(build, mycirc2, qubit, qubit, qubit)
+    gates = bc.circuit.gates
+    assert len(gates) == 12
+    # the six middle gates all carry the block control on wire 2
+    assert all(
+        any(ctl.wire == 2 for ctl in g.controls) for g in gates[3:9]
+    )
+    # the trailing mycirc on (a, c) is uncontrolled
+    assert gates[9].controls == ()
+
+
+def test_mycirc3_ancilla_scope(benchmark):
+    bc, _ = benchmark(build, mycirc3, qubit, qubit, qubit)
+    gates = bc.circuit.gates
+    assert isinstance(gates[0], Init)
+    assert isinstance(gates[-1], Term)
+    assert bc.check() == 4  # three inputs + the scoped ancilla
+
+
+def test_timestep_reversal(benchmark):
+    bc, _ = benchmark(build, timestep, qubit, qubit, qubit)
+    names = [g.name for g in bc.circuit.gates]
+    # H H CNOT | CCNOT | CNOT H H  (the mirrored mycirc)
+    assert names == ["H", "H", "not", "not", "not", "H", "H"]
+    assert len(bc.circuit.gates[3].controls) == 2
+
+
+def test_timestep2_binary_decomposition(benchmark):
+    def run():
+        bc, _ = build(timestep, qubit, qubit, qubit)
+        return decompose_generic(BINARY, bc)
+
+    decomposed = benchmark(run)
+    names = [
+        g.display_name()
+        for g in decomposed.circuit.gates
+        if isinstance(g, NamedGate)
+    ]
+    # the paper's figure: H H CNOT | V CNOT V* CNOT V | CNOT H H
+    assert names == [
+        "H", "H", "not", "V", "not", "V*", "not", "V", "not", "H", "H"
+    ]
+    report(
+        "S4 timestep2 (paper Section 4.4.3 figure)",
+        [
+            ("gate sequence", "V-CNOT-V*-CNOT-V core", "identical"),
+            ("total gates", 11, len(names)),
+        ],
+    )

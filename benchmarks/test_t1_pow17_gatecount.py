@@ -1,0 +1,79 @@
+"""T1: the Section 5.3.1 gate-count listing for o4_POW17.
+
+Paper (l=4, n=3, r=2, Toffoli base)::
+
+    1636: "Init0"
+    3484: "Not", controls 1
+    288: "Not" controls 1+1
+    2592: "Not", controls 2
+    1632: "Term0"
+    Total gates: 9632
+    Inputs: 4 / Outputs: 8 / Qubits in circuit: 71
+
+Shape claims asserted: the same gate-kind vocabulary, roughly a third of
+the gates being initializations/terminations (the explicit ancilla
+scoping), controlled-not domination, and matching interface arities.
+"""
+
+from repro import TOFFOLI, aggregate_gate_count, decompose_generic, total_gates
+from repro.algorithms.tf.main import build_part
+from conftest import report
+
+PAPER = {
+    "Init0": 1636,
+    "Not c1": 3484,
+    "Not c1+1": 288,
+    "Not c2": 2592,
+    "Term0": 1632,
+    "total": 9632,
+    "qubits": 71,
+}
+
+
+def _counts():
+    bc = build_part("pow17", 4, 3, 2, "orthodox")
+    bc = decompose_generic(TOFFOLI, bc)
+    return bc, aggregate_gate_count(bc)
+
+
+def test_t1_gatecount_table(benchmark):
+    bc, counts = benchmark(_counts)
+    total = total_gates(counts)
+    init = sum(v for (k, _, _), v in counts.items() if k.startswith("Init"))
+    term = sum(v for (k, _, _), v in counts.items() if k.startswith("Term"))
+    not1 = counts[("Not", 1, 0)] + counts[("Not", 0, 1)]
+    not11 = counts[("Not", 1, 1)]
+    not2 = counts[("Not", 2, 0)] + counts[("Not", 0, 2)]
+    width = bc.check()
+
+    # -- shape claims ------------------------------------------------------
+    # same gate vocabulary: only Init/Term and controlled nots
+    for (kind, _, _) in counts:
+        assert kind.startswith(("Init", "Term", "Not")), kind
+    # explicit ancilla discipline: Init ~ Term, and together a sizable
+    # fraction of the circuit ("about one third", Section 5.3.1)
+    assert abs(init - term) <= 8  # the 4 extra outputs stay un-terminated
+    assert 0.15 <= (init + term) / total <= 0.5
+    # controlled-nots dominate
+    assert (not1 + not11 + not2) / total >= 0.5
+    # interface matches the paper exactly
+    assert bc.circuit.in_arity == 4
+    assert bc.circuit.out_arity == 8
+    # same order of magnitude throughout
+    assert 3_000 <= total <= 100_000
+    assert 30 <= width <= 200
+
+    report(
+        "T1 o4_POW17 aggregated gate count (Section 5.3.1)",
+        [
+            ("Init0", PAPER["Init0"], init),
+            ("Not, controls 1", PAPER["Not c1"], not1),
+            ("Not, controls 1+1", PAPER["Not c1+1"], not11),
+            ("Not, controls 2", PAPER["Not c2"], not2),
+            ("Term0", PAPER["Term0"], term),
+            ("Total gates", PAPER["total"], total),
+            ("Inputs", 4, bc.circuit.in_arity),
+            ("Outputs", 8, bc.circuit.out_arity),
+            ("Qubits in circuit", PAPER["qubits"], width),
+        ],
+    )

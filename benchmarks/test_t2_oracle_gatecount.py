@@ -1,0 +1,51 @@
+"""T2: the Section 5.4 oracle-only count.
+
+Paper: ``./tf -f gatecount -O -o orthodox -l 31 -n 15 -r 9`` ->
+2,051,926 total gates and 1462 qubits.
+"""
+
+from repro import TOFFOLI, aggregate_gate_count, decompose_generic, total_gates
+from repro.algorithms.tf.main import build_part
+from conftest import report
+
+PAPER_GATES = 2_051_926
+PAPER_QUBITS = 1462
+
+
+def _measure():
+    bc = build_part("oracle", 31, 15, 9, "orthodox")
+    bc = decompose_generic(TOFFOLI, bc)
+    counts = aggregate_gate_count(bc)
+    return total_gates(counts), bc.check()
+
+
+def test_t2_oracle_count(benchmark):
+    total, qubits = benchmark(_measure)
+    # same order of magnitude as the paper's 2.05M / 1462
+    assert 500_000 <= total <= 50_000_000
+    assert 500 <= qubits <= 5_000
+    report(
+        "T2 oracle-only gate count (l=31, n=15, r=9)",
+        [
+            ("total gates", f"{PAPER_GATES:,}", f"{total:,}"),
+            ("qubits", PAPER_QUBITS, qubits),
+            ("ratio vs paper", 1.0, f"{total / PAPER_GATES:.2f}x"),
+        ],
+    )
+
+
+def test_t2_oracle_count_scales_with_l(benchmark):
+    def run():
+        return [
+            total_gates(
+                aggregate_gate_count(
+                    build_part("oracle", l, 7, 4, "orthodox")
+                )
+            )
+            for l in (8, 16, 31)
+        ]
+
+    totals = benchmark(run)
+    assert totals[0] < totals[1] < totals[2]
+    # the multiplier ladder is ~quadratic in l
+    assert totals[2] > 2.5 * totals[1]

@@ -1,0 +1,35 @@
+"""Quantum Linear Systems: solve A x = b with HHL.
+
+Run:  python examples/hhl_linear_system.py
+"""
+
+import numpy as np
+
+from repro.algorithms.qls import (
+    DEMO_B,
+    DEMO_MATRIX,
+    classical_solution,
+    solve_demo,
+)
+
+
+def main() -> None:
+    print("A =")
+    print(DEMO_MATRIX)
+    print("b =", DEMO_B)
+
+    measured, expected = solve_demo()
+    x = classical_solution(DEMO_MATRIX, DEMO_B)
+    print("\nclassical solution (normalized):", np.round(x, 4))
+    print("classical |x_i|^2:              ", np.round(expected, 4))
+    print("HHL measurement probabilities:  ", np.round(measured, 4))
+
+    b2 = np.array([0.6, 0.8])
+    measured2, expected2 = solve_demo(b=b2)
+    print(f"\nwith b = {b2}:")
+    print("classical |x_i|^2:              ", np.round(expected2, 4))
+    print("HHL measurement probabilities:  ", np.round(measured2, 4))
+
+
+if __name__ == "__main__":
+    main()

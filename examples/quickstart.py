@@ -1,0 +1,89 @@
+"""Quickstart: the paper's Section 4.4 examples, in Python.
+
+Builds the paper's ``mycirc`` family, prints circuits, applies block
+structure, reverses a subroutine mid-circuit, decomposes to the binary
+gate base, and runs a Bell-pair simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BINARY, build, decompose_generic, qubit
+from repro.output import format_bcircuit, format_gatecount
+from repro.sim import run_generic
+
+
+# -- a quantum function: gates applied one at a time (Section 4.4.1) -----
+
+def mycirc(qc, a, b):
+    qc.hadamard(a)
+    qc.hadamard(b)
+    qc.controlled_not(a, b)
+    return a, b
+
+
+# -- block structure: an entire block under a control (Section 4.4.2) ----
+
+def mycirc2(qc, a, b, c):
+    mycirc(qc, a, b)
+    with qc.controls(c):
+        mycirc(qc, a, b)
+        mycirc(qc, b, a)
+    mycirc(qc, a, c)
+    return a, b, c
+
+
+# -- an ancilla scoped to a block ----------------------------------------
+
+def mycirc3(qc, a, b, c):
+    with qc.ancilla() as x:
+        qc.qnot(x, controls=(a, b))
+        qc.hadamard(c, controls=x)
+        qc.qnot(x, controls=(a, b))
+    return a, b, c
+
+
+# -- whole-circuit operators: reverse a subroutine mid-circuit -----------
+
+def timestep(qc, a, b, c):
+    mycirc(qc, a, b)
+    qc.qnot(c, controls=(a, b))
+    qc.reverse_endo(mycirc, a, b)
+    return a, b, c
+
+
+def main() -> None:
+    print("== mycirc ==")
+    bc, _ = build(mycirc, qubit, qubit)
+    print(format_bcircuit(bc))
+
+    print("\n== mycirc2 (with_controls) ==")
+    bc2, _ = build(mycirc2, qubit, qubit, qubit)
+    print(format_bcircuit(bc2))
+
+    print("\n== mycirc3 (with_ancilla) ==")
+    bc3, _ = build(mycirc3, qubit, qubit, qubit)
+    print(format_bcircuit(bc3))
+
+    print("\n== timestep (mid-circuit reversal) ==")
+    bc4, _ = build(timestep, qubit, qubit, qubit)
+    print(format_bcircuit(bc4))
+
+    print("\n== timestep2 = decompose_generic(Binary, timestep) ==")
+    bc5 = decompose_generic(BINARY, bc4)
+    print(format_bcircuit(bc5))
+    print()
+    print(format_gatecount(bc5))
+
+    print("\n== running a Bell pair on the simulator ==")
+
+    def bell(qc, a, b):
+        qc.hadamard(a)
+        qc.qnot(b, controls=a)
+        return qc.measure((a, b))
+
+    for seed in range(5):
+        print("  measured:", run_generic(bell, False, False, seed=seed))
+
+
+if __name__ == "__main__":
+    main()

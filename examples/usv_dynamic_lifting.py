@@ -1,0 +1,35 @@
+"""Unique Shortest Vector: dynamic lifting in anger (paper Section 3.5).
+
+Each quantum round measures *part* of its registers mid-circuit; the
+classical controller reads the outcome through dynamic lifting and
+generates the rest of the circuit on the fly.  Rounds accumulate GF(2)
+constraints until the planted short vector's coefficient parity is
+pinned down.
+
+Run:  python examples/usv_dynamic_lifting.py
+"""
+
+import numpy as np
+
+from repro.algorithms.usv import shortest_vector, solve_usv
+
+
+def main() -> None:
+    for seed in (0, 1, 2):
+        report = solve_usv(dimension=3, seed=seed)
+        basis = report["basis"]
+        print(f"instance (seed {seed}):")
+        for row in basis:
+            print("   ", row)
+        print(f"  planted coefficient parity: {report['planted_parity']}")
+        print(f"  quantum rounds used:        {report['rounds']}")
+        print(f"  recovered parity:           {report['recovered_parity']}")
+        print(f"  recovered short vector:     {report['vector']}"
+              f" (|v| = {np.linalg.norm(report['vector']):.3f})")
+        classical, norm = report["classical_vector"], report["classical_norm"]
+        print(f"  classical exhaustive search: {classical} (|v| = {norm:.3f})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

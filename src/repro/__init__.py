@@ -1,0 +1,74 @@
+"""repro: a Python reproduction of Quipper (PLDI 2013).
+
+Quipper is a scalable, expressive, functional, higher-order quantum
+programming language, embedded in Haskell.  This package re-creates it as a
+Python-embedded language: the extended circuit model (qubit initialization,
+assertive termination, measurement, classical wires, classically-controlled
+gates), the generation/execution phase distinction with dynamic lifting,
+block structure and whole-circuit operators, hierarchical boxed subcircuits
+scaling to trillions of gates, extensible quantum data types, automatic
+oracle generation from classical code, simulators, and the seven algorithm
+implementations of the paper's evaluation (BWT, BF, CL, GSE, QLS, USV, TF).
+
+Quickstart::
+
+    from repro import build, qubit
+    from repro.output import print_generic
+
+    def mycirc(qc, a, b):
+        qc.hadamard(a)
+        qc.hadamard(b)
+        qc.controlled_not(a, b)
+        return a, b
+
+    print_generic(mycirc, qubit, qubit)
+"""
+
+from .core import (
+    BCircuit,
+    Bit,
+    Circ,
+    Circuit,
+    Qubit,
+    QuipperError,
+    Signed,
+    bit,
+    build,
+    neg,
+    qubit,
+)
+from .transform import (
+    BINARY,
+    TOFFOLI,
+    aggregate_gate_count,
+    decompose_generic,
+    inline,
+    reverse_bcircuit,
+    total_gates,
+    total_logical_gates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circ",
+    "build",
+    "qubit",
+    "bit",
+    "Qubit",
+    "Bit",
+    "Signed",
+    "neg",
+    "Circuit",
+    "BCircuit",
+    "QuipperError",
+    "aggregate_gate_count",
+    "total_gates",
+    "total_logical_gates",
+    "decompose_generic",
+    "inline",
+    "reverse_bcircuit",
+    "TOFFOLI",
+    "BINARY",
+    "__version__",
+]

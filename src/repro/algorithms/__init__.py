@@ -1,0 +1,13 @@
+"""The seven algorithm implementations of the paper's evaluation.
+
+"We put Quipper to the test by implementing seven non-trivial quantum
+algorithms from the literature" (Section 1):
+
+* :mod:`~repro.algorithms.bwt` -- Binary Welded Tree [Childs et al.]
+* :mod:`~repro.algorithms.bf`  -- Boolean Formula / Hex [Ambainis et al.]
+* :mod:`~repro.algorithms.cl`  -- Class Number [Hallgren]
+* :mod:`~repro.algorithms.gse` -- Ground State Estimation [Whitfield et al.]
+* :mod:`~repro.algorithms.qls` -- Quantum Linear Systems [Harrow et al.]
+* :mod:`~repro.algorithms.usv` -- Unique Shortest Vector [Regev]
+* :mod:`~repro.algorithms.tf`  -- Triangle Finding [Magniez et al.]
+"""

@@ -1,0 +1,24 @@
+"""Boolean Formula / Hex (Ambainis et al.)."""
+
+from .flood_fill import make_hex_winner_template
+from .formula_walk import (
+    count_winning_assignments,
+    make_nand_formula_template,
+    nand_formula_value,
+    winning_move_search,
+)
+from .hex_board import blue_wins, neighbors, random_final_position
+from .main import hex_oracle_circuit, hex_oracle_gatecount
+
+__all__ = [
+    "make_hex_winner_template",
+    "hex_oracle_circuit",
+    "hex_oracle_gatecount",
+    "blue_wins",
+    "neighbors",
+    "random_final_position",
+    "nand_formula_value",
+    "make_nand_formula_template",
+    "winning_move_search",
+    "count_winning_assignments",
+]

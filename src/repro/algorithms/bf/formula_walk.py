@@ -1,0 +1,111 @@
+"""NAND-formula evaluation and the winning-move search.
+
+The BF algorithm of Ambainis et al. [2] evaluates "any AND-OR formula of
+size n in time n^(1/2 + o(1))" by phase estimation on a quantum walk over
+the formula tree.  The full Szegedy-walk machinery is substituted here
+(documented in DESIGN.md) by the equivalent *endgame* formulation the
+paper's own implementation targets -- "computes a winning strategy for the
+game of Hex" -- realized as amplitude amplification over the lifted
+position-evaluation oracle: search the empty cells' assignments for one
+that makes blue win, i.e. find blue's winning move set.
+
+The balanced NAND-tree formula itself is provided both classically and as
+a lifted oracle (NAND trees are how game trees are encoded in [2]).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.builder import Circ
+from ...lib.amplitude import (
+    grover_iteration,
+    phase_oracle_from_bit_oracle,
+    prepare_uniform,
+)
+from ...lifting.cbool import all_of
+from ...lifting.template import Template, build_circuit, unpack
+from .flood_fill import make_hex_winner_template
+from .hex_board import blue_wins, cell_index
+
+
+def nand_formula_value(leaves: list[bool], fanin: int = 2) -> bool:
+    """Classical balanced NAND-tree evaluation (leaf count a power of fanin)."""
+    layer = list(leaves)
+    while len(layer) > 1:
+        layer = [
+            not all(layer[i:i + fanin])
+            for i in range(0, len(layer), fanin)
+        ]
+    return layer[0]
+
+
+def make_nand_formula_template(depth: int, share: bool = False) -> Template:
+    """The lifted balanced binary NAND formula on 2**depth leaves."""
+
+    @build_circuit(share=share)
+    def formula(leaves):
+        layer = list(leaves)
+        while len(layer) > 1:
+            layer = [
+                ~all_of(layer[i:i + 2]) for i in range(0, len(layer), 2)
+            ]
+        return layer[0]
+
+    return formula
+
+
+def winning_move_search(qc: Circ, rows: int, cols: int,
+                        partial_board: list[bool | None],
+                        iterations: int | None = None):
+    """Grover search for an assignment of the empty cells that wins.
+
+    ``partial_board`` holds True/False for placed stones and None for
+    empty cells; the search space is the assignments of the None cells.
+    Returns the register of empty-cell qubits (measure to read the move).
+    """
+    empties = [i for i, v in enumerate(partial_board) if v is None]
+    if not empties:
+        raise ValueError("no empty cells to search over")
+    winner_template = make_hex_winner_template(rows, cols)
+    winner_circuit = unpack(winner_template)
+
+    def bit_oracle(qc2, data):
+        # Assemble the full board: placed stones are generation-time
+        # parameters, empty cells are the searched qubits.
+        board = []
+        slot = 0
+        for value in partial_board:
+            if value is None:
+                board.append(data[slot])
+                slot += 1
+            else:
+                board.append(value)
+        return winner_circuit(qc2, board)
+
+    search = [qc.qinit_qubit(False) for _ in range(len(empties))]
+    prepare_uniform(qc, search)
+    if iterations is None:
+        # ~ (pi/4) sqrt(N / M): assume a single winning assignment family.
+        iterations = max(1, int(round(math.pi / 4 *
+                                      math.sqrt(2 ** len(empties)))))
+    for _ in range(iterations):
+        grover_iteration(
+            qc, search,
+            lambda q, d: phase_oracle_from_bit_oracle(q, bit_oracle, d),
+        )
+    return search, empties
+
+
+def count_winning_assignments(rows: int, cols: int,
+                              partial_board: list[bool | None]) -> int:
+    """Classical exhaustive count (ground truth for the search tests)."""
+    empties = [i for i, v in enumerate(partial_board) if v is None]
+    wins = 0
+    for mask in range(1 << len(empties)):
+        board = list(partial_board)
+        for bit, index in enumerate(empties):
+            board[index] = bool((mask >> bit) & 1)
+        if blue_wins(board, rows, cols):
+            wins += 1
+    return wins

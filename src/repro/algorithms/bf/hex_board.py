@@ -1,0 +1,63 @@
+"""Hex boards: the classical substrate of the Boolean Formula algorithm.
+
+The paper's BF implementation "computes a winning strategy for the game of
+Hex" (Section 1), and its headline oracle "determines the winner for a
+given final position in the game of Hex.  It uses a flood-fill algorithm"
+(Section 4.6.1).
+
+A Hex board has R rows by C columns of hexagonal cells; each cell is
+adjacent to up to six neighbours.  Blue owns the left and right edges and
+wins if blue stones connect them; in a *final* position (board full)
+exactly one player has a winning chain, so "blue wins" is a well-defined
+boolean function of the position.
+"""
+
+from __future__ import annotations
+
+
+def cell_index(row: int, col: int, cols: int) -> int:
+    return row * cols + col
+
+
+def neighbors(row: int, col: int, rows: int, cols: int) -> list[tuple[int, int]]:
+    """The (up to six) hex-grid neighbours of a cell."""
+    candidates = [
+        (row, col - 1), (row, col + 1),
+        (row - 1, col), (row + 1, col),
+        (row - 1, col + 1), (row + 1, col - 1),
+    ]
+    return [
+        (r, c) for (r, c) in candidates if 0 <= r < rows and 0 <= c < cols
+    ]
+
+
+def blue_wins(board: list[bool], rows: int, cols: int) -> bool:
+    """Classical flood fill: does blue connect left to right?
+
+    *board* lists cells row-major; True means a blue stone.  This is the
+    specification the lifted oracle is tested against.
+    """
+    reach = set()
+    frontier = [
+        (r, 0) for r in range(rows) if board[cell_index(r, 0, cols)]
+    ]
+    reach.update(frontier)
+    while frontier:
+        row, col = frontier.pop()
+        for (r, c) in neighbors(row, col, rows, cols):
+            if (r, c) not in reach and board[cell_index(r, c, cols)]:
+                reach.add((r, c))
+                frontier.append((r, c))
+    return any((r, cols - 1) in reach for r in range(rows))
+
+
+def random_final_position(rows: int, cols: int, seed: int) -> list[bool]:
+    """A random full board (half blue, half red, row-major booleans)."""
+    import random
+
+    rng = random.Random(seed)
+    cells = rows * cols
+    blues = cells // 2 + (cells % 2)
+    board = [True] * blues + [False] * (cells - blues)
+    rng.shuffle(board)
+    return board

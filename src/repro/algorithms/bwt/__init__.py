@@ -1,0 +1,32 @@
+"""Binary Welded Tree (paper Sections 3, 6 and Figure 1)."""
+
+from .graph import (
+    all_nodes,
+    check_graph,
+    entrance_label,
+    exit_label,
+    neighbor,
+    pack_label,
+    register_size,
+    unpack_label,
+)
+from .main import bwt_circuit, qrwbwt, timestep
+from .orthodox import bwt_oracle
+from .template import bwt_oracle_template, make_neighbor_template
+
+__all__ = [
+    "neighbor",
+    "entrance_label",
+    "exit_label",
+    "register_size",
+    "pack_label",
+    "unpack_label",
+    "all_nodes",
+    "check_graph",
+    "bwt_oracle",
+    "bwt_oracle_template",
+    "make_neighbor_template",
+    "timestep",
+    "qrwbwt",
+    "bwt_circuit",
+]

@@ -1,0 +1,119 @@
+"""The welded-tree graph: classical substrate for the BWT algorithm.
+
+The Binary Welded Tree problem (Childs et al. [4]): two complete binary
+trees of height n whose leaves are joined ("welded") by a cycle formed
+from two perfect matchings.  A quantum walk started at the ENTRANCE (one
+root) traverses to the EXIT (the other root) exponentially faster than any
+classical algorithm that can only query the graph's edge-colour oracle.
+
+Labelling (concrete, hand-implementable with reversible arithmetic):
+
+* A node register has ``m = n + 2`` bits: one *side* bit (which tree) and
+  ``n + 1`` bits of heap position p (the root is p=1; the children of p
+  are 2p and 2p+1; p=0 is no node).
+* Depth(p) = position of the leading 1 bit; leaves are at depth n.
+* Edge colours (four, per the algorithm's specification): the edge from a
+  depth-d node p to its child 2p+b has colour ``2*(d % 2) + b``; the weld
+  edges at the leaves use the remaining parity pair ``2*(n % 2) + b``.
+* Weld matchings: leaf index ``idx = p - 2**n``; matching b joins side-0
+  leaf idx with side-1 leaf ``(idx + g_b) mod 2**n`` where g_0 = 0 and
+  g_1 = 1 -- the union of the two matchings is a single cycle through all
+  the leaves, as the problem requires.
+
+The functions here are pure Python; they feed the hand-coded ("orthodox")
+oracle's tests, the lifted ("template") oracle, and the end-to-end walk
+checks.
+"""
+
+from __future__ import annotations
+
+WELD_OFFSETS = (0, 1)  # g_0, g_1
+
+
+def register_size(n: int) -> int:
+    """Node register width: side bit + (n+1)-bit heap position."""
+    return n + 2
+
+
+def depth(p: int) -> int:
+    """Depth of heap position p (the position of its leading 1 bit)."""
+    if p <= 0:
+        raise ValueError("p=0 is not a node")
+    return p.bit_length() - 1
+
+
+def entrance_label(n: int) -> int:
+    """The ENTRANCE node: side 0, heap position 1."""
+    return 1
+
+
+def exit_label(n: int) -> int:
+    """The EXIT node: side 1, heap position 1."""
+    return (1 << (n + 1)) | 1
+
+
+def unpack_label(a: int, n: int) -> tuple[int, int]:
+    """Split a label into (side, heap position)."""
+    side = (a >> (n + 1)) & 1
+    p = a & ((1 << (n + 1)) - 1)
+    return side, p
+
+
+def pack_label(side: int, p: int, n: int) -> int:
+    return (side << (n + 1)) | p
+
+
+def neighbor(a: int, color: int, n: int) -> int | None:
+    """The colour-c neighbour of node a, or None if there is none.
+
+    This is the classical specification of the oracle function v_c.
+    Self-inverse: ``neighbor(neighbor(a, c), c) == a`` whenever defined.
+    """
+    side, p = unpack_label(a, n)
+    if p == 0:
+        return None
+    d = depth(p)
+    hi, b = color >> 1, color & 1
+    # Child edge: depth parity matches and we are not at a leaf.
+    if d < n and hi == d % 2:
+        return pack_label(side, 2 * p + b, n)
+    # Parent edge: the edge to our parent has colour 2*((d-1)%2) + (p&1).
+    if d > 0 and d <= n and color == 2 * ((d - 1) % 2) + (p & 1):
+        return pack_label(side, p >> 1, n)
+    # Weld edges at the leaves.
+    if d == n and hi == n % 2:
+        idx = p - (1 << n)
+        g = WELD_OFFSETS[b]
+        if side == 0:
+            new_idx = (idx + g) % (1 << n)
+        else:
+            new_idx = (idx - g) % (1 << n)
+        return pack_label(1 - side, (1 << n) + new_idx, n)
+    return None
+
+
+def all_nodes(n: int) -> list[int]:
+    """Every valid node label."""
+    return [
+        pack_label(side, p, n)
+        for side in (0, 1)
+        for p in range(1, 1 << (n + 1))
+    ]
+
+
+def check_graph(n: int) -> None:
+    """Sanity-check the graph: 3-regular-ish, colour-consistent, welded.
+
+    Raises AssertionError on any structural violation (used in tests).
+    """
+    for a in all_nodes(n):
+        for c in range(4):
+            b = neighbor(a, c, n)
+            if b is not None:
+                back = neighbor(b, c, n)
+                assert back == a, (a, c, b, back)
+    # Roots have exactly two neighbours; all others exactly three.
+    for a in all_nodes(n):
+        _, p = unpack_label(a, n)
+        degree = sum(neighbor(a, c, n) is not None for c in range(4))
+        assert degree == (2 if p == 1 else 3), (a, degree)

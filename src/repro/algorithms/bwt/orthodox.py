@@ -1,0 +1,110 @@
+"""The hand-coded ("orthodox") BWT oracle.
+
+This is the reproduction of Quipper's hand-written oracle for the Binary
+Welded Tree algorithm (paper Section 6: 'we implemented identical versions
+of the Binary Welded Tree algorithm ... using a hand-coded oracle').
+
+Given a node register ``a``, a zeroed output register ``b`` and a zeroed
+flag ``r``, the oracle for colour c writes the colour-c neighbour's label
+into ``b`` and sets ``r`` when the edge is *absent* (so the Figure 1
+timestep can gate its evolution on an empty dot, exactly as drawn).
+
+Structure: the three edge cases (child, parent, weld) are recognized by
+*flag* qubits computed once from the depth patterns of the heap position
+(this is the hand-optimization Quipper programmers apply, and the reason
+the orthodox oracle beats both QCL and the lifted oracle in gate count);
+the label copies are then cheap Toffolis off the flags; the flags are
+uncomputed by ``with_computed``.
+"""
+
+from __future__ import annotations
+
+from ...arith.adder import add_const_in_place
+from ...core.builder import Circ, neg
+from ...core.wires import Qubit
+from ...datatypes.qdint import QDInt
+from .graph import WELD_OFFSETS
+
+# Node register layout: index 0 is the side bit; indices 1..n+1 hold the
+# heap position big-endian (p_n first).  ``_pos`` returns the wire of heap
+# bit weight 2**j.
+
+
+def _side(node: list[Qubit]) -> Qubit:
+    return node[0]
+
+
+def _pos(node: list[Qubit], j: int, n: int) -> Qubit:
+    return node[1 + (n - j)]
+
+
+def _depth_pattern(a: list[Qubit], d: int, n: int) -> list:
+    """Controls asserting depth(p) == d: leading 1 exactly at bit d."""
+    controls = [neg(_pos(a, j, n)) for j in range(n, d, -1)]
+    controls.append(_pos(a, d, n))
+    return controls
+
+
+def bwt_oracle(qc: Circ, a: list[Qubit], b: list[Qubit], r: Qubit,
+               color: int, n: int) -> None:
+    """Write the colour-c neighbour of *a* into *b*; set *r* if absent.
+
+    ``b`` and ``r`` must be zeroed.  ``a`` is unchanged.  The flag logic
+    is computed and uncomputed around the copies (``with_computed``).
+    """
+    hi, lo = color >> 1, color & 1
+
+    def compute():
+        child = qc.qinit_qubit(False)
+        parent = qc.qinit_qubit(False)
+        weld = qc.qinit_qubit(False)
+        # Child edges: at matching-parity depths below the leaves.
+        for d in range(0, n):
+            if d % 2 == hi:
+                qc.qnot(child, controls=_depth_pattern(a, d, n))
+        # Parent edges: colour = 2*((d-1) % 2) + (p & 1).
+        for d in range(1, n + 1):
+            if (d - 1) % 2 == hi:
+                pattern = _depth_pattern(a, d, n)
+                low_bit = _pos(a, 0, n)
+                if d != 0:
+                    pattern.append(low_bit if lo else neg(low_bit))
+                qc.qnot(parent, controls=pattern)
+        # Weld edges: at the leaves, on the remaining colour parity.
+        if n % 2 == hi:
+            qc.qnot(weld, controls=_depth_pattern(a, n, n))
+        return child, parent, weld
+
+    def action(flags):
+        child, parent, weld = flags
+        # -- child: b = (side, 2p + lo) --------------------------------
+        for j in range(0, n):
+            qc.qnot(_pos(b, j + 1, n), controls=(child, _pos(a, j, n)))
+        if lo:
+            qc.qnot(_pos(b, 0, n), controls=child)
+        qc.qnot(_side(b), controls=(child, _side(a)))
+        # -- parent: b = (side, p >> 1) --------------------------------
+        for j in range(1, n + 1):
+            qc.qnot(_pos(b, j - 1, n), controls=(parent, _pos(a, j, n)))
+        qc.qnot(_side(b), controls=(parent, _side(a)))
+        # -- weld: b = (1 - side, 2^n + (idx +- g)) --------------------
+        for j in range(0, n):
+            qc.qnot(_pos(b, j, n), controls=(weld, _pos(a, j, n)))
+        qc.qnot(_pos(b, n, n), controls=weld)  # the leaf-block marker bit
+        qc.qnot(_side(b), controls=(weld, _side(a)))
+        qc.qnot(_side(b), controls=weld)  # flip: the weld crosses sides
+        g = WELD_OFFSETS[lo]
+        if g % (1 << n) != 0:
+            idx = QDInt([_pos(b, j, n) for j in range(n - 1, -1, -1)])
+            add_const_in_place(qc, g, idx, controls=[weld, neg(_side(a))])
+            add_const_in_place(
+                qc, (1 << n) - g, idx, controls=[weld, _side(a)]
+            )
+        # -- validity: r = 1 when no edge matched ----------------------
+        qc.qnot(r)
+        qc.qnot(r, controls=child)
+        qc.qnot(r, controls=parent)
+        qc.qnot(r, controls=weld)
+        return None
+
+    qc.with_computed(compute, action)

@@ -1,0 +1,34 @@
+"""Class Number (Hallgren): regulator estimation by period finding."""
+
+from .regulator import (
+    estimate_regulator,
+    make_mod_template,
+    mod_oracle_enumerated,
+    period_finding_circuit,
+    recover_period,
+)
+
+# Import the classical number theory *after* the .regulator submodule so
+# the ``regulator`` function wins the package-attribute name collision.
+from .number_field import (  # noqa: E402
+    continued_fraction_sqrt,
+    convergents_from_fraction,
+    ideal_distances,
+    is_squarefree,
+    pell_fundamental_solution,
+    regulator,
+)
+
+__all__ = [
+    "regulator",
+    "pell_fundamental_solution",
+    "continued_fraction_sqrt",
+    "convergents_from_fraction",
+    "ideal_distances",
+    "is_squarefree",
+    "estimate_regulator",
+    "period_finding_circuit",
+    "mod_oracle_enumerated",
+    "make_mod_template",
+    "recover_period",
+]

@@ -1,0 +1,44 @@
+"""Class Number CLI: classical vs quantum regulator estimation."""
+
+from __future__ import annotations
+
+import argparse
+
+from .number_field import (
+    continued_fraction_sqrt,
+    is_squarefree,
+    pell_fundamental_solution,
+    regulator,
+)
+from .regulator import estimate_regulator
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cl", description="Class Number: regulator estimation"
+    )
+    parser.add_argument("-d", type=int, default=13,
+                        help="squarefree discriminant D")
+    parser.add_argument("--width", type=int, default=6,
+                        help="period-finding register width")
+    parser.add_argument("--samples", type=int, default=12)
+    args = parser.parse_args(argv)
+
+    if not is_squarefree(args.d):
+        parser.error(f"D={args.d} is not squarefree")
+    x, y = pell_fundamental_solution(args.d)
+    print(f"Q(sqrt({args.d})): continued fraction",
+          continued_fraction_sqrt(args.d))
+    print(f"fundamental Pell solution: x={x}, y={y}")
+    exact = regulator(args.d)
+    print(f"classical regulator: {exact:.6f}")
+    estimate = estimate_regulator(
+        args.d, width=args.width, samples=args.samples
+    )
+    print(f"quantum estimate:    {estimate:.6f}"
+          f"  (relative error {abs(estimate - exact) / exact:.3%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

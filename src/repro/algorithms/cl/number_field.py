@@ -1,0 +1,124 @@
+"""Real quadratic number fields: the Class Number algorithm's substrate.
+
+The paper's CL algorithm (Hallgren [8]) approximates "the class group of a
+real quadratic number field"; its quantum core is period estimation of a
+pseudo-periodic function whose period is the field's *regulator*
+R = ln(eps), the logarithm of the fundamental unit eps = x + y*sqrt(D).
+
+This module supplies the classical number theory: the continued-fraction
+expansion of sqrt(D), the fundamental solution of Pell's equation
+x^2 - D y^2 = +-1 (whence the regulator), and reduced-ideal distance
+helpers -- everything the quantum part is checked against.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+
+def is_squarefree(d: int) -> bool:
+    if d < 2:
+        return False
+    k = 2
+    while k * k <= d:
+        if d % (k * k) == 0:
+            return False
+        k += 1
+    return True
+
+
+def continued_fraction_sqrt(d: int, limit: int = 10_000) -> list[int]:
+    """The periodic continued fraction [a0; a1, a2, ...] of sqrt(D).
+
+    Returns one full period (starting with a0 = floor(sqrt(D))); the
+    expansion of a quadratic irrational is eventually periodic with the
+    period starting immediately after a0.
+    """
+    a0 = math.isqrt(d)
+    if a0 * a0 == d:
+        raise ValueError("D must not be a perfect square")
+    terms = [a0]
+    m, denom, a = 0, 1, a0
+    for _ in range(limit):
+        m = denom * a - m
+        denom = (d - m * m) // denom
+        a = (a0 + m) // denom
+        terms.append(a)
+        if a == 2 * a0:  # the period of sqrt(D) ends with 2*a0
+            return terms
+    raise RuntimeError("continued fraction period not found")
+
+
+def pell_fundamental_solution(d: int) -> tuple[int, int]:
+    """The fundamental solution (x, y) of x^2 - D y^2 = +-1.
+
+    Computed from the continued-fraction convergents of sqrt(D); this is
+    the classical (exponential-output) computation the quantum algorithm
+    beats, since x and y can have exponentially many digits.
+    """
+    terms = continued_fraction_sqrt(d)
+    # Convergents over one period give the fundamental +-1 solution.
+    num_prev, num = 1, terms[0]
+    den_prev, den = 0, 1
+    for a in terms[1:-1]:
+        num, num_prev = a * num + num_prev, num
+        den, den_prev = a * den + den_prev, den
+    return num, den
+
+
+def regulator(d: int) -> float:
+    """The regulator R = ln(x + y sqrt(D)) of Q(sqrt(D)).
+
+    Uses the fundamental solution of Pell's equation; if it solves
+    x^2 - Dy^2 = -1, the fundamental unit has norm -1 and the given
+    (x, y) already generate the unit group.
+    """
+    x, y = pell_fundamental_solution(d)
+    return math.log(x + y * math.sqrt(d))
+
+
+def ideal_distances(d: int, count: int) -> list[float]:
+    """Distances of the first reduced principal ideals along the cycle.
+
+    Hallgren's function maps x to the reduced ideal of largest distance
+    <= x; the distances delta_i = ln((m_i + sqrt(D)) / denom-ish) advance
+    along the continued-fraction recurrence and wrap modulo the
+    regulator.  Used to build the pseudo-periodic oracle grid.
+    """
+    a0 = math.isqrt(d)
+    m, denom = 0, 1
+    distance = 0.0
+    out = [0.0]
+    for _ in range(count - 1):
+        a = (a0 + m) // denom
+        m_next = denom * a - m
+        denom_next = (d - m_next * m_next) // denom
+        # One reduction step advances the distance by ln|(m+sqrt D)/denom'|.
+        distance += math.log((m_next + math.sqrt(d)) / abs(denom_next))
+        out.append(distance)
+        m, denom = m_next, denom_next
+    return out
+
+
+def convergents_from_fraction(numerator: int,
+                              denominator: int) -> list[Fraction]:
+    """All continued-fraction convergents of numerator/denominator.
+
+    The classical post-processing of period finding: the measured value
+    k ~ j * 2^m / S is fed to this to recover the period S.
+    """
+    a, b = numerator, denominator
+    coefficients = []
+    while b:
+        coefficients.append(a // b)
+        a, b = b, a % b
+    convergents: list[Fraction] = []
+    num_prev, num = 1, coefficients[0]
+    den_prev, den = 0, 1
+    convergents.append(Fraction(num, den))
+    for coeff in coefficients[1:]:
+        num, num_prev = coeff * num + num_prev, num
+        den, den_prev = coeff * den + den_prev, den
+        convergents.append(Fraction(num, den))
+    return convergents

@@ -1,0 +1,21 @@
+"""Ground State Estimation (Whitfield-Biamonte-Aspuru-Guzik)."""
+
+from .hamiltonian import (
+    H2_HAMILTONIAN,
+    exact_ground_energy,
+    exact_ground_state,
+    hamiltonian_matrix,
+    jordan_wigner_quadratic,
+)
+from .main import energy_from_phase, estimate_ground_energy, gse_circuit
+
+__all__ = [
+    "H2_HAMILTONIAN",
+    "exact_ground_energy",
+    "exact_ground_state",
+    "hamiltonian_matrix",
+    "jordan_wigner_quadratic",
+    "gse_circuit",
+    "energy_from_phase",
+    "estimate_ground_energy",
+]

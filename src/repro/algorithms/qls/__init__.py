@@ -1,0 +1,28 @@
+"""Quantum Linear Systems / HHL (Harrow-Hassidim-Lloyd)."""
+
+from .hhl import (
+    classical_solution,
+    hhl_circuit,
+    pauli_decompose,
+    prepare_state,
+)
+from .main import DEMO_B, DEMO_MATRIX, sin_oracle_gatecount, solve_demo
+from .oracle import (
+    make_cos_template,
+    make_reciprocal_template,
+    make_sin_template,
+)
+
+__all__ = [
+    "hhl_circuit",
+    "pauli_decompose",
+    "prepare_state",
+    "classical_solution",
+    "solve_demo",
+    "sin_oracle_gatecount",
+    "DEMO_MATRIX",
+    "DEMO_B",
+    "make_sin_template",
+    "make_cos_template",
+    "make_reciprocal_template",
+]

@@ -1,0 +1,142 @@
+"""The Quantum Linear Systems (HHL) algorithm [Harrow-Hassidim-Lloyd].
+
+Solves A x = b by: preparing |b>, phase-estimating exp(iAt) to load the
+eigenvalues into a register, rotating an ancilla by angles proportional to
+1/lambda, uncomputing the phase estimation (``with_computed`` -- the whole
+eigenvalue register is scratch!), and post-selecting the ancilla.  The
+remaining system state is proportional to A^{-1} b.
+
+The Hamiltonian-simulation substrate decomposes A numerically into Pauli
+strings and Trotterizes; the controlled 1/lambda rotation enumerates the
+eigenvalue register's basis values at generation time (they are circuit
+*parameters*, Section 4.3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ...core.builder import Circ, neg
+from ...core.wires import Qubit
+from ...lib.phase_estimation import phase_estimation
+from ...lib.simulation import Hamiltonian, trotterized_evolution
+
+_PAULI = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def pauli_decompose(matrix: np.ndarray) -> Hamiltonian:
+    """Decompose a Hermitian matrix into Pauli strings (substrate).
+
+    Projects onto the orthogonal Pauli basis: coeff = tr(P M) / 2^n.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    dim = matrix.shape[0]
+    n = int(math.log2(dim))
+    if 1 << n != dim:
+        raise ValueError("matrix dimension must be a power of two")
+    terms: Hamiltonian = []
+    for letters in itertools.product("IXYZ", repeat=n):
+        op = np.eye(1, dtype=complex)
+        for letter in letters:
+            op = np.kron(op, _PAULI[letter])
+        coeff = np.trace(op.conj().T @ matrix) / dim
+        if abs(coeff.imag) > 1e-12:
+            raise ValueError("matrix is not Hermitian")
+        if abs(coeff.real) > 1e-12:
+            pauli = {
+                q: letter
+                for q, letter in enumerate(letters)
+                if letter != "I"
+            }
+            terms.append((float(coeff.real), pauli))
+    return terms
+
+
+def prepare_state(qc: Circ, amplitudes: np.ndarray) -> list[Qubit]:
+    """Prepare a real, non-negative-normalized state on fresh qubits.
+
+    Recursive Ry-rotation tree (amplitudes must be real; signs are
+    supported).  Substrate for loading |b>.
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    n = int(math.log2(len(amplitudes)))
+    if 1 << n != len(amplitudes):
+        raise ValueError("amplitude vector length must be a power of two")
+    norm = math.sqrt(float(np.sum(amplitudes ** 2)))
+    amplitudes = amplitudes / norm
+    qubits = [qc.qinit_qubit(False) for _ in range(n)]
+    _prepare_rec(qc, qubits, amplitudes, controls=[])
+    return qubits
+
+
+def _prepare_rec(qc: Circ, qubits: list[Qubit], amps: np.ndarray,
+                 controls: list) -> None:
+    if len(amps) == 1:
+        return
+    half = len(amps) // 2
+    p0 = float(np.sum(amps[:half] ** 2))
+    p1 = float(np.sum(amps[half:] ** 2))
+    theta = 2.0 * math.atan2(math.sqrt(p1), math.sqrt(p0))
+    qubit = qubits[0]
+    qc.rotY(theta, qubit, controls=controls or None)
+    if len(amps) > 2:
+        lo = amps[:half] / (math.sqrt(p0) or 1.0)
+        hi = amps[half:] / (math.sqrt(p1) or 1.0)
+        _prepare_rec(qc, qubits[1:], lo, controls + [neg(qubit)])
+        _prepare_rec(qc, qubits[1:], hi, controls + [qubit])
+
+
+def hhl_circuit(qc: Circ, matrix: np.ndarray, b: np.ndarray,
+                precision: int, t: float, c_const: float,
+                trotter_steps: int = 1):
+    """The HHL circuit; returns (system_qubits, success_ancilla).
+
+    ``t`` should be chosen so each eigenvalue lambda maps near an integer
+    k = lambda * t * 2^precision / (2 pi) < 2^precision.  ``c_const`` is
+    the C in the amplitudes C/lambda (at most the smallest eigenvalue).
+    """
+    hamiltonian = pauli_decompose(matrix)
+    system = prepare_state(qc, b)
+    ancilla = qc.qinit_qubit(False)
+
+    def controlled_power(qc2, target, power, control):
+        # exp(+iAt): evolve with negated time (our convention is e^{-iHt}).
+        trotterized_evolution(
+            qc2, hamiltonian, -t * power, trotter_steps * power, target,
+            control=control,
+        )
+
+    def compute():
+        return phase_estimation(qc, controlled_power, system, precision)
+
+    def rotate(eigen_register):
+        size = 1 << precision
+        for k in range(1, size):
+            lam = 2.0 * math.pi * k / (t * size)
+            ratio = c_const / lam
+            if abs(ratio) > 1.0:
+                ratio = math.copysign(1.0, ratio)
+            theta = 2.0 * math.asin(ratio)
+            controls = []
+            for i in range(precision):
+                wire = eigen_register.bit(i)
+                controls.append(wire if (k >> i) & 1 else neg(wire))
+            qc.rotY(theta, ancilla, controls=controls)
+        return None
+
+    qc.with_computed(compute, rotate)
+    return system, ancilla
+
+
+def classical_solution(matrix: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The normalized classical solution A^{-1} b (ground truth)."""
+    x = np.linalg.solve(matrix, b)
+    return x / np.linalg.norm(x)

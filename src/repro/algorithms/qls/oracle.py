@@ -1,0 +1,77 @@
+"""Lifted analytic oracles for the Quantum Linear Systems algorithm.
+
+Paper Section 4.6.1: "our implementation of the Linear Systems algorithm
+makes liberal use of arithmetic and analytic functions, such as sin(x) and
+cos(x), which were implemented using the circuit lifting feature.  The
+circuit created for sin(x), over a 32+32 qubit fixed-point argument, uses
+3273010 gates."
+
+The templates here compute Taylor polynomials over :class:`CFix`
+fixed-point values; ``share=False`` reproduces Template Haskell's
+no-common-subexpression behaviour (and its gate counts).
+"""
+
+from __future__ import annotations
+
+from ...lifting.template import Template, build_circuit
+
+
+def make_sin_template(terms: int = 7, share: bool = False) -> Template:
+    """A lifted fixed-point sine: x - x^3/3! + x^5/5! - ...
+
+    *terms* odd powers are used; each step multiplies by x^2 and by the
+    factorial ratio constant, all in fixed point.
+    """
+
+    @build_circuit(share=share)
+    def lifted_sin(x):
+        x_squared = x * x
+        term = x
+        total = x
+        k = 1
+        for _ in range(terms - 1):
+            k += 2
+            term = term * x_squared * (-1.0 / ((k - 1) * k))
+            total = total + term
+        return total
+
+    return lifted_sin
+
+
+def make_cos_template(terms: int = 7, share: bool = False) -> Template:
+    """A lifted fixed-point cosine: 1 - x^2/2! + x^4/4! - ..."""
+
+    @build_circuit(share=share)
+    def lifted_cos(x):
+        x_squared = x * x
+        term = 1.0 + (x_squared * 0.0)  # a CFix constant 1 of x's format
+        total = term
+        k = 0
+        for _ in range(terms - 1):
+            k += 2
+            term = term * x_squared * (-1.0 / ((k - 1) * k))
+            total = total + term
+        return total
+
+    return lifted_cos
+
+
+def make_reciprocal_template(iterations: int = 4,
+                             share: bool = False) -> Template:
+    """A lifted fixed-point reciprocal via Newton-Raphson.
+
+    Computes y ~ 1/x for x in [0.5, 2], starting from the chord estimate
+    y0 = 2.5 - x (which satisfies |1 - x*y0| < 1 on the whole interval,
+    so Newton's y <- y * (2 - x * y) converges).  This is the analytic
+    piece HHL's controlled rotation needs (amplitudes proportional to
+    1/lambda).
+    """
+
+    @build_circuit(share=share)
+    def lifted_reciprocal(x):
+        y = 2.5 - x
+        for _ in range(iterations):
+            y = y * (2.0 - x * y)
+        return y
+
+    return lifted_reciprocal

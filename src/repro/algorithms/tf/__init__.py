@@ -1,0 +1,56 @@
+"""Triangle Finding (paper Section 5): the flagship implementation.
+
+Module layout mirrors the paper's Section 5.2: ``definitions``, ``qwtfp``
+(the quantum walk), ``oracle``, ``main`` (command line interface),
+``simulate`` (oracle test suite), ``alternatives``.
+"""
+
+from .definitions import QWTFPSpec, edge_table_shape, qnode_shape
+from .oracle import (
+    classical_edge,
+    o2_ConvertNode,
+    o3_TestEdge,
+    o4_POW17,
+    o5_SUB,
+    o6_NEG,
+    o7_ADD_controlled,
+    o8_MUL,
+    orthodox_oracle,
+    simple_oracle,
+    square,
+)
+from .qwtfp import (
+    a1_QWTFP,
+    a2_ZERO,
+    a3_INITIALIZE,
+    a4_InitializeEdges,
+    a5_TestTriangleEdges,
+    a6_QWSH,
+    a7_DIFFUSE,
+    boxed_walk_step,
+)
+
+__all__ = [
+    "QWTFPSpec",
+    "qnode_shape",
+    "edge_table_shape",
+    "orthodox_oracle",
+    "simple_oracle",
+    "classical_edge",
+    "o2_ConvertNode",
+    "o3_TestEdge",
+    "o4_POW17",
+    "o5_SUB",
+    "o6_NEG",
+    "o7_ADD_controlled",
+    "o8_MUL",
+    "square",
+    "a1_QWTFP",
+    "a2_ZERO",
+    "a3_INITIALIZE",
+    "a4_InitializeEdges",
+    "a5_TestTriangleEdges",
+    "a6_QWSH",
+    "a7_DIFFUSE",
+    "boxed_walk_step",
+]

@@ -1,0 +1,62 @@
+"""Alternative implementations of TF subroutines (the paper's
+``Alternatives`` module: "alternatives and/or generalization of certain
+algorithms", Section 5.2).
+
+The main alternative is QFT-based arithmetic: a Draper adder in place of
+the ripple-carry adder inside the multiplier ladder.  The ablation
+benchmark compares the gate counts and widths of the two styles.
+"""
+
+from __future__ import annotations
+
+from ...arith.adder import copy_register
+from ...arith.qftarith import qft_add_in_place
+from ...arith.shift import rotate_left_tf
+from ...core.builder import Circ
+from ...core.wires import Qubit
+from ...datatypes.qdint import QDInt
+from ...datatypes.qinttf import QIntTF
+
+
+def qft_add_select(qc: Circ, ctrl: Qubit, x: QIntTF, y: QIntTF) -> QIntTF:
+    """QFT-adder analogue of ``add_tf_select`` (mod ``2**l``, not 2^l-1).
+
+    The Draper adder works modulo ``2**l``; the alternative multiplier is
+    therefore a plain QDInt-style multiplier.  Used for cost comparison,
+    not as a drop-in oracle replacement.
+    """
+    from ...core.builder import neg
+
+    def compute():
+        total = copy_register(qc, y)
+        qft_add_in_place(qc, x, total)
+        return total
+
+    def action(total):
+        result = y.qdata_rebuild(
+            [qc.qinit_qubit(False) for _ in range(len(y))]
+        )
+        for i in range(len(y)):
+            qc.qnot(result.bit(i), controls=[total.bit(i), ctrl])
+            qc.qnot(result.bit(i), controls=[y.bit(i), neg(ctrl)])
+        return result
+
+    return qc.with_computed(compute, action)
+
+
+def qft_mul(qc: Circ, x: QDInt, y: QDInt) -> QDInt:
+    """Shift-and-add multiplier built on the Draper adder (mod ``2**l``)."""
+    n = len(x)
+
+    def compute():
+        acc = y.qdata_rebuild([qc.qinit_qubit(False) for _ in range(n)])
+        cur = x
+        for i in range(n):
+            acc = qft_add_select(qc, y.bit(i), cur, acc)
+            cur = rotate_left_tf(qc, cur)
+        return acc
+
+    def action(acc):
+        return copy_register(qc, acc)
+
+    return qc.with_computed(compute, action)

@@ -1,0 +1,75 @@
+"""Global definitions for the Triangle Finding algorithm (paper Section 5).
+
+Mirrors the paper's ``Definitions`` module.  The algorithm is
+"parameterized on integers l, n and r specifying respectively the length l
+of the integers used by the oracle, the number 2^n of nodes of G and the
+size 2^r of Hamming graph tuples" (Section 5.1), and "the oracle is a
+changeable part" -- captured by :class:`QWTFPSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...core.qdata import qubit
+from ...core.wires import Qubit
+from ...datatypes.qdint import QDInt
+
+#: A graph node register: n qubits encoding a node index (a ``QNode``).
+QNode = list
+
+
+def qnode_shape(n: int) -> list:
+    """Shape specimen for an n-qubit node register."""
+    return [qubit] * n
+
+
+@dataclass
+class QWTFPSpec:
+    """The parameters and oracle of a Triangle Finding instance.
+
+    ``edge_oracle(qc, u, v, target)`` must XOR the edge predicate of nodes
+    u and v into *target*, leaving u and v unchanged.  This mirrors the
+    paper's ``QWTFP_spec`` tuple ``(n, r, edgeOracle, qram)``.
+    """
+
+    n: int  # the graph has 2^n nodes
+    r: int  # Hamming tuples have 2^r components
+    l: int  # oracle integer width (QIntTF size)
+    edge_oracle: Callable
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.n
+
+    @property
+    def tuple_size(self) -> int:
+        return 1 << self.r
+
+
+def pair_index(j: int, k: int) -> tuple[int, int]:
+    """Canonical (larger, smaller) ordering of an edge-table index.
+
+    The edge table ``ee`` stores one qubit per unordered pair {j, k} of
+    tuple slots, indexed ``ee[j][k]`` with j > k (the paper's
+    ``IntMap (IntMap Qubit)`` with rows 1..2^r-1 of increasing length).
+    """
+    if j == k:
+        raise ValueError("no edge bit for a slot with itself")
+    return (j, k) if j > k else (k, j)
+
+
+def make_edge_table(qc, tuple_size: int) -> dict[int, dict[int, Qubit]]:
+    """Allocate the triangular edge-bit table, all |0>."""
+    return {
+        j: {k: qc.qinit_qubit(False) for k in range(j)}
+        for j in range(1, tuple_size)
+    }
+
+
+def edge_table_shape(tuple_size: int) -> dict[int, dict[int, object]]:
+    """Shape specimen of the edge-bit table."""
+    return {
+        j: {k: qubit for k in range(j)} for j in range(1, tuple_size)
+    }

@@ -1,0 +1,129 @@
+"""Command-line interface for the Triangle Finding algorithm.
+
+Mirrors the paper's ``tf`` executable (Section 5.2): "Its command line
+interface allows the user, for example, to plug in different oracles, show
+different parts of the circuit, select a gate base, select different
+output formats, and select parameter values for l, n and r."
+
+Usage examples (paper Section 5.3.1 / 5.4)::
+
+    python -m repro.algorithms.tf.main -s pow17 -l 4 -n 3 -r 2
+    python -m repro.algorithms.tf.main -f gatecount -O -o orthodox -l 31 -n 15 -r 9
+    python -m repro.algorithms.tf.main -f gatecount -o orthodox -l 31 -n 15 -r 6
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ...core.builder import build
+from ...core.qdata import qubit
+from ...datatypes.qinttf import qinttf_shape
+from ...output.ascii import format_bcircuit
+from ...output.gatecount import format_gatecount
+from ...transform import BINARY, TOFFOLI, decompose_generic
+from .definitions import QWTFPSpec, qnode_shape
+from .oracle import o4_POW17, o8_MUL, orthodox_oracle, simple_oracle
+from .qwtfp import a1_QWTFP, a6_QWSH
+
+_SUBROUTINES = ("pow17", "mul", "qwsh", "oracle", "full")
+
+
+def build_part(part: str, l: int, n: int, r: int, oracle_name: str,
+               grover_iterations=None, walk_steps=None):
+    """Generate the circuit for one part of the algorithm."""
+    if part == "pow17":
+        return build(lambda qc, x: o4_POW17(qc, x), qinttf_shape(l))[0]
+    if part == "mul":
+        return build(
+            lambda qc, x, y: o8_MUL(qc, x, y),
+            qinttf_shape(l),
+            qinttf_shape(l),
+        )[0]
+    oracle = _oracle(oracle_name, l)
+    spec = QWTFPSpec(n=n, r=r, l=l, edge_oracle=oracle)
+    if part == "oracle":
+        def oracle_circuit(qc, u, v, t):
+            oracle(qc, u, v, t)
+            return u, v, t
+
+        return build(
+            oracle_circuit, qnode_shape(n), qnode_shape(n), qubit
+        )[0]
+    if part == "qwsh":
+        from .definitions import edge_table_shape
+        from ...datatypes.qdint import qdint_shape
+
+        def step(qc, tt, i, v, ee):
+            return a6_QWSH(qc, spec, tt, i, v, ee)
+
+        tt_shape = {j: qnode_shape(n) for j in range(spec.tuple_size)}
+        return build(
+            step, tt_shape, qdint_shape(r), qnode_shape(n),
+            edge_table_shape(spec.tuple_size),
+        )[0]
+    if part == "full":
+        return build(
+            lambda qc: a1_QWTFP(
+                qc, spec, grover_iterations=grover_iterations,
+                walk_steps=walk_steps,
+            )
+        )[0]
+    raise ValueError(f"unknown part {part!r}; choose from {_SUBROUTINES}")
+
+
+def _oracle(name: str, l: int):
+    if name == "orthodox":
+        return orthodox_oracle(l)
+    if name == "simple":
+        # A fixed small graph with a planted triangle {0, 1, 2}.
+        return simple_oracle({(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)})
+    raise ValueError(f"unknown oracle {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tf", description="Triangle Finding circuit generator"
+    )
+    parser.add_argument("-l", type=int, default=4,
+                        help="oracle integer bit width")
+    parser.add_argument("-n", type=int, default=3,
+                        help="the graph has 2^n nodes")
+    parser.add_argument("-r", type=int, default=2,
+                        help="Hamming tuples have 2^r entries")
+    parser.add_argument("-s", dest="part", default="full",
+                        choices=_SUBROUTINES,
+                        help="which part of the circuit to show")
+    parser.add_argument("-o", dest="oracle", default="orthodox",
+                        choices=("orthodox", "simple"))
+    parser.add_argument("-O", dest="oracle_only", action="store_true",
+                        help="shorthand for -s oracle")
+    parser.add_argument("-f", dest="fmt", default="ascii",
+                        choices=("ascii", "gatecount"),
+                        help="output format")
+    parser.add_argument("-g", dest="gate_base", default=None,
+                        choices=("toffoli", "binary"),
+                        help="decompose into a gate base first")
+    parser.add_argument("--grover-iterations", type=int, default=None)
+    parser.add_argument("--walk-steps", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    part = "oracle" if args.oracle_only else args.part
+    bc = build_part(
+        part, args.l, args.n, args.r, args.oracle,
+        grover_iterations=args.grover_iterations,
+        walk_steps=args.walk_steps,
+    )
+    if args.gate_base == "toffoli":
+        bc = decompose_generic(TOFFOLI, bc)
+    elif args.gate_base == "binary":
+        bc = decompose_generic(BINARY, bc)
+    if args.fmt == "gatecount":
+        print(format_gatecount(bc))
+    else:
+        print(format_bcircuit(bc))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,265 @@
+"""The Triangle Finding oracle (paper Section 5.3.1).
+
+"In our implementation, the oracle is a changeable part, but we have
+implemented a particular pre-defined oracle ... This oracle injects G into
+the space {0, 1, ..., 2^l - 1} of l-bit integers, and each oracle call
+requires the extensive use of modular arithmetic."
+
+The *orthodox* oracle follows that description: a node index u is injected
+as the ``QIntTF`` value u+1, raised to the 17th power modulo ``2**l - 1``
+(``o4_POW17``, the paper's worked example), and the edge predicate is the
+parity of the bitwise AND of the two powered values -- symmetric and
+non-factorizing, so the resulting pseudo-random graph exercises the walk.
+
+The eight oracle subroutines (mirroring the paper's count):
+
+=====================  ====================================================
+``o1_ORACLE``          edge test: compute powers, combine, uncompute
+``o2_ConvertNode``     inject an n-qubit node into an l-qubit QIntTF (+1)
+``o3_TestEdge``        parity-of-AND combiner into the target qubit
+``o4_POW17``           x -> x^17 via four squarings and a multiply (boxed)
+``o5_SUB``             x - y mod 2^l-1 (complement and add)
+``o6_NEG``             in-place negation mod 2^l-1 (bitwise complement)
+``o7_ADD_controlled``  controlled out-of-place addition (boxed)
+``o8_MUL``             multiplication mod 2^l-1 (boxed ladder, Figure 3)
+=====================  ====================================================
+
+A lookup-table ``simple_oracle`` over an explicit edge set is also
+provided (Quipper's distribution likewise ships several oracles) -- it is
+what the end-to-end walk tests use, with a planted triangle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...arith.adder import add_const_in_place, copy_register, xor_register
+from ...arith.modular import add_tf, add_tf_select
+from ...arith.shift import rotate_left_tf
+from ...core.builder import Circ, neg
+from ...core.wires import Qubit
+from ...datatypes.qinttf import QIntTF
+
+
+# ---------------------------------------------------------------------------
+# o7 / o8: controlled addition and multiplication mod 2^l - 1
+# ---------------------------------------------------------------------------
+
+
+def o7_ADD_controlled(qc: Circ, ctrl: Qubit, x: QIntTF,
+                      y: QIntTF) -> tuple[Qubit, QIntTF, QIntTF, QIntTF]:
+    """Boxed controlled addition: s = y + (ctrl ? x : 0) mod ``2**l - 1``.
+
+    Returns ``(ctrl, x, y, s)`` with inputs unchanged and s fresh.
+    """
+
+    def body(qc2, ctrl2, x2, y2):
+        qc2.comment_with_label(
+            "ENTER: o7_ADD_controlled", (ctrl2, x2, y2), ("ctrl", "x", "y")
+        )
+        total = add_tf_select(qc2, ctrl2, x2, y2)
+        qc2.comment_with_label(
+            "EXIT: o7_ADD_controlled",
+            (ctrl2, x2, y2, total),
+            ("ctrl", "x", "y", "s"),
+        )
+        return ctrl2, x2, y2, total
+
+    return qc.box("o7", body, ctrl, x, y)
+
+
+def o8_MUL(qc: Circ, x: QIntTF, y: QIntTF) -> tuple[QIntTF, QIntTF, QIntTF]:
+    """Boxed multiplication mod ``2**l - 1`` (the paper's Figure 3).
+
+    A ladder of controlled additions interleaved with the gate-free
+    ``double_TF`` rotations, mirrored to uncompute the partial sums after
+    the product is copied out.  Returns ``(x, y, x*y)``.
+    """
+
+    def body(qc2, x2, y2):
+        qc2.comment_with_label("ENTER: o8_MUL", (x2, y2), ("x", "y"))
+        n = len(x2)
+
+        def compute():
+            acc = QIntTF([qc2.qinit_qubit(False) for _ in range(n)])
+            cur = x2
+            for i in range(n):
+                _, _, _, acc = o7_ADD_controlled(qc2, y2.bit(i), cur, acc)
+                cur = rotate_left_tf(qc2, cur, comment=True)
+            return acc
+
+        def action(acc):
+            return copy_register(qc2, acc)
+
+        product = qc2.with_computed(compute, action)
+        qc2.comment_with_label(
+            "EXIT: o8_MUL", (x2, y2, product), ("x", "y", "p")
+        )
+        return x2, y2, product
+
+    return qc.box("o8", body, x, y)
+
+
+def square(qc: Circ, x: QIntTF) -> tuple[QIntTF, QIntTF]:
+    """x -> (x, x^2) mod ``2**l - 1``, via a scratch copy and ``o8_MUL``."""
+
+    def compute():
+        return copy_register(qc, x)
+
+    def action(x_copy):
+        _, _, product = o8_MUL(qc, x, x_copy)
+        return product
+
+    return x, qc.with_computed(compute, action)
+
+
+# ---------------------------------------------------------------------------
+# o4: the seventeenth power (the paper's worked example, Figure 2)
+# ---------------------------------------------------------------------------
+
+
+def o4_POW17(qc: Circ, x: QIntTF) -> tuple[QIntTF, QIntTF]:
+    """Boxed x -> (x, x^17) mod ``2**l - 1`` (paper Section 5.3.1).
+
+    "It proceeds by first raising its input x to the 16th power by
+    repeated use of a squaring subroutine, and then multiplies x and x16
+    to get the desired result."  The Python code below is a line-for-line
+    translation of the paper's Quipper code for ``o4_POW17``.
+    """
+
+    def body(qc2, x2):
+        qc2.comment_with_label("ENTER: o4_POW17", x2, "x")
+
+        def compute():
+            _, x_2 = square(qc2, x2)
+            _, x_4 = square(qc2, x_2)
+            _, x_8 = square(qc2, x_4)
+            _, x_16 = square(qc2, x_8)
+            return x_16
+
+        def action(x_16):
+            _, _, x_17 = o8_MUL(qc2, x2, x_16)
+            return x_17
+
+        x17 = qc2.with_computed(compute, action)
+        qc2.comment_with_label("EXIT: o4_POW17", (x2, x17), ("x", "x17"))
+        return x2, x17
+
+    return qc.box("o4", body, x)
+
+
+# ---------------------------------------------------------------------------
+# o5 / o6: subtraction and negation mod 2^l - 1
+# ---------------------------------------------------------------------------
+
+
+def o6_NEG(qc: Circ, x: QIntTF) -> QIntTF:
+    """In-place negation mod ``2**l - 1``: the bitwise complement.
+
+    ``x + ~x`` is the all-ones pattern, which represents zero, so the
+    complement *is* the negation -- one of the charms of QIntTF.
+    """
+    for i in range(len(x)):
+        qc.qnot(x.bit(i))
+    return x
+
+
+def o5_SUB(qc: Circ, x: QIntTF, y: QIntTF) -> tuple[QIntTF, QIntTF, QIntTF]:
+    """Out-of-place subtraction: returns (x, y, x - y) mod ``2**l - 1``."""
+    o6_NEG(qc, y)
+    diff = add_tf(qc, x, y)
+    o6_NEG(qc, y)
+    return x, y, diff
+
+
+# ---------------------------------------------------------------------------
+# o2 / o3: node injection and the edge predicate combiner
+# ---------------------------------------------------------------------------
+
+
+def o2_ConvertNode(qc: Circ, node: list[Qubit], l: int) -> QIntTF:
+    """Inject an n-qubit node register into a fresh l-qubit QIntTF.
+
+    The value is node + 1 (zero is a fixed point of x^17, so the injection
+    avoids it).  Requires l > n.
+    """
+    fresh = QIntTF([qc.qinit_qubit(False) for _ in range(l)])
+    n = len(node)
+    for i in range(n):
+        # node is a big-endian qubit list; bit weight 2^(n-1-i).
+        qc.qnot(fresh.bit(n - 1 - i), controls=node[i])
+    add_const_in_place(qc, 1, fresh)
+    return fresh
+
+
+def o3_TestEdge(qc: Circ, a: QIntTF, b: QIntTF, target: Qubit) -> None:
+    """target ^= parity(a AND b): symmetric, non-factorizing edge test."""
+    for i in range(len(a)):
+        qc.qnot(target, controls=(a.bit(i), b.bit(i)))
+
+
+# ---------------------------------------------------------------------------
+# o1: the complete edge oracle
+# ---------------------------------------------------------------------------
+
+
+def orthodox_oracle(l: int) -> Callable:
+    """The arithmetic edge oracle at integer width *l*.
+
+    Returns ``edge_oracle(qc, u, v, target)`` XOR-ing into *target* the
+    predicate EDGE(u, v) = parity(POW17(u+1) AND POW17(v+1)) mod 2^l-1.
+    All intermediate registers are computed and uncomputed around the
+    combiner (``o1_ORACLE``'s compute/action/uncompute structure).
+    """
+
+    def edge_oracle(qc: Circ, u: list[Qubit], v: list[Qubit],
+                    target: Qubit) -> None:
+        def compute():
+            x = o2_ConvertNode(qc, u, l)
+            y = o2_ConvertNode(qc, v, l)
+            _, x17 = o4_POW17(qc, x)
+            _, y17 = o4_POW17(qc, y)
+            return x17, y17
+
+        def action(powers):
+            x17, y17 = powers
+            o3_TestEdge(qc, x17, y17, target)
+            return None
+
+        qc.with_computed(compute, action)
+
+    return edge_oracle
+
+
+def classical_edge(u: int, v: int, l: int) -> bool:
+    """The classical value of the orthodox edge predicate (for testing)."""
+    modulus = (1 << l) - 1
+    a = pow((u + 1) % modulus, 17, modulus)
+    b = pow((v + 1) % modulus, 17, modulus)
+    return bin(a & b).count("1") % 2 == 1
+
+
+def simple_oracle(edges: set[tuple[int, int]]) -> Callable:
+    """A lookup-table oracle over an explicit undirected edge set.
+
+    For each edge (a, b), a pair of multi-controlled NOTs (with the
+    address patterns of a and b on u and v, in both orientations) toggles
+    the target.  This is the oracle the end-to-end walk tests use, with a
+    planted triangle.
+    """
+
+    def edge_oracle(qc: Circ, u: list[Qubit], v: list[Qubit],
+                    target: Qubit) -> None:
+        n = len(u)
+        for a, b in sorted(edges):
+            for first, second in ((a, b), (b, a)):
+                controls = []
+                for i in range(n):  # big-endian registers
+                    bit = (first >> (n - 1 - i)) & 1
+                    controls.append(u[i] if bit else neg(u[i]))
+                for i in range(n):
+                    bit = (second >> (n - 1 - i)) & 1
+                    controls.append(v[i] if bit else neg(v[i]))
+                qc.qnot(target, controls=controls)
+
+    return edge_oracle

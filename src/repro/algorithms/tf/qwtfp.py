@@ -1,0 +1,300 @@
+"""The Triangle Finding quantum walk (paper Sections 5.1-5.3).
+
+"The Triangle Finding algorithm works by performing a Grover-based quantum
+walk on a larger graph H, called the Hamming graph associated to G ... The
+nodes of the Hamming graph are tuples of nodes of G, such that two such
+tuples are adjacent if they differ in exactly one coordinate."
+
+Register conventions (matching the paper's ``a6_QWSH`` code):
+
+* ``tt`` -- the Hamming tuple: a dict of 2^r node registers (n qubits each)
+* ``i``  -- an r-bit index register selecting a tuple slot
+* ``v``  -- a candidate node register (n qubits)
+* ``ee`` -- the triangular edge-bit table: ``ee[j][k]`` for j > k holds
+  EDGE(tt[j], tt[k])
+
+The walk step ``a6_QWSH`` follows the paper's structure exactly: diffuse
+(i, v); then a ``with_computed`` block whose *compute* phase fetches
+``tt[i]`` into a scratch node ``ttd``, swaps the i-th edge row into a
+scratch row ``eed``, updates, and stores -- and whose *action* swaps
+``ttd`` with ``v``.  The mirrored uncomputation then rebuilds the edge
+table for the *new* tuple: the mirror does the real work, which is why
+"the use of operators like with_computed_fun helps to avoid unnecessary
+and error-prone code repetitions" (Section 5.3.1).
+"""
+
+from __future__ import annotations
+
+from ...core.builder import Circ
+from ...core.wires import Qubit
+from ...datatypes.qdint import QDInt
+from ...lib.amplitude import diffuse, prepare_uniform
+from ...lib.qram import _address_controls, qram_fetch, qram_store, qram_swap
+from .definitions import QWTFPSpec, pair_index
+
+# ---------------------------------------------------------------------------
+# Register setup: a2 / a3 / a4
+# ---------------------------------------------------------------------------
+
+
+def a2_ZERO(qc: Circ, spec: QWTFPSpec):
+    """Allocate all walk registers in |0..0>."""
+    tt = {
+        j: [qc.qinit_qubit(False) for _ in range(spec.n)]
+        for j in range(spec.tuple_size)
+    }
+    i = QDInt([qc.qinit_qubit(False) for _ in range(spec.r)])
+    v = [qc.qinit_qubit(False) for _ in range(spec.n)]
+    ee = {
+        j: {k: qc.qinit_qubit(False) for k in range(j)}
+        for j in range(1, spec.tuple_size)
+    }
+    return tt, i, v, ee
+
+
+def a3_INITIALIZE(qc: Circ, tt, i, v) -> None:
+    """Uniform superposition over tuples, index and candidate node."""
+    prepare_uniform(qc, tt)
+    prepare_uniform(qc, i)
+    prepare_uniform(qc, v)
+
+
+def a4_InitializeEdges(qc: Circ, spec: QWTFPSpec, tt, ee) -> None:
+    """Populate the edge table: ee[j][k] ^= EDGE(tt[j], tt[k])."""
+    for j in range(1, spec.tuple_size):
+        for k in range(j):
+            _xor_edge(qc, spec, tt[j], tt[k], ee[j][k])
+
+
+def _xor_edge(qc: Circ, spec: QWTFPSpec, u, v, target: Qubit,
+              controls=None) -> None:
+    """target ^= EDGE(u, v), as a boxed oracle invocation ("o1").
+
+    The oracle result is computed into a scoped ancilla, xored into the
+    target, and uncomputed.  Boxing the whole invocation keeps the stored
+    circuit size per call site O(1) -- essential for the full-algorithm
+    gate counts, where the walk makes millions of oracle calls.  Extra
+    *controls* land on the box call and distribute over the body (valid
+    because the body is a clean unitary block).
+    """
+
+    def body(qc2, u2, v2, target2):
+        def compute():
+            result = qc2.qinit_qubit(False)
+            spec.edge_oracle(qc2, u2, v2, result)
+            return result
+
+        def action(result):
+            qc2.qnot(target2, controls=result)
+            return None
+
+        qc2.with_computed(compute, action)
+        return u2, v2, target2
+
+    name = f"o1[l={spec.l}]"
+    if controls is None:
+        qc.box(name, body, u, v, target)
+    else:
+        with qc.controls(controls):
+            qc.box(name, body, u, v, target)
+
+
+def _merge(wire, controls):
+    if controls is None:
+        return [wire]
+    if isinstance(controls, (list, tuple)):
+        return [wire, *controls]
+    return [wire, controls]
+
+
+# ---------------------------------------------------------------------------
+# a5: triangle detection (the Grover predicate)
+# ---------------------------------------------------------------------------
+
+
+def a5_TestTriangleEdges(qc: Circ, spec: QWTFPSpec, ee,
+                         w: Qubit) -> None:
+    """w ^= (parity of the number of triangles among the tuple's slots).
+
+    Under the unique-triangle promise at most one triple is satisfied, so
+    the parity equals existence.  One triply-controlled NOT per slot
+    triple (paper's a5).
+    """
+    size = spec.tuple_size
+    for j in range(2, size):
+        for k in range(1, j):
+            for m in range(k):
+                qc.qnot(
+                    w,
+                    controls=(ee[j][k], ee[j][m], ee[k][m]),
+                )
+
+
+# ---------------------------------------------------------------------------
+# a7 / a8 / a12 / a13 / a14: the walk-step components
+# ---------------------------------------------------------------------------
+
+
+def a7_DIFFUSE(qc: Circ, i: QDInt, v) -> tuple[QDInt, list]:
+    """Grover diffusion of the (index, candidate-node) pair (boxed)."""
+
+    def body(qc2, i2, v2):
+        qc2.comment_with_label("ENTER: a7_DIFFUSE", (i2, v2), ("i", "v"))
+        diffuse(qc2, (i2, v2))
+        qc2.comment_with_label("EXIT: a7_DIFFUSE", (i2, v2), ("i", "v"))
+        return i2, v2
+
+    return qc.box("a7", body, i, v)
+
+
+def a8_FetchT(qc: Circ, i: QDInt, tt, ttd) -> None:
+    """ttd ^= tt[i] (quantum-indexed fetch of the addressed tuple slot)."""
+    qram_fetch(qc, i, tt, ttd)
+
+
+def a9_StoreT(qc: Circ, i: QDInt, tt, ttd) -> None:
+    """tt[i] ^= ttd (quantum-indexed store)."""
+    qram_store(qc, i, tt, ttd)
+
+
+def a12_FetchStoreE(qc: Circ, spec: QWTFPSpec, i: QDInt, ee, eed) -> None:
+    """Swap the edge row of slot i with the scratch row eed.
+
+    For every slot j and every other slot k, the bit ee[{j,k}] is swapped
+    with eed[k] under the control pattern (i == j).
+    """
+    for j in range(spec.tuple_size):
+        controls = _address_controls(i, j)
+        for k in range(spec.tuple_size):
+            if k == j:
+                continue
+            a, b = pair_index(j, k)
+            row_bit = ee[a][b]
+            qc.qnot(row_bit, controls=_merge(eed[k], controls))
+            qc.qnot(eed[k], controls=_merge(row_bit, controls))
+            qc.qnot(row_bit, controls=_merge(eed[k], controls))
+
+
+def a13_UPDATE(qc: Circ, spec: QWTFPSpec, tt, i: QDInt, ttd, eed) -> None:
+    """eed[k] ^= EDGE(tt[k], ttd) for every slot k except the addressed one.
+
+    The "except slot i" condition is not a product of single-qubit
+    controls, so it is realized as an unconditional toggle followed by a
+    counter-toggle controlled on (i == k) -- the two cancel exactly when
+    k is the addressed slot.
+    """
+    for k in range(spec.tuple_size):
+        _xor_edge(qc, spec, tt[k], ttd, eed[k])
+        _xor_edge(qc, spec, tt[k], ttd, eed[k],
+                  controls=_address_controls(i, k))
+
+
+def a14_SWAP(qc: Circ, ttd, v) -> None:
+    """Swap the fetched tuple slot with the candidate node (paper's a14)."""
+    qc.comment_with_label("ENTER: a14_SWAP", (ttd, v), ("r", "q"))
+    qc.swap(ttd, v)
+    qc.comment_with_label("EXIT: a14_SWAP", (ttd, v), ("r", "q"))
+
+
+# ---------------------------------------------------------------------------
+# a6: the walk step (the paper's code sample)
+# ---------------------------------------------------------------------------
+
+
+def a6_QWSH(qc: Circ, spec: QWTFPSpec, tt, i: QDInt, v, ee,
+            diffusion: bool = True):
+    """One walk step on the Hamming graph (paper Section 5.3.2).
+
+    Chooses a new (slot, node) pair by diffusion, then swaps the addressed
+    tuple component with the candidate node and rebuilds the affected edge
+    bits.  All scratch space (``ttd``, ``eed``) is scoped to the step.
+    ``diffusion=False`` replaces the diffusion with nothing, which makes
+    the step classically simulable (used by the tests).
+    """
+    qc.comment_with_label(
+        "ENTER: a6_QWSH", (tt, i, v, ee), ("tt", "i", "v", "ee")
+    )
+    with qc.ancilla_list(spec.n) as ttd:
+        with qc.ancilla_list(spec.tuple_size) as eed:
+            if diffusion:
+                a7_DIFFUSE(qc, i, v)
+
+            def compute():
+                a8_FetchT(qc, i, tt, ttd)
+                a12_FetchStoreE(qc, spec, i, ee, eed)
+                a13_UPDATE(qc, spec, tt, i, ttd, eed)
+                a9_StoreT(qc, i, tt, ttd)
+                return None
+
+            def action(_):
+                a14_SWAP(qc, ttd, v)
+                return None
+
+            qc.with_computed(compute, action)
+    qc.comment_with_label(
+        "EXIT: a6_QWSH", (tt, i, v, ee), ("tt", "i", "v", "ee")
+    )
+    return tt, i, v, ee
+
+
+def boxed_walk_step(qc: Circ, spec: QWTFPSpec, tt, i, v, ee,
+                    repetitions: int = 1):
+    """The walk step as a repeated boxed subroutine ("a6").
+
+    With ``repetitions=k`` the box is iterated in place, keeping the
+    stored circuit size independent of k -- the mechanism behind the
+    paper's 30-trillion-gate counts (Section 5.4).
+    """
+
+    def body(qc2, tt2, i2, v2, ee2):
+        return a6_QWSH(qc2, spec, tt2, i2, v2, ee2)
+
+    return qc.box("a6", body, tt, i, v, ee, repetitions=repetitions)
+
+
+# ---------------------------------------------------------------------------
+# a1: the top-level algorithm
+# ---------------------------------------------------------------------------
+
+
+def a1_QWTFP(qc: Circ, spec: QWTFPSpec, grover_iterations: int | None = None,
+             walk_steps: int | None = None):
+    """The complete Triangle Finding circuit.
+
+    Initializes the Hamming-tuple registers in uniform superposition,
+    computes the initial edge table, then alternates triangle-phase-flips
+    with blocks of boxed walk steps (Grover-over-walk), and measures.
+    Returns the measured (tuple, index, node) classical registers.
+    """
+    size = spec.tuple_size
+    if grover_iterations is None:
+        grover_iterations = max(1, int(round((spec.num_nodes) ** 0.5)))
+    if walk_steps is None:
+        walk_steps = size
+
+    tt, i, v, ee = a2_ZERO(qc, spec)
+    a3_INITIALIZE(qc, tt, i, v)
+    a4_InitializeEdges(qc, spec, tt, ee)
+
+    def phase_flip_body(qc2, ee2):
+        # Phase flip on tuples containing the triangle (boxed: the triple
+        # loop is cubic in the tuple size and is invoked every iteration).
+        def compute():
+            w = qc2.qinit_qubit(False)
+            a5_TestTriangleEdges(qc2, spec, ee2, w)
+            return w
+
+        qc2.with_computed(compute, lambda w: qc2.gate_Z(w))
+        return ee2
+
+    for _ in range(grover_iterations):
+        qc.box("a5", phase_flip_body, ee)
+        tt, i, v, ee = boxed_walk_step(
+            qc, spec, tt, i, v, ee, repetitions=walk_steps
+        )
+
+    result_tt = {j: qc.measure(tt[j]) for j in sorted(tt)}
+    result_i = qc.measure(i)
+    result_v = qc.measure(v)
+    qc.qdiscard(ee)
+    return result_tt, result_i, result_v

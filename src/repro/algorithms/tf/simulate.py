@@ -1,0 +1,132 @@
+"""A test suite for the Triangle Finding oracle (the paper's ``Simulate``).
+
+"Simulate: a test suite for the oracle" (Section 5.2).  Every check runs
+the generated circuits through the efficient classical simulator and
+compares against ordinary Python arithmetic -- this is exactly how Quipper
+programmers validate oracles before estimating resources at full size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...datatypes.qinttf import IntTF
+from ...sim.classical import run_classical_generic
+from .oracle import (
+    classical_edge,
+    o2_ConvertNode,
+    o4_POW17,
+    o5_SUB,
+    o8_MUL,
+    orthodox_oracle,
+    square,
+)
+
+
+def check_pow17(l: int, trials: int = 10, seed: int = 0) -> bool:
+    """o4_POW17 computes x^17 mod 2^l - 1 on random operands."""
+    rng = random.Random(seed)
+    modulus = (1 << l) - 1
+
+    def circuit(qc, x):
+        return o4_POW17(qc, x)
+
+    for _ in range(trials):
+        a = rng.randrange(modulus)
+        x, x17 = run_classical_generic(circuit, IntTF(a, l))
+        if int(x) != a or int(x17) != pow(a, 17, modulus):
+            return False
+    return True
+
+
+def check_mul(l: int, trials: int = 20, seed: int = 0) -> bool:
+    """o8_MUL multiplies mod 2^l - 1 on random operands."""
+    rng = random.Random(seed)
+    modulus = (1 << l) - 1
+
+    def circuit(qc, x, y):
+        return o8_MUL(qc, x, y)
+
+    for _ in range(trials):
+        a, b = rng.randrange(modulus), rng.randrange(modulus)
+        x, y, p = run_classical_generic(circuit, IntTF(a, l), IntTF(b, l))
+        if int(x) != a or int(y) != b or int(p) != (a * b) % modulus:
+            return False
+    return True
+
+
+def check_square(l: int, trials: int = 10, seed: int = 0) -> bool:
+    rng = random.Random(seed)
+    modulus = (1 << l) - 1
+
+    def circuit(qc, x):
+        return square(qc, x)
+
+    for _ in range(trials):
+        a = rng.randrange(modulus)
+        x, sq = run_classical_generic(circuit, IntTF(a, l))
+        if int(sq) != (a * a) % modulus:
+            return False
+    return True
+
+
+def check_sub(l: int, trials: int = 10, seed: int = 0) -> bool:
+    rng = random.Random(seed)
+    modulus = (1 << l) - 1
+
+    def circuit(qc, x, y):
+        return o5_SUB(qc, x, y)
+
+    for _ in range(trials):
+        a, b = rng.randrange(modulus), rng.randrange(modulus)
+        x, y, d = run_classical_generic(circuit, IntTF(a, l), IntTF(b, l))
+        if int(d) != (a - b) % modulus or int(x) != a or int(y) != b:
+            return False
+    return True
+
+
+def check_convert(l: int, n: int) -> bool:
+    def circuit(qc, node):
+        return node, o2_ConvertNode(qc, node, l)
+
+    for value in range(1 << n):
+        bits = [bool((value >> (n - 1 - i)) & 1) for i in range(n)]
+        node, converted = run_classical_generic(circuit, bits)
+        if int(converted) != (value + 1) % ((1 << l) - 1):
+            return False
+    return True
+
+
+def check_edge_oracle(l: int, n: int, trials: int = 15, seed: int = 0) -> bool:
+    """The full orthodox oracle agrees with its classical counterpart."""
+    rng = random.Random(seed)
+    oracle = orthodox_oracle(l)
+
+    def circuit(qc, u, v, t):
+        oracle(qc, u, v, t)
+        return u, v, t
+
+    for _ in range(trials):
+        a = rng.randrange(1 << n)
+        b = rng.randrange(1 << n)
+        t0 = rng.random() < 0.5
+        a_bits = [bool((a >> (n - 1 - i)) & 1) for i in range(n)]
+        b_bits = [bool((b >> (n - 1 - i)) & 1) for i in range(n)]
+        u, v, t = run_classical_generic(circuit, a_bits, b_bits, t0)
+        if t != (t0 ^ classical_edge(a, b, l)):
+            return False
+        if u != a_bits or v != b_bits:
+            return False
+    return True
+
+
+def run_all(l: int = 4, n: int = 3) -> dict[str, bool]:
+    """Run the whole oracle test suite; returns pass/fail per check."""
+    return {
+        "pow17": check_pow17(l),
+        "mul": check_mul(l),
+        "square": check_square(l),
+        "sub": check_sub(l),
+        "convert": check_convert(l, n),
+        "edge_oracle": check_edge_oracle(l, n),
+    }

@@ -1,0 +1,27 @@
+"""Unique Shortest Vector (Regev): dynamic-lifting coset sampling."""
+
+from .lattice import (
+    gram_matrix,
+    parity_kernel_matrix,
+    planted_instance,
+    shortest_vector,
+    solve_parity,
+)
+from .main import solve_usv
+from .usv import (
+    coset_sampling_round,
+    find_short_vector_parity,
+    recover_short_vector,
+)
+
+__all__ = [
+    "planted_instance",
+    "shortest_vector",
+    "gram_matrix",
+    "parity_kernel_matrix",
+    "solve_parity",
+    "coset_sampling_round",
+    "find_short_vector_parity",
+    "recover_short_vector",
+    "solve_usv",
+]

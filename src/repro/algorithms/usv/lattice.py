@@ -1,0 +1,146 @@
+"""Lattice substrate for the Unique Shortest Vector algorithm.
+
+Regev's algorithm [17] chooses "the shortest vector among a given set":
+given a lattice basis with a planted uniquely-shortest vector, find it.
+This module provides the classical lattice machinery: planted-instance
+generation, Gram matrices, exhaustive shortest-vector search (the
+classical baseline the tests compare against), and the coefficient-parity
+encoding the quantum rounds work over.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+
+
+def planted_instance(dimension: int, seed: int,
+                     spread: int = 6) -> tuple[np.ndarray, np.ndarray]:
+    """A lattice basis with a planted uniquely-short vector.
+
+    Returns (basis, coefficients): ``basis`` has the planted short vector
+    reachable at the (small, odd) integer combination ``coefficients``.
+    The remaining basis vectors are made long and skew so the planted
+    vector is the unique shortest (up to sign).
+    """
+    rng = random.Random(seed)
+    while True:
+        coeffs = np.array(
+            [rng.choice((-1, 1)) for _ in range(dimension)], dtype=int
+        )
+        basis = np.array(
+            [
+                [rng.randrange(-spread, spread + 1) for _ in range(dimension)]
+                for _ in range(dimension)
+            ],
+            dtype=int,
+        )
+        basis = basis + np.eye(dimension, dtype=int) * (spread * 3)
+        short = np.array(
+            [rng.choice((-1, 0, 1)) for _ in range(dimension)], dtype=int
+        )
+        if not short.any():
+            continue
+        # Force coeffs . basis = short by adjusting the first basis row.
+        residual = short - coeffs @ basis
+        if coeffs[0] == 0:
+            continue
+        basis[0] += residual * coeffs[0]  # coeffs[0] is +-1
+        if abs(np.linalg.det(basis.astype(float))) < 0.5:
+            continue
+        vec, _ = shortest_vector(basis, bound=2)
+        if vec is not None and np.array_equal(np.abs(vec), np.abs(short)):
+            return basis, coeffs % 2
+
+
+def shortest_vector(basis: np.ndarray,
+                    bound: int = 3) -> tuple[np.ndarray | None, float]:
+    """Exhaustive shortest nonzero vector with coefficients in [-bound, bound].
+
+    The classical baseline: exponential in the dimension, which is the
+    point of the quantum algorithm.
+    """
+    dimension = basis.shape[0]
+    best = None
+    best_norm = float("inf")
+    for coeffs in itertools.product(
+        range(-bound, bound + 1), repeat=dimension
+    ):
+        if not any(coeffs):
+            continue
+        vector = np.asarray(coeffs) @ basis
+        norm = float(np.dot(vector, vector))
+        if norm < best_norm:
+            best_norm = norm
+            best = vector
+    return best, best_norm ** 0.5
+
+
+def gram_matrix(basis: np.ndarray) -> np.ndarray:
+    """The Gram matrix B B^T (used by reduction heuristics)."""
+    return basis @ basis.T
+
+
+def parity_kernel_matrix(parity: np.ndarray,
+                         seed: int = 0) -> np.ndarray:
+    """A GF(2) matrix whose kernel is exactly {0, parity}.
+
+    The quantum rounds sample vectors orthogonal (mod 2) to the planted
+    coefficient parity; this matrix defines the two-to-one labelling
+    function those rounds evaluate.  (n-1) independent rows orthogonal to
+    ``parity`` are chosen.
+    """
+    rng = random.Random(seed)
+    n = len(parity)
+    rows: list[np.ndarray] = []
+    while len(rows) < n - 1:
+        candidate = np.array([rng.randrange(2) for _ in range(n)], dtype=int)
+        if int(candidate @ parity) % 2 != 0:
+            continue
+        trial = np.array(rows + [candidate], dtype=int) % 2
+        if _gf2_rank(trial) == len(rows) + 1:
+            rows.append(candidate)
+    return np.array(rows, dtype=int) % 2
+
+
+def _gf2_rank(matrix: np.ndarray) -> int:
+    m = matrix.copy() % 2
+    rank = 0
+    cols = m.shape[1]
+    for col in range(cols):
+        pivot = None
+        for row in range(rank, m.shape[0]):
+            if m[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        m[[rank, pivot]] = m[[pivot, rank]]
+        for row in range(m.shape[0]):
+            if row != rank and m[row, col]:
+                m[row] = (m[row] + m[rank]) % 2
+        rank += 1
+    return rank
+
+
+def solve_parity(samples: list[np.ndarray], n: int) -> np.ndarray | None:
+    """Recover the nonzero vector orthogonal to all samples (mod 2).
+
+    Gaussian elimination over GF(2); returns None until the samples span
+    an (n-1)-dimensional space.
+    """
+    if not samples:
+        return None
+    matrix = np.array(samples, dtype=int) % 2
+    if _gf2_rank(matrix) < n - 1:
+        return None
+    # Find the kernel vector by trying all nonzero parities (n is small).
+    for value in range(1, 1 << n):
+        candidate = np.array(
+            [(value >> i) & 1 for i in range(n)], dtype=int
+        )
+        if not ((matrix @ candidate) % 2).any():
+            return candidate
+    return None

@@ -1,0 +1,111 @@
+"""The Unique Shortest Vector algorithm's quantum rounds.
+
+Paper Section 3.5 places USV in its third class of algorithms: those
+requiring "a more subtle interleaving of quantum and classical
+operations, whereby only a subset of the qubits are measured, and the
+quantum memory cannot be reset between each quantum circuit invocation.
+... the circuit is constructed on-the-fly, where later pieces depend on
+the value of former intermediate measurements."  That is *dynamic
+lifting* (Section 4.3.1), and this module exercises it for real.
+
+Per the substitution policy (DESIGN.md), Regev's dihedral-coset sampling
+over Z_N is realized as hidden-shift coset sampling over GF(2)^n: the
+planted short vector's coefficient parity s defines a two-to-one
+labelling; each round prepares a superposition of coefficient vectors,
+computes the labelling, measures *only the label register* (a partial
+measurement), dynamically lifts the observed label to decide classically
+whether the round is usable, transforms the surviving coset state
+(|c> + |c+s>)/sqrt(2), and measures a vector orthogonal to s.  Classical
+linear algebra across rounds recovers s, and with it the short vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.builder import Circ
+from ...sim.qram_model import run_with_lifting
+from .lattice import parity_kernel_matrix, solve_parity
+
+
+def coset_sampling_round(qc: Circ, kernel_rows: np.ndarray):
+    """One quantum round; returns (sample_bits, label_bools).
+
+    The label register is measured mid-circuit and *dynamically lifted*;
+    the coefficient register is left unmeasured (quantum memory persists)
+    and is transformed and measured only after the classical controller
+    has inspected the label -- the paper's on-the-fly construction.
+    """
+    rows, n = kernel_rows.shape
+    coeff = [qc.qinit_qubit(False) for _ in range(n)]
+    for q in coeff:
+        qc.hadamard(q)
+    # The two-to-one labelling: label_i = <kernel_row_i, c> (mod 2).
+    label = []
+    for i in range(rows):
+        target = qc.qinit_qubit(False)
+        for j in range(n):
+            if kernel_rows[i, j]:
+                qc.qnot(target, controls=coeff[j])
+        label.append(target)
+    # Partial measurement + dynamic lifting: only the label collapses.
+    label_bits = qc.measure(label)
+    label_values = qc.dynamic_lift(label_bits)
+    # The classical controller now owns the label and generates the rest
+    # of the circuit accordingly (here: the coset transform).
+    for q in coeff:
+        qc.hadamard(q)
+    sample_bits = qc.measure(coeff)
+    return sample_bits, label_values
+
+
+def find_short_vector_parity(kernel_rows: np.ndarray, max_rounds: int = 64,
+                             seed: int = 0) -> tuple[np.ndarray, int]:
+    """Run rounds under the QRAM model until the parity is pinned down.
+
+    Returns (parity vector, rounds used).  Each round's output vector is
+    orthogonal to the hidden parity mod 2; rounds accumulate until the
+    GF(2) system has corank 1.
+    """
+    rows, n = kernel_rows.shape
+    samples: list[np.ndarray] = []
+    for round_index in range(max_rounds):
+        outcome = run_with_lifting(
+            lambda qc: coset_sampling_round(qc, kernel_rows),
+            seed=seed + round_index,
+        )
+        sample, _label = outcome
+        vector = np.array([int(b) for b in sample], dtype=int)
+        if vector.any():
+            samples.append(vector)
+        solved = solve_parity(samples, n)
+        if solved is not None:
+            return solved, round_index + 1
+    raise RuntimeError("parity not recovered within the round budget")
+
+
+def recover_short_vector(basis: np.ndarray, parity: np.ndarray,
+                         bound: int = 1) -> np.ndarray | None:
+    """Search the small coefficient box matching the parity class.
+
+    With the parity known, the remaining search space shrinks from 3^n to
+    the vectors whose coefficients match s mod 2 -- the classical
+    post-processing step of the reduction.
+    """
+    import itertools
+
+    n = len(parity)
+    best = None
+    best_norm = float("inf")
+    for signs in itertools.product((-1, 0, 1), repeat=n):
+        coeffs = np.array(signs, dtype=int)
+        if not coeffs.any():
+            continue
+        if ((np.abs(coeffs) % 2) != parity).any():
+            continue
+        vector = coeffs @ basis
+        norm = float(vector @ vector)
+        if norm < best_norm:
+            best_norm = norm
+            best = vector
+    return best

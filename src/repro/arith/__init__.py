@@ -1,0 +1,57 @@
+"""Quantum integer and fixed-point arithmetic (the oracle substrate).
+
+Ripple-carry adders (:mod:`~repro.arith.adder`), comparators
+(:mod:`~repro.arith.compare`), shifts (:mod:`~repro.arith.shift`),
+multiplication mod ``2**l`` (:mod:`~repro.arith.mul`), Triangle-Finding
+arithmetic mod ``2**l - 1`` (:mod:`~repro.arith.modular`), and the QFT
+adder alternative (:mod:`~repro.arith.qftarith`).
+"""
+
+from .adder import (
+    add_const_in_place,
+    add_in_place,
+    add_out_of_place,
+    copy_register,
+    decrement_in_place,
+    increment_in_place,
+    negate_in_place,
+    subtract_in_place,
+    xor_register,
+)
+from .compare import equals, equals_const, greater_than, less_than
+from .modular import add_tf, add_tf_select, mul_tf, square_tf
+from .mul import (
+    mul_const_out_of_place,
+    mul_out_of_place,
+    square_out_of_place,
+)
+from .qftarith import qft_add_in_place, qft_subtract_in_place
+from .shift import rotate_left_tf, rotate_right_tf, shift_left_out_of_place
+
+__all__ = [
+    "add_in_place",
+    "add_out_of_place",
+    "add_const_in_place",
+    "increment_in_place",
+    "decrement_in_place",
+    "negate_in_place",
+    "subtract_in_place",
+    "copy_register",
+    "xor_register",
+    "equals",
+    "equals_const",
+    "less_than",
+    "greater_than",
+    "add_tf",
+    "add_tf_select",
+    "mul_tf",
+    "square_tf",
+    "mul_out_of_place",
+    "square_out_of_place",
+    "mul_const_out_of_place",
+    "qft_add_in_place",
+    "qft_subtract_in_place",
+    "rotate_left_tf",
+    "rotate_right_tf",
+    "shift_left_out_of_place",
+]

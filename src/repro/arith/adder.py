@@ -1,0 +1,183 @@
+"""Ripple-carry adders in the style of Vedral-Barenco-Ekert (VBE).
+
+Quipper's arithmetic library builds integer operations from ripple-carry
+primitives with explicit carry ancillas; this is why the paper's gate
+counts are dominated by controlled-NOTs with one or two controls plus
+matching Init0/Term0 pairs ("about one third are qubit initializations and
+terminations", Section 5.3.1).  We follow the same style.
+
+All operations work on :class:`~repro.datatypes.register.Register`
+subclasses (``QDInt``, ``QIntTF``, ``FPReal``); bit *i* denotes the wire of
+weight ``2**i`` regardless of the register's MSB-first storage order.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import Circ
+from ..core.errors import ShapeMismatchError
+from ..core.wires import Qubit
+from ..datatypes.register import Register
+
+
+def _require_same_length(x: Register, y: Register) -> int:
+    if len(x) != len(y):
+        raise ShapeMismatchError(
+            f"register length mismatch: {len(x)} vs {len(y)}"
+        )
+    return len(x)
+
+
+def xor_register(qc: Circ, src: Register, dst: Register,
+                 controls=None) -> None:
+    """dst ^= src, bitwise (CNOT each pair, optionally controlled)."""
+    n = _require_same_length(src, dst)
+    for i in range(n):
+        ctl = [src.bit(i)]
+        if controls is not None:
+            ctl.extend(controls if isinstance(controls, (list, tuple))
+                       else [controls])
+        qc.qnot(dst.bit(i), controls=ctl)
+
+
+def copy_register(qc: Circ, src: Register, controls=None) -> Register:
+    """Allocate a zeroed register of src's shape and xor src into it."""
+    fresh = src.qdata_rebuild(
+        [qc.qinit_qubit(False) for _ in range(len(src))]
+    )
+    xor_register(qc, src, fresh, controls=controls)
+    return fresh
+
+
+def _carry(qc: Circ, c: Qubit, a: Qubit, b: Qubit, c_next: Qubit) -> None:
+    qc.qnot(c_next, controls=(a, b))
+    qc.qnot(b, controls=a)
+    qc.qnot(c_next, controls=(c, b))
+
+
+def _uncarry(qc: Circ, c: Qubit, a: Qubit, b: Qubit, c_next: Qubit) -> None:
+    qc.qnot(c_next, controls=(c, b))
+    qc.qnot(b, controls=a)
+    qc.qnot(c_next, controls=(a, b))
+
+
+def _sum(qc: Circ, c: Qubit, a: Qubit, b: Qubit, controls=None) -> None:
+    qc.qnot(b, controls=_with(controls, a))
+    qc.qnot(b, controls=_with(controls, c))
+
+
+def _with(controls, ctl):
+    if controls is None:
+        return [ctl]
+    if isinstance(controls, (list, tuple)):
+        return [ctl, *controls]
+    return [ctl, controls]
+
+
+def add_in_place(qc: Circ, x: Register, y: Register,
+                 carry_out: Qubit | None = None, controls=None) -> None:
+    """y += x (mod ``2**l``), the VBE ripple-carry adder.
+
+    With *carry_out* the overflow bit is xored into the given qubit (making
+    the operation an (l+1)-bit add).  With *controls*, the addition happens
+    only when the controls are satisfied; only the sum gates are controlled
+    -- the carry cascade is computed and uncomputed unconditionally, which
+    is the standard cheap way to control an adder.
+
+    Note: with both *controls* and *carry_out*, the carry_out write is also
+    controlled, but the carry cascade itself is not; the carry value xored
+    into carry_out is the true carry of x+y.
+    """
+    n = _require_same_length(x, y)
+    with qc.ancilla_list(n) as c:
+        for i in range(n - 1):
+            _carry(qc, c[i], x.bit(i), y.bit(i), c[i + 1])
+        if carry_out is not None:
+            # CARRY(c[n-1], x[n-1], y[n-1], carry_out) followed by the
+            # restoring CNOT; only the writes into carry_out are controlled.
+            qc.qnot(
+                carry_out,
+                controls=_carry_out_controls(
+                    controls, x.bit(n - 1), y.bit(n - 1)
+                ),
+            )
+            qc.qnot(y.bit(n - 1), controls=x.bit(n - 1))
+            qc.qnot(
+                carry_out,
+                controls=_carry_out_controls(
+                    controls, c[n - 1], y.bit(n - 1)
+                ),
+            )
+            qc.qnot(y.bit(n - 1), controls=x.bit(n - 1))
+        _sum(qc, c[n - 1], x.bit(n - 1), y.bit(n - 1), controls=controls)
+        for i in range(n - 2, -1, -1):
+            _uncarry(qc, c[i], x.bit(i), y.bit(i), c[i + 1])
+            _sum(qc, c[i], x.bit(i), y.bit(i), controls=controls)
+
+
+def _carry_out_controls(controls, *wires):
+    base = list(wires)
+    if controls is None:
+        return base
+    if isinstance(controls, (list, tuple)):
+        return base + list(controls)
+    return base + [controls]
+
+
+def subtract_in_place(qc: Circ, x: Register, y: Register,
+                      controls=None) -> None:
+    """y -= x (mod ``2**l``): the exact inverse gate sequence of the add.
+
+    Every constituent of the VBE adder (CNOT, Toffoli) is self-inverse and
+    the two gates of a SUM commute, so the inverse is the adder's blocks
+    replayed in the mirrored order.
+    """
+    n = _require_same_length(x, y)
+    with qc.ancilla_list(n) as c:
+        for i in range(n - 1):
+            _sum(qc, c[i], x.bit(i), y.bit(i), controls=controls)
+            _carry(qc, c[i], x.bit(i), y.bit(i), c[i + 1])
+        _sum(qc, c[n - 1], x.bit(n - 1), y.bit(n - 1), controls=controls)
+        for i in range(n - 2, -1, -1):
+            _uncarry(qc, c[i], x.bit(i), y.bit(i), c[i + 1])
+
+
+def add_out_of_place(qc: Circ, x: Register, y: Register,
+                     controls=None) -> Register:
+    """Return a fresh register holding x + y (mod ``2**l``).
+
+    The inputs are unchanged; sum structure is y copied then x added.
+    """
+    total = copy_register(qc, y, controls=None)
+    add_in_place(qc, x, total, controls=controls)
+    return total
+
+
+def add_const_in_place(qc: Circ, value: int, y: Register,
+                       controls=None) -> None:
+    """y += value (mod ``2**l``), via a scoped constant ancilla register.
+
+    The constant register is initialized, added, and assertively terminated
+    -- the Quipper idiom for classical constants entering arithmetic.
+    """
+    n = len(y)
+    pattern = [bool((value >> (n - 1 - i)) & 1) for i in range(n)]
+    with qc.ancilla_init(pattern) as const_wires:
+        const = y.qdata_rebuild(const_wires)
+        add_in_place(qc, const, y, controls=controls)
+
+
+def increment_in_place(qc: Circ, y: Register, controls=None) -> None:
+    """y += 1 (mod ``2**l``)."""
+    add_const_in_place(qc, 1, y, controls=controls)
+
+
+def decrement_in_place(qc: Circ, y: Register, controls=None) -> None:
+    """y -= 1 (mod ``2**l``)."""
+    add_const_in_place(qc, (1 << len(y)) - 1, y, controls=controls)
+
+
+def negate_in_place(qc: Circ, y: Register, controls=None) -> None:
+    """y := -y (mod ``2**l``), i.e. two's complement: flip all bits, +1."""
+    for i in range(len(y)):
+        qc.qnot(y.bit(i), controls=controls)
+    increment_in_place(qc, y, controls=controls)

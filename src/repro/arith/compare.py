@@ -1,0 +1,101 @@
+"""Comparators: equality and order tests into a fresh target qubit.
+
+Built in the compute/copy/uncompute style (``with_computed``), so all
+scratch space is returned clean; the equality test uses negative controls,
+which is where the paper's ``"Not", controls a+b`` mixed-sign gate counts
+come from.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import Circ, neg
+from ..core.errors import ShapeMismatchError
+from ..core.wires import Qubit
+from ..datatypes.register import Register
+from .adder import _require_same_length
+
+
+def equals(qc: Circ, x: Register, y: Register, controls=None) -> Qubit:
+    """Return a fresh qubit holding (x == y), inputs unchanged.
+
+    Computes the bitwise XOR into scratch, applies an all-negative-controls
+    NOT onto the result (XOR pattern all zero means equal), and uncomputes.
+    """
+    n = _require_same_length(x, y)
+    result = qc.qinit_qubit(False)
+
+    def compute():
+        scratch = [qc.qinit_qubit(False) for _ in range(n)]
+        for i in range(n):
+            qc.qnot(scratch[i], controls=x.bit(i))
+            qc.qnot(scratch[i], controls=y.bit(i))
+        return scratch
+
+    def action(scratch):
+        ctl = [neg(s) for s in scratch]
+        if controls is not None:
+            ctl.extend(controls if isinstance(controls, (list, tuple))
+                       else [controls])
+        qc.qnot(result, controls=ctl)
+        return result
+
+    return qc.with_computed(compute, action)
+
+
+def equals_const(qc: Circ, x: Register, value: int, controls=None) -> Qubit:
+    """Return a fresh qubit holding (x == value) for a constant value."""
+    n = len(x)
+    result = qc.qinit_qubit(False)
+    ctl = []
+    for i in range(n):
+        bit_set = bool((value >> i) & 1)
+        ctl.append(x.bit(i) if bit_set else neg(x.bit(i)))
+    if controls is not None:
+        ctl.extend(controls if isinstance(controls, (list, tuple))
+                   else [controls])
+    qc.qnot(result, controls=ctl)
+    return result
+
+
+def less_than(qc: Circ, x: Register, y: Register, controls=None) -> Qubit:
+    """Return a fresh qubit holding (x < y), unsigned; inputs unchanged.
+
+    Uses the borrow identity: x < y iff the carry chain of (~x) + y
+    overflows.  The majority cascade is computed into scratch ancillas and
+    uncomputed around the single copy-out.
+    """
+    n = _require_same_length(x, y)
+    result = qc.qinit_qubit(False)
+
+    def compute():
+        # Flip x so the carries of (~x + y) can be accumulated.
+        for i in range(n):
+            qc.qnot(x.bit(i))
+        carries = [qc.qinit_qubit(False)]  # c_0 = 0
+        for i in range(n):
+            c_next = qc.qinit_qubit(False)
+            _majority(qc, carries[i], x.bit(i), y.bit(i), c_next)
+            carries.append(c_next)
+        return carries
+
+    def action(carries):
+        ctl = [carries[n]]
+        if controls is not None:
+            ctl.extend(controls if isinstance(controls, (list, tuple))
+                       else [controls])
+        qc.qnot(result, controls=ctl)
+        return result
+
+    return qc.with_computed(compute, action)
+
+
+def greater_than(qc: Circ, x: Register, y: Register, controls=None) -> Qubit:
+    """Return a fresh qubit holding (x > y), unsigned; inputs unchanged."""
+    return less_than(qc, y, x, controls=controls)
+
+
+def _majority(qc: Circ, c: Qubit, a: Qubit, b: Qubit, target: Qubit) -> None:
+    """target ^= majority(a, b, c), using three Toffoli gates."""
+    qc.qnot(target, controls=(a, b))
+    qc.qnot(target, controls=(a, c))
+    qc.qnot(target, controls=(b, c))

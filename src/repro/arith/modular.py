@@ -1,0 +1,120 @@
+"""Arithmetic modulo ``2**l - 1``: the Triangle Finding oracle's substrate.
+
+Section 5.3.1 of the paper: "QIntTF denotes the type of quantum integers
+used by the oracle, which happen to be l-bit integers with arithmetic taken
+modulo 2^l - 1 (not 2^l)".  Addition modulo ``2**l - 1`` is ones'-
+complement (end-around carry) addition: compute the ``(l+1)``-bit sum, then
+fold the carry back into the low bit.  Both the all-zeros and the all-ones
+patterns represent zero; all operations here are correct *modulo*
+``2**l - 1`` on raw register values, which is the invariant the oracle
+needs.
+
+Everything follows the compute/copy/uncompute discipline of the paper's
+Figure 3: a ladder of out-of-place operations, a copy of the final result,
+and the mirrored uncomputation (``with_computed``).
+"""
+
+from __future__ import annotations
+
+from ..core.builder import Circ, neg
+from ..core.wires import Qubit
+from ..datatypes.register import Register
+from .adder import (
+    add_const_in_place,
+    add_in_place,
+    copy_register,
+    xor_register,
+)
+from .shift import rotate_left_tf
+
+
+def add_tf(qc: Circ, x: Register, y: Register) -> Register:
+    """Return a fresh register holding x + y (mod ``2**l - 1``).
+
+    Inputs are unchanged.  The raw (l+1)-bit sum is computed into scratch,
+    the end-around-carry fold ``low + carry`` is written to the result, and
+    the scratch is uncomputed.  (The fold's own carry can never be 1: the
+    maximum raw sum is ``2**(l+1) - 2``, whose low part and carry cannot
+    both be maximal.)
+    """
+
+    def compute():
+        total = copy_register(qc, y)
+        carry = qc.qinit_qubit(False)
+        add_in_place(qc, x, total, carry_out=carry)
+        return total, carry
+
+    def action(computed):
+        total, carry = computed
+        result = copy_register(qc, total)
+        add_const_in_place(qc, 1, result, controls=carry)
+        return result
+
+    return qc.with_computed(compute, action)
+
+
+def add_tf_select(qc: Circ, ctrl: Qubit, x: Register,
+                  y: Register) -> Register:
+    """Return a fresh register: ``y + x (mod 2**l - 1)`` if ctrl else ``y``.
+
+    This is the semantics of the Triangle Finding oracle's
+    ``o7_ADD_controlled`` as used in the ``o8_MUL`` shift-and-add ladder:
+    the sum is computed unconditionally, and ctrl selects which value is
+    copied into the fresh output register.
+    """
+
+    def compute():
+        return add_tf(qc, x, y)
+
+    def action(total):
+        result = y.qdata_rebuild(
+            [qc.qinit_qubit(False) for _ in range(len(y))]
+        )
+        xor_register(qc, total, result, controls=ctrl)
+        xor_register(qc, y, result, controls=neg(ctrl))
+        return result
+
+    return qc.with_computed(compute, action)
+
+
+def mul_tf(qc: Circ, x: Register, y: Register) -> Register:
+    """Return a fresh register holding x * y (mod ``2**l - 1``).
+
+    Shift-and-add: for each bit i of y, conditionally accumulate the
+    i-fold doubling of x (a gate-free rotation, see
+    :func:`~repro.arith.shift.rotate_left_tf`).  The ladder of partial sums
+    is uncomputed after the final product is copied out -- exactly the
+    ladder-and-mirror structure of the paper's Figure 3.
+    """
+    n = len(x)
+
+    def compute():
+        acc = y.qdata_rebuild(
+            [qc.qinit_qubit(False) for _ in range(len(y))]
+        )
+        cur = x
+        for i in range(n):
+            acc = add_tf_select(qc, y.bit(i), cur, acc)
+            cur = rotate_left_tf(qc, cur)
+        return acc
+
+    def action(acc):
+        return copy_register(qc, acc)
+
+    return qc.with_computed(compute, action)
+
+
+def square_tf(qc: Circ, x: Register) -> Register:
+    """Return a fresh register holding x**2 (mod ``2**l - 1``).
+
+    A register cannot control additions onto itself (no-cloning), so the
+    input is first copied to scratch, multiplied, and the copy uncomputed.
+    """
+
+    def compute():
+        return copy_register(qc, x)
+
+    def action(x_copy):
+        return mul_tf(qc, x, x_copy)
+
+    return qc.with_computed(compute, action)

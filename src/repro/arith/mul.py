@@ -1,0 +1,69 @@
+"""Multiplication modulo ``2**l`` (standard QDInt arithmetic).
+
+Shift-and-add over sub-registers: partial product i adds the low ``l - i``
+bits of y into bits ``i..l-1`` of the accumulator, controlled on bit i of
+x.  Out of place (the product cannot reversibly overwrite an input).
+"""
+
+from __future__ import annotations
+
+from ..core.builder import Circ
+from ..datatypes.qdint import QDInt
+from ..datatypes.register import Register
+from .adder import _require_same_length, add_in_place
+
+
+def _bit_slice(reg: Register, lo: int, hi: int) -> QDInt:
+    """A register view of bits lo..hi-1 (little-endian positions)."""
+    le = reg.bits_le()[lo:hi]
+    return QDInt(list(reversed(le)))
+
+
+def mul_out_of_place(qc: Circ, x: Register, y: Register,
+                     controls=None) -> Register:
+    """Return a fresh register holding x * y (mod ``2**l``)."""
+    n = _require_same_length(x, y)
+    product = x.qdata_rebuild([qc.qinit_qubit(False) for _ in range(n)])
+    for i in range(n):
+        ctl = [x.bit(i)]
+        if controls is not None:
+            ctl.extend(controls if isinstance(controls, (list, tuple))
+                       else [controls])
+        add_in_place(
+            qc,
+            _bit_slice(y, 0, n - i),
+            _bit_slice(product, i, n),
+            controls=ctl,
+        )
+    return product
+
+
+def square_out_of_place(qc: Circ, x: Register) -> Register:
+    """Return a fresh register holding x**2 (mod ``2**l``).
+
+    Copies x to scratch first (a register cannot control additions onto a
+    product indexed by its own bits while also being the addend).
+    """
+    n = len(x)
+
+    def compute():
+        fresh = x.qdata_rebuild([qc.qinit_qubit(False) for _ in range(n)])
+        for i in range(n):
+            qc.qnot(fresh.bit(i), controls=x.bit(i))
+        return fresh
+
+    def action(x_copy):
+        return mul_out_of_place(qc, x, x_copy)
+
+    return qc.with_computed(compute, action)
+
+
+def mul_const_out_of_place(qc: Circ, value: int, y: Register) -> Register:
+    """Return a fresh register holding value * y (mod ``2**l``)."""
+    n = len(y)
+    product = y.qdata_rebuild([qc.qinit_qubit(False) for _ in range(n)])
+    for i in range(n):
+        if (value >> i) & 1:
+            add_in_place(qc, _bit_slice(y, 0, n - i),
+                         _bit_slice(product, i, n))
+    return product

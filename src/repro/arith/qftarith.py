@@ -1,0 +1,46 @@
+"""QFT-based (Draper) addition -- the "Alternatives" implementation.
+
+The paper's Triangle Finding code includes an ``Alternatives`` module with
+"alternatives and/or generalization of certain algorithms" (Section 5.2);
+Quipper's distribution ships a QFT adder among them.  The Draper adder
+trades the ripple-carry ancillas for controlled phase rotations: add in the
+Fourier basis, no scratch qubits at all.
+
+Used by the ablation benchmark comparing ripple-carry vs QFT adder costs.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import Circ
+from ..datatypes.register import Register
+from ..lib.qft import qft_big_endian, qft_big_endian_inverse
+from .adder import _require_same_length
+
+
+def qft_add_in_place(qc: Circ, x: Register, y: Register) -> None:
+    """y += x (mod ``2**l``) in the Fourier basis (Draper's adder).
+
+    After ``QFT(y)``, qubit i of y holds the phase ``0.y_{i+1}..y_n``;
+    adding x contributes, for each j >= i, a controlled R_{j-i+1} from
+    x's bit j.  The inverse QFT returns to the computational basis.
+    """
+    n = _require_same_length(x, y)
+    ys = list(y.wires)  # big-endian
+    xs = list(x.wires)
+    qft_big_endian(qc, ys)
+    for i in range(n):
+        for j in range(i, n):
+            qc.rGate(j - i + 1, ys[i], controls=xs[j])
+    qft_big_endian_inverse(qc, ys)
+
+
+def qft_subtract_in_place(qc: Circ, x: Register, y: Register) -> None:
+    """y -= x (mod ``2**l``): the inverse rotations in reverse order."""
+    n = _require_same_length(x, y)
+    ys = list(y.wires)
+    xs = list(x.wires)
+    qft_big_endian(qc, ys)
+    for i in range(n - 1, -1, -1):
+        for j in range(n - 1, i - 1, -1):
+            qc.rGate(j - i + 1, ys[i], controls=xs[j], inverted=True)
+    qft_big_endian_inverse(qc, ys)

@@ -1,0 +1,52 @@
+"""Shifts and rotations.
+
+Doubling modulo ``2**l - 1`` is a pure cyclic rotation of the bit pattern,
+so Quipper's ``double_TF`` emits *no gates at all* -- it just relabels which
+wire carries which bit weight.  This is visible in the paper's Figure 3,
+where the ``double_TF`` regions contain only ENTER/EXIT comments with the
+wire labels cyclically permuted.  We reproduce exactly that.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import Circ
+from ..datatypes.register import Register
+
+
+def rotate_left_tf(qc: Circ, x: Register, comment: bool = False) -> Register:
+    """Double x modulo ``2**l - 1``: a gate-free cyclic wire relabeling.
+
+    Returns a new register handle over the same wires with each bit's
+    weight doubled (bit i of the result is bit i-1 of x, wrapping).  With
+    ``comment=True``, ENTER/EXIT comments with permuted labels are emitted,
+    matching the paper's Figure 3 rendering of ``double_TF``.
+    """
+    if comment:
+        qc.comment_with_label("ENTER: double_TF", x, "x")
+    rotated = x.qdata_rebuild(x.wires[1:] + x.wires[:1])
+    if comment:
+        qc.comment_with_label("EXIT: double_TF", rotated, "x")
+    return rotated
+
+
+def rotate_right_tf(qc: Circ, x: Register, comment: bool = False) -> Register:
+    """Halve x modulo ``2**l - 1`` (the inverse relabeling)."""
+    if comment:
+        qc.comment_with_label("ENTER: double_TF*", x, "x")
+    rotated = x.qdata_rebuild(x.wires[-1:] + x.wires[:-1])
+    if comment:
+        qc.comment_with_label("EXIT: double_TF*", rotated, "x")
+    return rotated
+
+
+def shift_left_out_of_place(qc: Circ, x: Register, amount: int) -> Register:
+    """Return a fresh register holding ``x << amount`` (mod ``2**l``).
+
+    Out of place because the mod-``2**l`` shift drops high bits and is
+    therefore not reversible in place.
+    """
+    n = len(x)
+    fresh = x.qdata_rebuild([qc.qinit_qubit(False) for _ in range(n)])
+    for i in range(n - amount):
+        qc.qnot(fresh.bit(i + amount), controls=x.bit(i))
+    return fresh

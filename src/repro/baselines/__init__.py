@@ -1,0 +1,5 @@
+"""Baseline comparators for the paper's evaluation (Section 6)."""
+
+from .qcl_bwt import qcl_bwt_circuit
+
+__all__ = ["qcl_bwt_circuit"]

@@ -1,0 +1,94 @@
+"""Core of the Quipper reproduction: wires, gates, circuits, and the builder.
+
+The public names re-exported here are the day-to-day vocabulary of the
+library; see :mod:`repro.core.builder` for the programming model.
+"""
+
+from .builder import Circ, Signed, build, neg
+from .circuit import BCircuit, Circuit, Subroutine
+from .errors import (
+    AssertionFailedError,
+    BoxError,
+    CloningError,
+    DeadWireError,
+    DynamicLiftingError,
+    IrreversibleError,
+    LiftingError,
+    QuipperError,
+    ScopeError,
+    ShapeMismatchError,
+    SimulationError,
+    WireTypeError,
+)
+from .gates import (
+    BoxCall,
+    CDiscard,
+    CGate,
+    CInit,
+    CNot,
+    Comment,
+    Control,
+    CTerm,
+    Discard,
+    Gate,
+    Init,
+    Measure,
+    NamedGate,
+    Term,
+)
+from .qdata import (
+    QData,
+    bit,
+    qdata_leaves,
+    qdata_rebuild,
+    qubit,
+    same_shape,
+    shape_signature,
+)
+from .wires import Bit, Qubit, Wire
+
+__all__ = [
+    "Circ",
+    "Signed",
+    "build",
+    "neg",
+    "BCircuit",
+    "Circuit",
+    "Subroutine",
+    "Qubit",
+    "Bit",
+    "Wire",
+    "qubit",
+    "bit",
+    "QData",
+    "qdata_leaves",
+    "qdata_rebuild",
+    "same_shape",
+    "shape_signature",
+    "Gate",
+    "NamedGate",
+    "Init",
+    "Term",
+    "Discard",
+    "CInit",
+    "CTerm",
+    "CDiscard",
+    "Measure",
+    "CGate",
+    "CNot",
+    "Comment",
+    "BoxCall",
+    "Control",
+    "QuipperError",
+    "CloningError",
+    "DeadWireError",
+    "WireTypeError",
+    "ShapeMismatchError",
+    "ScopeError",
+    "IrreversibleError",
+    "AssertionFailedError",
+    "DynamicLiftingError",
+    "BoxError",
+    "SimulationError",
+    "LiftingError",
+]

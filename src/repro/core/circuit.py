@@ -1,0 +1,145 @@
+"""Circuits, boxed subroutines, and hierarchical circuit containers.
+
+A :class:`Circuit` is a straight-line sequence of gates with typed input and
+output wires.  A :class:`BCircuit` pairs a main circuit with a *namespace* of
+named :class:`Subroutine` definitions -- the paper's hierarchical "boxed
+subcircuits" (Section 4.4.4).  A subroutine is generated once and may be
+invoked many times (possibly inverted, controlled, or repeated), which is
+what lets the library represent and gate-count circuits with trillions of
+gates without materializing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import CloningError, DeadWireError, QuipperError, WireTypeError
+from .gates import BoxCall, Gate
+from .wires import QUANTUM
+
+
+@dataclass
+class Circuit:
+    """A gate sequence with typed endpoints.
+
+    ``inputs`` and ``outputs`` are tuples of ``(wire_id, wire_type)`` pairs.
+    The input wires are live before the first gate; the output wires are
+    exactly the wires live after the last gate.
+    """
+
+    inputs: tuple[tuple[int, str], ...] = ()
+    gates: list[Gate] = field(default_factory=list)
+    outputs: tuple[tuple[int, str], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def in_arity(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def out_arity(self) -> int:
+        return len(self.outputs)
+
+    def check(self, namespace: dict[str, "Subroutine"] | None = None) -> int:
+        """Validate wire discipline and return the circuit width.
+
+        Checks that every gate reads only live wires of the right type, that
+        no gate uses the same wire twice (no-cloning), and that the declared
+        outputs match the wires that are live at the end.  The returned width
+        is the high-water mark of simultaneously live wires, counting the
+        transient internal wires of boxed subroutine calls.
+        """
+        namespace = namespace or {}
+        live: dict[int, str] = dict(self.inputs)
+        if len(live) != len(self.inputs):
+            raise CloningError("duplicate wire in circuit inputs")
+        peak = len(live)
+        for gate in self.gates:
+            ins = gate.wires_in()
+            seen: set[int] = set()
+            for wire, wtype in ins:
+                if wire in seen and wtype == QUANTUM:
+                    # No-cloning applies to qubits only; classical wires
+                    # may be used several times within one gate.
+                    raise CloningError(f"wire {wire} used twice in {gate}")
+                seen.add(wire)
+                if wire not in live:
+                    raise DeadWireError(f"gate {gate} uses dead wire {wire}")
+                if live[wire] != wtype:
+                    raise WireTypeError(
+                        f"gate {gate} expects {wtype} on wire {wire}, "
+                        f"found {live[wire]}"
+                    )
+            outs = gate.wires_out()
+            out_ids = {w for w, _ in outs}
+            if len(out_ids) != len(outs):
+                raise CloningError(f"duplicate output wire in {gate}")
+            # Transient width of a subroutine call.
+            if isinstance(gate, BoxCall):
+                sub = namespace.get(gate.name)
+                if sub is None:
+                    raise QuipperError(f"undefined subroutine {gate.name!r}")
+                transient = len(live) - len(gate.in_wires) + sub.width(namespace)
+                peak = max(peak, transient)
+            in_ids = {w for w, _ in ins}
+            for wire, _ in ins:
+                if wire not in out_ids:
+                    del live[wire]
+            for wire, wtype in outs:
+                if wire not in in_ids and wire in live:
+                    raise CloningError(f"gate {gate} re-creates live wire {wire}")
+                live[wire] = wtype
+            peak = max(peak, len(live))
+        if dict(self.outputs) != live or len(self.outputs) != len(live):
+            raise QuipperError(
+                f"circuit outputs {sorted(dict(self.outputs))} do not match "
+                f"live wires {sorted(live)} at end of circuit"
+            )
+        return peak
+
+
+@dataclass
+class Subroutine:
+    """A named boxed subcircuit together with its interface shapes.
+
+    ``in_shape`` / ``out_shape`` are shape descriptors (see
+    :mod:`repro.core.qdata`) recording how the flat wire lists map back to
+    structured quantum data at call sites.
+    """
+
+    name: str
+    circuit: Circuit
+    in_shape: object = None
+    out_shape: object = None
+    _width: int | None = None
+
+    def width(self, namespace: dict[str, "Subroutine"]) -> int:
+        """Width of the subroutine body (memoized)."""
+        if self._width is None:
+            self._width = self.circuit.check(namespace)
+        return self._width
+
+
+@dataclass
+class BCircuit:
+    """A main circuit plus the namespace of subroutines it may invoke."""
+
+    circuit: Circuit
+    namespace: dict[str, Subroutine] = field(default_factory=dict)
+
+    def check(self) -> int:
+        """Validate the whole hierarchy; return the main circuit's width."""
+        for sub in self.namespace.values():
+            sub.width(self.namespace)
+        return self.circuit.check(self.namespace)
+
+    def subroutine_names(self) -> list[str]:
+        return sorted(self.namespace)
+
+    def __len__(self) -> int:
+        """Number of gates stored (NOT the inlined gate count)."""
+        return len(self.circuit.gates) + sum(
+            len(s.circuit.gates) for s in self.namespace.values()
+        )

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the Quipper reproduction.
+
+Quipper performs a number of run-time checks that a linear/dependent type
+system would perform statically (paper, Section 4.1).  Each check failure
+maps to a distinct exception class so that tests can assert on the precise
+failure mode.
+"""
+
+from __future__ import annotations
+
+
+class QuipperError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class CloningError(QuipperError):
+    """A wire was used twice in a single gate, violating no-cloning."""
+
+
+class DeadWireError(QuipperError):
+    """A gate was applied to a wire that is not currently live."""
+
+
+class WireTypeError(QuipperError):
+    """A quantum operation was applied to a classical wire or vice versa."""
+
+
+class ShapeMismatchError(QuipperError):
+    """Two pieces of quantum data had incompatible shapes."""
+
+
+class ScopeError(QuipperError):
+    """An ancilla escaped its scope, or a block was closed incorrectly."""
+
+
+class IrreversibleError(QuipperError):
+    """An attempt was made to reverse an irreversible circuit."""
+
+
+class AssertionFailedError(QuipperError):
+    """A qubit asserted to be |0> (or |1>) at termination was not."""
+
+
+class DynamicLiftingError(QuipperError):
+    """Dynamic lifting was requested in a context that cannot supply it."""
+
+
+class BoxError(QuipperError):
+    """A boxed subcircuit was defined or invoked inconsistently."""
+
+
+class SimulationError(QuipperError):
+    """The simulator was given a circuit it cannot execute."""
+
+
+class LiftingError(QuipperError):
+    """The circuit-lifting (build_circuit) machinery was misused."""

@@ -1,0 +1,171 @@
+"""Shape-generic quantum data (the paper's ``QCData`` / ``QShape``).
+
+Quipper uses Haskell type classes to make operations like ``qinit``,
+``measure`` and ``controlled_not`` work on arbitrary nested structures of
+qubits and bits (Section 4.5).  This module provides the Python equivalent:
+structural recursion over
+
+* :class:`~repro.core.wires.Qubit` / :class:`~repro.core.wires.Bit` leaves,
+* tuples and lists,
+* dicts with orderable keys (the paper's ``IntMap``),
+* custom register types implementing the :class:`QData` protocol
+  (``QDInt``, ``QIntTF``, ``FPReal``, ...),
+* embedded parameters (``bool``, ``int``, ``float``, ``str``, ``None``),
+  which carry no wires -- this is the paper's "shape of the data"
+  (Section 4.3.2).
+
+A *shape specimen* is a piece of qdata whose wire ids are irrelevant; the
+module-level singletons :data:`qubit` and :data:`bit` serve as leaves for
+building specimens, e.g. ``(qubit, [qubit] * 4)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import ShapeMismatchError
+from .wires import Bit, Qubit, Wire
+
+#: Shape specimen leaves.
+qubit = Qubit(-1)
+bit = Bit(-1)
+
+_PARAM_TYPES = (bool, int, float, str, complex, type(None))
+
+
+class QData:
+    """Protocol base class for custom quantum register types.
+
+    Subclasses must implement :meth:`qdata_leaves` (the ordered wires the
+    register occupies) and :meth:`qdata_rebuild` (construct an equal-shaped
+    register over new wires, preserving all parameter components).
+    Subclassing is optional -- any object with these two methods is
+    accepted -- but inheriting documents intent.
+    """
+
+    def qdata_leaves(self) -> list[Wire]:
+        raise NotImplementedError
+
+    def qdata_rebuild(self, leaves: list[Wire]) -> "QData":
+        raise NotImplementedError
+
+
+def _is_custom(data: object) -> bool:
+    return hasattr(data, "qdata_leaves") and hasattr(data, "qdata_rebuild")
+
+
+def qdata_leaves(data: object) -> list[Wire]:
+    """Flatten *data* into its ordered list of wire leaves."""
+    out: list[Wire] = []
+    _collect(data, out)
+    return out
+
+
+def _collect(data: object, out: list[Wire]) -> None:
+    if isinstance(data, Wire):
+        out.append(data)
+    elif isinstance(data, _PARAM_TYPES):
+        pass
+    elif isinstance(data, (tuple, list)):
+        for item in data:
+            _collect(item, out)
+    elif isinstance(data, dict):
+        for key in sorted(data):
+            _collect(data[key], out)
+    elif _is_custom(data):
+        out.extend(data.qdata_leaves())
+    else:
+        raise ShapeMismatchError(f"not quantum data: {data!r}")
+
+
+def qdata_rebuild(shape: object, leaves: Iterator[Wire] | list[Wire]):
+    """Rebuild a structure shaped like *shape* from an iterable of wires.
+
+    Parameters embedded in the shape are copied through unchanged; each wire
+    leaf position consumes one wire from *leaves*.
+    """
+    it = iter(leaves)
+    result = _rebuild(shape, it)
+    rest = list(it)
+    if rest:
+        raise ShapeMismatchError(f"{len(rest)} unconsumed wires in rebuild")
+    return result
+
+
+def _rebuild(shape: object, it: Iterator[Wire]):
+    if isinstance(shape, Wire):
+        try:
+            return next(it)
+        except StopIteration:
+            raise ShapeMismatchError("ran out of wires in rebuild") from None
+    if isinstance(shape, _PARAM_TYPES):
+        return shape
+    if isinstance(shape, tuple):
+        return tuple(_rebuild(s, it) for s in shape)
+    if isinstance(shape, list):
+        return [_rebuild(s, it) for s in shape]
+    if isinstance(shape, dict):
+        return {key: _rebuild(shape[key], it) for key in sorted(shape)}
+    if _is_custom(shape):
+        n = len(shape.qdata_leaves())
+        taken = []
+        for _ in range(n):
+            try:
+                taken.append(next(it))
+            except StopIteration:
+                raise ShapeMismatchError("ran out of wires in rebuild") from None
+        return shape.qdata_rebuild(taken)
+    raise ShapeMismatchError(f"not a quantum data shape: {shape!r}")
+
+
+def shape_signature(data: object) -> str:
+    """A string signature of the shape of *data* (for box-call keying).
+
+    Two pieces of qdata with the same signature have the same wire count,
+    leaf types and parameter components, so a boxed subroutine generated for
+    one is valid for the other (Quipper keys subroutines the same way).
+    """
+    parts: list[str] = []
+    _signature(data, parts)
+    return "".join(parts)
+
+
+def _signature(data: object, parts: list[str]) -> None:
+    if isinstance(data, Qubit):
+        parts.append("Q")
+    elif isinstance(data, Bit):
+        parts.append("C")
+    elif isinstance(data, _PARAM_TYPES):
+        parts.append(f"<{data!r}>")
+    elif isinstance(data, tuple):
+        parts.append("(")
+        for item in data:
+            _signature(item, parts)
+        parts.append(")")
+    elif isinstance(data, list):
+        parts.append("[")
+        for item in data:
+            _signature(item, parts)
+        parts.append("]")
+    elif isinstance(data, dict):
+        parts.append("{")
+        for key in sorted(data):
+            parts.append(f"{key}:")
+            _signature(data[key], parts)
+        parts.append("}")
+    elif _is_custom(data):
+        parts.append(type(data).__name__)
+        parts.append("[")
+        for leaf in data.qdata_leaves():
+            _signature(leaf, parts)
+        parts.append("]")
+    else:
+        raise ShapeMismatchError(f"not quantum data: {data!r}")
+
+
+def same_shape(a: object, b: object) -> bool:
+    """True if *a* and *b* have identical shape (including parameters)."""
+    try:
+        return shape_signature(a) == shape_signature(b)
+    except ShapeMismatchError:
+        return False

@@ -1,0 +1,36 @@
+"""Extensible quantum data types (paper Section 4.5).
+
+Each type is a *QShape triple* (parameter / quantum / classical):
+
+=============  ============  ============
+parameter      quantum       classical
+=============  ============  ============
+``bool``       ``Qubit``     ``Bit``
+``IntM``       ``QDInt``     ``CInt``
+``IntTF``      ``QIntTF``    ``CIntTF``
+``FPRealM``    ``FPReal``    ``CFPReal``
+=============  ============  ============
+"""
+
+from .fpreal import CFPReal, FPReal, FPRealM, fpreal_shape
+from .qdint import CInt, IntM, QDInt, qdint_shape
+from .qinttf import CIntTF, IntTF, QIntTF, qinttf_shape
+from .register import Register, bools_msb_first, int_from_bools_msb
+
+__all__ = [
+    "Register",
+    "IntM",
+    "QDInt",
+    "CInt",
+    "qdint_shape",
+    "IntTF",
+    "QIntTF",
+    "CIntTF",
+    "qinttf_shape",
+    "FPRealM",
+    "FPReal",
+    "CFPReal",
+    "fpreal_shape",
+    "bools_msb_first",
+    "int_from_bools_msb",
+]

@@ -1,0 +1,115 @@
+"""Fixed-point real numbers: the paper's ``FPReal`` type (Section 4.5).
+
+"a real number library defining a type FPReal of fixed-size, fixed-point
+real numbers."  A value is stored in two's complement over
+``integer_bits + fraction_bits`` wires (MSB first); the represented real is
+``raw_two's_complement / 2**fraction_bits``.
+
+The paper's Linear Systems implementation "makes liberal use of arithmetic
+and analytic functions, such as sin(x) and cos(x) ... the circuit created
+for sin(x), over a 32+32 qubit fixed-point argument, uses 3273010 gates"
+(Section 4.6.1) -- reproduced in :mod:`repro.algorithms.qls.oracle`.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ShapeMismatchError
+from ..core.qdata import qubit
+from ..core.wires import Bit, Qubit, Wire
+from .register import Register, bools_msb_first, int_from_bools_msb
+
+
+class FPRealM:
+    """A fixed-point real parameter with given integer/fraction widths."""
+
+    def __init__(self, value: float, integer_bits: int, fraction_bits: int):
+        self.integer_bits = integer_bits
+        self.fraction_bits = fraction_bits
+        total = integer_bits + fraction_bits
+        if total <= 0:
+            raise ValueError("FPRealM needs at least one bit")
+        self.raw = round(value * (1 << fraction_bits)) % (1 << total)
+
+    @property
+    def length(self) -> int:
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def value(self) -> float:
+        """The represented real number (two's complement)."""
+        raw = self.raw
+        if raw >= 1 << (self.length - 1):
+            raw -= 1 << self.length
+        return raw / (1 << self.fraction_bits)
+
+    def qinit_shape(self, qc) -> "FPReal":
+        qubits = [qc.qinit_qubit(b) for b in self.bools()]
+        return FPReal(qubits, self.integer_bits, self.fraction_bits)
+
+    def qshape_specimen(self) -> "FPReal":
+        return FPReal(
+            [qubit] * self.length, self.integer_bits, self.fraction_bits
+        )
+
+    def qshape_bools(self) -> list[bool]:
+        return self.bools()
+
+    def bools(self) -> list[bool]:
+        return bools_msb_first(self.raw, self.length)
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FPRealM):
+            return (
+                self.integer_bits == other.integer_bits
+                and self.fraction_bits == other.fraction_bits
+                and self.raw == other.raw
+            )
+        if isinstance(other, (int, float)):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.integer_bits, self.fraction_bits, self.raw))
+
+    def __repr__(self) -> str:
+        return (
+            f"FPRealM({self.value}, {self.integer_bits}+{self.fraction_bits})"
+        )
+
+
+class FPReal(Register):
+    """A fixed-point quantum real register (MSB first, two's complement)."""
+
+    def __init__(self, wires: list[Wire], integer_bits: int,
+                 fraction_bits: int):
+        super().__init__(wires)
+        if len(wires) != integer_bits + fraction_bits:
+            raise ShapeMismatchError(
+                f"FPReal over {len(wires)} wires cannot have format "
+                f"{integer_bits}+{fraction_bits}"
+            )
+        self.integer_bits = integer_bits
+        self.fraction_bits = fraction_bits
+
+    def _rebuild(self, leaves: list[Wire]) -> "FPReal":
+        cls = CFPReal if all(isinstance(w, Bit) for w in leaves) else FPReal
+        return cls(leaves, self.integer_bits, self.fraction_bits)
+
+    def from_bools(self, bools: list[bool]) -> FPRealM:
+        result = FPRealM(0.0, self.integer_bits, self.fraction_bits)
+        result.raw = int_from_bools_msb(bools)
+        return result
+
+
+class CFPReal(FPReal):
+    """The classical-wire counterpart of :class:`FPReal`."""
+
+
+def fpreal_shape(integer_bits: int, fraction_bits: int) -> FPReal:
+    """A shape specimen for a fixed-point real register."""
+    return FPReal(
+        [qubit] * (integer_bits + fraction_bits), integer_bits, fraction_bits
+    )

@@ -1,0 +1,139 @@
+"""Fixed-size quantum integers: the paper's ``QDInt`` / ``IntM`` / ``CInt``.
+
+"Quipper also comes with a number of libraries defining additional kinds of
+quantum data.  For example, there is an arithmetic library that defines
+QDInt, a type of fixed-size signed quantum integers" (Section 4.5).
+
+* :class:`IntM` -- an integer *parameter* of fixed bit width (generation
+  time; the Bool analogue).
+* :class:`QDInt` -- a register of qubits holding an integer (two's
+  complement; the Qubit analogue).
+* :class:`CInt` -- the same over classical wires (the Bit analogue).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ShapeMismatchError
+from ..core.qdata import qubit
+from ..core.wires import Bit, Qubit, Wire
+from .register import Register, bools_msb_first, int_from_bools_msb
+
+
+class IntM:
+    """An integer parameter with a fixed bit width (two's complement).
+
+    Arithmetic between IntM values of equal width wraps modulo ``2**length``
+    -- exactly what the quantum arithmetic library computes on registers.
+    """
+
+    def __init__(self, value: int, length: int):
+        if length <= 0:
+            raise ValueError("IntM length must be positive")
+        self.length = length
+        self.value = value % (1 << length)
+
+    # -- QShape hooks --------------------------------------------------------
+
+    def qinit_shape(self, qc) -> "QDInt":
+        """Initialize a quantum register holding this value (``qinit``)."""
+        qubits = [qc.qinit_qubit(b) for b in self.bools()]
+        return QDInt(qubits)
+
+    def cinit_shape(self, qc) -> "CInt":
+        bits = [qc.cinit_bit(b) for b in self.bools()]
+        return CInt(bits)
+
+    def qshape_specimen(self) -> "QDInt":
+        return QDInt([qubit] * self.length)
+
+    def qshape_bools(self) -> list[bool]:
+        return self.bools()
+
+    def bools(self) -> list[bool]:
+        """The MSB-first bit pattern."""
+        return bools_msb_first(self.value, self.length)
+
+    # -- arithmetic and comparison -------------------------------------------
+
+    @property
+    def signed_value(self) -> int:
+        """The value interpreted in two's complement."""
+        if self.value >= 1 << (self.length - 1):
+            return self.value - (1 << self.length)
+        return self.value
+
+    def _coerce(self, other) -> "IntM":
+        if isinstance(other, IntM):
+            if other.length != self.length:
+                raise ShapeMismatchError(
+                    f"IntM width mismatch: {self.length} vs {other.length}"
+                )
+            return other
+        if isinstance(other, int):
+            return IntM(other, self.length)
+        return NotImplemented
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        return IntM(self.value + other.value, self.length)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        return IntM(self.value - other.value, self.length)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        return IntM(self.value * other.value, self.length)
+
+    __rmul__ = __mul__
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IntM):
+            return self.length == other.length and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other % (1 << self.length)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.length, self.value))
+
+    def __repr__(self) -> str:
+        return f"IntM({self.value}, length={self.length})"
+
+
+class QDInt(Register):
+    """A fixed-size quantum integer register (MSB-first wires)."""
+
+    def _rebuild(self, leaves: list[Wire]) -> Register:
+        if all(isinstance(w, Bit) for w in leaves):
+            return CInt(leaves)
+        return QDInt(leaves)
+
+    def from_bools(self, bools: list[bool]) -> IntM:
+        """Readout hook: bit pattern -> IntM (used by the simulators)."""
+        return IntM(int_from_bools_msb(bools), len(bools))
+
+
+class CInt(Register):
+    """A fixed-size classical integer register (MSB-first wires)."""
+
+    def _rebuild(self, leaves: list[Wire]) -> Register:
+        if all(isinstance(w, Qubit) for w in leaves):
+            return QDInt(leaves)
+        return CInt(leaves)
+
+    def from_bools(self, bools: list[bool]) -> IntM:
+        return IntM(int_from_bools_msb(bools), len(bools))
+
+
+def qdint_shape(length: int) -> QDInt:
+    """A shape specimen for an l-bit quantum integer."""
+    return QDInt([qubit] * length)

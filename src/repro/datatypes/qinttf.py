@@ -1,0 +1,126 @@
+"""Triangle Finding integers: arithmetic modulo ``2**l - 1``.
+
+Section 5.3.1 of the paper: "QIntTF denotes the type of quantum integers
+used by the oracle, which happen to be l-bit integers with arithmetic taken
+modulo 2^l - 1 (not 2^l)".
+
+Arithmetic modulo ``2**l - 1`` is ones'-complement style: the all-zeros and
+all-ones registers both represent zero (the "double zero"), and addition
+folds the carry-out back into the least significant bit (end-around carry).
+The :meth:`IntTF.__eq__` comparison is modular, so the double zero compares
+equal to zero.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ShapeMismatchError
+from ..core.qdata import qubit
+from ..core.wires import Bit, Qubit, Wire
+from .register import Register, bools_msb_first, int_from_bools_msb
+
+
+class IntTF:
+    """An integer parameter modulo ``2**length - 1``.
+
+    The raw register value lives in ``[0, 2**length - 1]`` (inclusive!);
+    both endpoints represent zero.
+    """
+
+    def __init__(self, value: int, length: int):
+        if length <= 1:
+            raise ValueError("IntTF length must be at least 2")
+        self.length = length
+        self.raw = value % ((1 << length) - 1) if value >= 0 else (
+            value % ((1 << length) - 1)
+        )
+
+    @property
+    def modulus(self) -> int:
+        return (1 << self.length) - 1
+
+    @property
+    def value(self) -> int:
+        """The canonical representative in [0, 2**l - 2]."""
+        return self.raw % self.modulus
+
+    def qinit_shape(self, qc) -> "QIntTF":
+        qubits = [qc.qinit_qubit(b) for b in self.bools()]
+        return QIntTF(qubits)
+
+    def qshape_specimen(self) -> "QIntTF":
+        return QIntTF([qubit] * self.length)
+
+    def qshape_bools(self) -> list[bool]:
+        return self.bools()
+
+    def bools(self) -> list[bool]:
+        return bools_msb_first(self.raw, self.length)
+
+    def _coerce(self, other) -> "IntTF":
+        if isinstance(other, IntTF):
+            if other.length != self.length:
+                raise ShapeMismatchError(
+                    f"IntTF width mismatch: {self.length} vs {other.length}"
+                )
+            return other
+        if isinstance(other, int):
+            return IntTF(other, self.length)
+        return NotImplemented
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        return IntTF(self.value + other.value, self.length)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        return IntTF(self.value * other.value, self.length)
+
+    __rmul__ = __mul__
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        """Modular equality: the double zero compares equal to zero."""
+        if isinstance(other, IntTF):
+            return self.length == other.length and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other % self.modulus
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.length, self.value))
+
+    def __repr__(self) -> str:
+        return f"IntTF({self.raw}, length={self.length})"
+
+
+class QIntTF(Register):
+    """A quantum register holding an integer modulo ``2**l - 1``."""
+
+    def _rebuild(self, leaves: list[Wire]) -> Register:
+        if all(isinstance(w, Bit) for w in leaves):
+            return CIntTF(leaves)
+        return QIntTF(leaves)
+
+    def from_bools(self, bools: list[bool]) -> IntTF:
+        return IntTF(int_from_bools_msb(bools), len(bools))
+
+
+class CIntTF(Register):
+    """The classical-wire counterpart of :class:`QIntTF`."""
+
+    def _rebuild(self, leaves: list[Wire]) -> Register:
+        if all(isinstance(w, Qubit) for w in leaves):
+            return QIntTF(leaves)
+        return CIntTF(leaves)
+
+    def from_bools(self, bools: list[bool]) -> IntTF:
+        return IntTF(int_from_bools_msb(bools), len(bools))
+
+
+def qinttf_shape(length: int) -> QIntTF:
+    """A shape specimen for an l-bit Triangle Finding integer."""
+    return QIntTF([qubit] * length)

@@ -1,0 +1,78 @@
+"""Base machinery shared by the quantum register datatypes.
+
+Each datatype of the paper's Section 4.5 comes as a *QShape triple*: a
+parameter version (known at generation time), a quantum version (a register
+of qubits), and a classical version (a register of bits)::
+
+    instance QShape IntM QDInt CInt      -- the paper's example
+
+A :class:`Register` is a wrapper around an ordered list of wires, with the
+paper's convention that the *first* leaf is the most significant bit (this
+is how Quipper's integer registers print: ``x[3], x[2], x[1], x[0]``).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ShapeMismatchError
+from ..core.qdata import QData
+from ..core.wires import Bit, Qubit, Wire
+
+
+class Register(QData):
+    """An ordered, fixed-length register of wires (MSB first)."""
+
+    def __init__(self, wires: list[Wire]):
+        self.wires = list(wires)
+
+    def __len__(self) -> int:
+        return len(self.wires)
+
+    @property
+    def length(self) -> int:
+        return len(self.wires)
+
+    def qdata_leaves(self) -> list[Wire]:
+        return list(self.wires)
+
+    def qdata_rebuild(self, leaves: list[Wire]) -> "Register":
+        if len(leaves) != len(self.wires):
+            raise ShapeMismatchError(
+                f"{type(self).__name__} rebuild with {len(leaves)} wires, "
+                f"expected {len(self.wires)}"
+            )
+        return self._rebuild(leaves)
+
+    def _rebuild(self, leaves: list[Wire]) -> "Register":
+        return type(self)(leaves)
+
+    def bit(self, index: int) -> Wire:
+        """The wire of weight ``2**index`` (little-endian accessor)."""
+        return self.wires[len(self.wires) - 1 - index]
+
+    def bits_le(self) -> list[Wire]:
+        """Wires in little-endian order (index 0 = least significant)."""
+        return list(reversed(self.wires))
+
+    def is_quantum(self) -> bool:
+        return all(isinstance(w, Qubit) for w in self.wires)
+
+    def is_classical(self) -> bool:
+        return all(isinstance(w, Bit) for w in self.wires)
+
+    def __repr__(self) -> str:
+        ids = ",".join(str(w.wire_id) for w in self.wires)
+        return f"{type(self).__name__}[{ids}]"
+
+
+def bools_msb_first(value: int, length: int) -> list[bool]:
+    """The two's-complement bit pattern of *value*, MSB first."""
+    value %= 1 << length
+    return [bool((value >> (length - 1 - i)) & 1) for i in range(length)]
+
+
+def int_from_bools_msb(bools: list[bool]) -> int:
+    """The unsigned integer encoded by an MSB-first bit pattern."""
+    value = 0
+    for b in bools:
+        value = (value << 1) | int(b)
+    return value

@@ -1,0 +1,52 @@
+"""Quantum algorithm primitives (paper Section 3.1).
+
+QFT, amplitude amplification, phase estimation, quantum-walk pieces,
+quantum-addressed memory, and Hamiltonian-simulation helpers -- "the heart
+of what makes a quantum algorithm potentially outperform its classical
+counterpart".
+"""
+
+from .amplitude import (
+    amplitude_amplification,
+    diffuse,
+    grover_iteration,
+    phase_flip_if_zero,
+    phase_oracle_from_bit_oracle,
+    prepare_uniform,
+)
+from .phase_estimation import phase_estimation
+from .qft import qft, qft_big_endian, qft_big_endian_inverse, qft_inverse
+from .qram import qram_fetch, qram_store, qram_swap
+from .simulation import (
+    Hamiltonian,
+    PauliString,
+    exp_pauli,
+    trotter_step,
+    trotterized_evolution,
+)
+from .walk import adjacency_interaction, repeat_walk_steps, walk_diffusion
+
+__all__ = [
+    "qft",
+    "qft_inverse",
+    "qft_big_endian",
+    "qft_big_endian_inverse",
+    "amplitude_amplification",
+    "grover_iteration",
+    "diffuse",
+    "phase_flip_if_zero",
+    "phase_oracle_from_bit_oracle",
+    "prepare_uniform",
+    "phase_estimation",
+    "qram_fetch",
+    "qram_store",
+    "qram_swap",
+    "exp_pauli",
+    "trotter_step",
+    "trotterized_evolution",
+    "Hamiltonian",
+    "PauliString",
+    "adjacency_interaction",
+    "repeat_walk_steps",
+    "walk_diffusion",
+]

@@ -1,0 +1,76 @@
+"""Amplitude amplification and Grover iteration (paper Section 3.1).
+
+"Amplitude amplification (also known as Grover's search) is used to
+increase the amplitude of certain basis states in a superposition, while
+decreasing others."
+
+The phase oracle convention: an oracle is a circuit function that flips the
+phase of the marked basis states.  :func:`phase_oracle_from_bit_oracle`
+converts a bit-computing oracle into a phase oracle by computing the bit,
+applying Z, and uncomputing (phase kickback without the |-> ancilla).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.builder import Circ, neg
+from ..core.qdata import qdata_leaves
+
+
+def phase_flip_if_zero(qc: Circ, data) -> None:
+    """Flip the phase of the all-|0> component of *data*.
+
+    Implemented as a Z on the last qubit, negatively controlled on all the
+    others, conjugated by X on the last (so the phase lands on |00..0>).
+    """
+    leaves = qdata_leaves(data)
+    last = leaves[-1]
+    rest = leaves[:-1]
+    qc.qnot(last)
+    qc.gate_Z(last, controls=[neg(q) for q in rest] or None)
+    qc.qnot(last)
+
+
+def diffuse(qc: Circ, data) -> None:
+    """The Grover diffusion operator: inversion about the uniform state."""
+    for q in qdata_leaves(data):
+        qc.hadamard(q)
+    phase_flip_if_zero(qc, data)
+    for q in qdata_leaves(data):
+        qc.hadamard(q)
+
+
+def phase_oracle_from_bit_oracle(
+    qc: Circ, bit_oracle: Callable, data
+) -> None:
+    """Phase-flip the states on which *bit_oracle* computes True.
+
+    ``bit_oracle(qc, data)`` must return a fresh qubit holding the
+    predicate; it is computed, a Z applies the phase, and the computation
+    is uncomputed (``with_computed``).
+    """
+    qc.with_computed(
+        lambda: bit_oracle(qc, data),
+        lambda result: qc.gate_Z(result),
+    )
+
+
+def grover_iteration(qc: Circ, data, phase_oracle: Callable) -> None:
+    """One Grover iteration: phase oracle, then diffusion."""
+    phase_oracle(qc, data)
+    diffuse(qc, data)
+
+
+def amplitude_amplification(
+    qc: Circ, data, phase_oracle: Callable, iterations: int
+) -> None:
+    """Iterate Grover steps *iterations* times (paper Section 3.1)."""
+    for _ in range(iterations):
+        grover_iteration(qc, data, phase_oracle)
+
+
+def prepare_uniform(qc: Circ, data) -> None:
+    """Map |00..0> to the uniform superposition (H on every qubit)."""
+    for q in qdata_leaves(data):
+        qc.hadamard(q)

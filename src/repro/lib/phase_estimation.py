@@ -1,0 +1,48 @@
+"""Phase estimation (paper Section 3.1).
+
+"Phase estimation is a technique for estimating eigenvalues of a unitary
+operator."  Given a circuit implementing controlled powers of U and a
+target register holding (a component of) an eigenvector, the standard
+circuit estimates the eigenphase to ``precision`` bits:
+
+    |0..0>|psi>  ->  |round(2^m * theta)>|psi>     (U|psi> = e^{2 pi i theta}|psi>)
+
+The caller provides ``controlled_power(qc, target, power, control)``, which
+must apply U^power to the target under the given control qubit -- circuit
+implementations that can scale a time parameter (e.g. Trotterized
+Hamiltonian simulation in GSE) do this in O(1) gates per power.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.builder import Circ
+from ..datatypes.qdint import QDInt
+from .qft import qft_big_endian_inverse
+
+
+def phase_estimation(
+    qc: Circ,
+    controlled_power: Callable,
+    target,
+    precision: int,
+) -> QDInt:
+    """Estimate the eigenphase of U on *target* to *precision* bits.
+
+    Returns a fresh ``QDInt`` register (MSB first) holding the phase
+    estimate; measuring it yields ``round(2^precision * theta)`` with high
+    probability.  The control register is returned unmeasured so callers
+    can amplify or post-select.
+    """
+    controls = [qc.qinit_qubit(False) for _ in range(precision)]
+    for q in controls:
+        qc.hadamard(q)
+    # controls[0] is the most significant bit: it controls U^(2^(m-1)).
+    for index, ctl in enumerate(controls):
+        power = 1 << (precision - 1 - index)
+        controlled_power(qc, target, power, ctl)
+    qft_big_endian_inverse(qc, list(reversed(controls)))
+    # After the swapless inverse QFT the phase bits come out reversed;
+    # relabel (gate-free) so the returned register reads MSB-first.
+    return QDInt(list(reversed(controls)))

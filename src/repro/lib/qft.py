@@ -1,0 +1,72 @@
+"""The quantum Fourier transform (paper Section 3.1).
+
+"The quantum Fourier transform is a unitary change of basis analogous to
+the classical Fourier transform, and is used in many quantum algorithms,
+for example to find the period of a periodic function."
+
+The circuit is the textbook ladder of Hadamards and controlled phase
+rotations (the ``rGate`` R_m = diag(1, exp(2 pi i / 2^m))).  No terminal
+swaps are emitted; instead the *returned* qubit list is reversed, which is
+the Quipper convention (wire relabeling is free).
+"""
+
+from __future__ import annotations
+
+from ..core.builder import Circ
+from ..core.wires import Qubit
+from ..datatypes.register import Register
+
+
+def qft_big_endian(qc: Circ, qs: list[Qubit]) -> list[Qubit]:
+    """QFT over a big-endian qubit list, *without* the bit reversal.
+
+    After the circuit, qubit i holds the Fourier phase ``0.j_{i+1}..j_n``
+    (so the logical output order is the reverse of the input order).  Used
+    directly by the Draper adder, which tracks phases positionally.
+    """
+    n = len(qs)
+    for i in range(n):
+        qc.hadamard(qs[i])
+        for j in range(i + 1, n):
+            qc.rGate(j - i + 1, qs[i], controls=qs[j])
+    return qs
+
+
+def qft_big_endian_inverse(qc: Circ, qs: list[Qubit]) -> list[Qubit]:
+    """The exact inverse gate sequence of :func:`qft_big_endian`."""
+    n = len(qs)
+    for i in range(n - 1, -1, -1):
+        for j in range(n - 1, i, -1):
+            qc.rGate(j - i + 1, qs[i], controls=qs[j], inverted=True)
+        qc.hadamard(qs[i])
+    return qs
+
+
+def qft(qc: Circ, data) -> object:
+    """QFT over a register or qubit list; returns the relabeled result.
+
+    The output is bit-reversed relative to the input (the swaps are
+    performed by relabeling rather than gates).
+    """
+    qs = _as_list(data)
+    qft_big_endian(qc, qs)
+    return _rebuild(data, list(reversed(qs)))
+
+
+def qft_inverse(qc: Circ, data) -> object:
+    """Inverse QFT; exactly inverts :func:`qft` including the relabeling."""
+    qs = list(reversed(_as_list(data)))
+    qft_big_endian_inverse(qc, qs)
+    return _rebuild(data, qs)
+
+
+def _as_list(data) -> list[Qubit]:
+    if isinstance(data, Register):
+        return list(data.wires)
+    return list(data)
+
+
+def _rebuild(data, qs: list[Qubit]):
+    if isinstance(data, Register):
+        return data.qdata_rebuild(qs)
+    return qs

@@ -1,0 +1,77 @@
+"""Quantum-addressed register access (the TF algorithm's qRAM).
+
+The paper's ``a6_QWSH`` subroutine uses ``qram_fetch`` and ``qram_store``
+to move the Hamming-tuple component addressed by a quantum index register
+in and out of a scratch register.  A "table" here is a dict mapping each
+classical address to a piece of quantum data (the paper's
+``IntMap QNode``); the address register is a :class:`QDInt`.
+
+Each operation iterates over the classical addresses, applying gates
+controlled on the address register matching that address (a mix of
+positive and negative controls -- another source of the paper's
+``controls a+b`` gate counts).
+"""
+
+from __future__ import annotations
+
+from ..core.builder import Circ, Signed, neg
+from ..core.errors import ShapeMismatchError
+from ..core.qdata import qdata_leaves
+from ..datatypes.qdint import QDInt
+
+
+def _address_controls(index: QDInt, address: int) -> list[Signed]:
+    """The control pattern asserting ``index == address``."""
+    controls = []
+    for i in range(len(index)):
+        wire = index.bit(i)
+        controls.append(wire if (address >> i) & 1 else neg(wire))
+    return controls
+
+
+def _entry_leaves(table: dict, address: int):
+    leaves = qdata_leaves(table[address])
+    return leaves
+
+
+def qram_fetch(qc: Circ, index: QDInt, table: dict, target) -> None:
+    """target ^= table[index] (quantum-indexed fetch).
+
+    For every address a in the table, XORs entry a into the target under
+    the control pattern ``index == a``.
+    """
+    target_leaves = qdata_leaves(target)
+    for address in sorted(table):
+        controls = _address_controls(index, address)
+        entry = _entry_leaves(table, address)
+        if len(entry) != len(target_leaves):
+            raise ShapeMismatchError(
+                f"table entry {address} shape differs from target"
+            )
+        for src, dst in zip(entry, target_leaves):
+            qc.qnot(dst, controls=[src, *controls])
+
+
+def qram_store(qc: Circ, index: QDInt, table: dict, source) -> None:
+    """table[index] ^= source (quantum-indexed store)."""
+    source_leaves = qdata_leaves(source)
+    for address in sorted(table):
+        controls = _address_controls(index, address)
+        entry = _entry_leaves(table, address)
+        if len(entry) != len(source_leaves):
+            raise ShapeMismatchError(
+                f"table entry {address} shape differs from source"
+            )
+        for src, dst in zip(source_leaves, entry):
+            qc.qnot(dst, controls=[src, *controls])
+
+
+def qram_swap(qc: Circ, index: QDInt, table: dict, other) -> None:
+    """Swap table[index] with *other* (quantum-indexed swap).
+
+    Implemented as three quantum-indexed XORs, the register-level analogue
+    of the three-CNOT swap.
+    """
+    qram_fetch(qc, index, table, other)
+    qram_store(qc, index, table, other)
+    qram_fetch(qc, index, table, other)

@@ -1,0 +1,79 @@
+"""Quantum-walk building blocks (paper Section 3.1).
+
+"Quantum walks can be described as the quantum counterpart to random
+walks."  Two styles appear in the paper's algorithm suite:
+
+* *continuous-time* walks, simulated by Trotterized evolution of the
+  graph's adjacency Hamiltonian -- this is the Binary Welded Tree
+  algorithm's diffusion step (Figure 1), built from W gates and
+  ``exp(-iZt)``;
+* *discrete, Grover-based* walks on a larger graph -- the Triangle
+  Finding algorithm's walk on the Hamming graph, whose step mixes a
+  diffusion of the "direction" registers with data updates.
+
+This module holds the shared generic pieces; the algorithm-specific step
+structure lives with each algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.builder import Circ
+from ..core.qdata import qdata_leaves
+from .amplitude import diffuse
+
+
+def walk_diffusion(qc: Circ, data) -> None:
+    """Grover diffusion of a walk's direction/coin registers.
+
+    This is what the TF algorithm's ``a7_DIFFUSE`` applies to the pair
+    (index, node) choosing the next Hamming-graph neighbour.
+    """
+    diffuse(qc, data)
+
+
+def adjacency_interaction(
+    qc: Circ, a, b, edge_control, t: float
+) -> None:
+    """One welded-tree-style interaction term between node registers.
+
+    Applies the Figure 1 gadget: W-gates entangle corresponding qubit
+    pairs of *a* and *b*, a phase evolution ``exp(-iZt)`` acts on an
+    ancilla computed from the pair-difference pattern, and the W-gates are
+    undone.  *edge_control* (a qubit or None) gates the evolution on the
+    presence of the edge.
+    """
+    a_leaves = qdata_leaves(a)
+    b_leaves = qdata_leaves(b)
+
+    def enter_w_basis():
+        for x, y in zip(a_leaves, b_leaves):
+            qc.gate_W(x, y)
+        return None
+
+    def evolve(_):
+        with qc.ancilla() as scratch:
+            controls = list(a_leaves)
+            qc.qnot(scratch, controls=controls)
+            ctl = [edge_control] if edge_control is not None else None
+            qc.expZt(t, scratch, controls=ctl)
+            qc.qnot(scratch, controls=controls)
+        return None
+
+    qc.with_computed(enter_w_basis, evolve)
+
+
+def repeat_walk_steps(
+    qc: Circ, step: Callable, data, steps: int, box_name: str | None = None
+) -> object:
+    """Iterate a walk step; with *box_name*, as a repeated boxed subroutine.
+
+    The boxed form keeps the circuit representation O(1) in the number of
+    steps -- the mechanism behind the paper's trillion-gate circuits.
+    """
+    if box_name is None:
+        for _ in range(steps):
+            data = step(qc, data)
+        return data
+    return qc.nbox(box_name, steps, step, data)

@@ -1,0 +1,37 @@
+"""Circuit lifting: classical code -> quantum oracles (paper Section 4.6).
+
+The ``build_circuit`` decorator, the ``unpack`` operation, traced data
+types (:class:`CBool`, :class:`CWord`, :class:`CFix`), and
+``classical_to_reversible``.
+"""
+
+from .cbool import (
+    CBool,
+    Trace,
+    all_of,
+    any_of,
+    bool_and,
+    bool_or,
+    bool_xor,
+    cond,
+)
+from .cint import CFix, CWord
+from .reversible import classical_to_reversible
+from .template import Template, build_circuit, unpack
+
+__all__ = [
+    "build_circuit",
+    "unpack",
+    "Template",
+    "classical_to_reversible",
+    "CBool",
+    "CWord",
+    "CFix",
+    "Trace",
+    "cond",
+    "bool_xor",
+    "bool_and",
+    "bool_or",
+    "all_of",
+    "any_of",
+]

@@ -1,0 +1,249 @@
+"""The symbolic boolean domain used by circuit lifting.
+
+Quipper's ``build_circuit`` keyword lifts classical Haskell code to
+circuit-generating code at compile time, via Template Haskell (paper
+Section 4.6.1).  Python has no compile-time metaprogramming with the same
+ergonomics, so this reproduction lifts by *tracing*: the classical function
+is executed over symbolic :class:`CBool` values which record the boolean
+DAG of the computation.  The effect is the same -- a circuit computing the
+same function, with ancillas for intermediate values -- and parameter-
+dependent control flow (list lengths, ifs on real ``bool`` parameters) is
+resolved during the trace exactly as Quipper resolves it at generation
+time.
+
+Branching on a *symbolic* boolean is impossible (its value exists only at
+circuit execution time); use :func:`cond` to build both branches, which is
+precisely what Quipper requires of lifted code as well.
+
+Hash-consing (``share=True``, the default) merges syntactically identical
+subterms.  Quipper's Template Haskell lifting does *not* share common
+subexpressions, so ``share=False`` gives counts closer to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.errors import LiftingError
+
+AND = "and"
+OR = "or"
+XOR = "xor"
+NOT = "not"
+INPUT = "in"
+CONST = "const"
+
+
+class CBool:
+    """A node of the traced boolean DAG."""
+
+    __slots__ = ("trace", "op", "args", "value", "node_id")
+
+    def __init__(self, trace: "Trace", op: str, args: tuple, value=None):
+        self.trace = trace
+        self.op = op
+        self.args = args
+        self.value = value  # bool for CONST, input index for INPUT
+        self.node_id = trace._next_id()
+
+    # -- operators ---------------------------------------------------------
+
+    def __and__(self, other):
+        return self.trace.gate(AND, self, other)
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        return self.trace.gate(OR, self, other)
+
+    __ror__ = __or__
+
+    def __xor__(self, other):
+        return self.trace.gate(XOR, self, other)
+
+    __rxor__ = __xor__
+
+    def __invert__(self):
+        return self.trace.gate_not(self)
+
+    def __bool__(self):
+        raise LiftingError(
+            "cannot branch on a circuit-time boolean: its value is only "
+            "known at circuit execution time.  Use repro.lifting.cond(c, "
+            "t, e) to construct both branches (paper Section 4.3.2)."
+        )
+
+    def __eq__(self, other):  # symbolic equality, not comparison
+        if isinstance(other, (CBool, bool)):
+            return ~(self ^ other)
+        return NotImplemented
+
+    def __ne__(self, other):
+        if isinstance(other, (CBool, bool)):
+            return self ^ other
+        return NotImplemented
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self):
+        return f"CBool<{self.op}:{self.node_id}>"
+
+
+class Trace:
+    """A lifting trace: allocates and (optionally) hash-conses CBool nodes."""
+
+    def __init__(self, share: bool = True):
+        self.share = share
+        self.inputs: list[CBool] = []
+        self._count = 0
+        self._table: dict[tuple, CBool] = {}
+        self._true = CBool(self, CONST, (), True)
+        self._false = CBool(self, CONST, (), False)
+
+    def _next_id(self) -> int:
+        self._count += 1
+        return self._count
+
+    def const(self, value: bool) -> CBool:
+        return self._true if value else self._false
+
+    def new_input(self) -> CBool:
+        node = CBool(self, INPUT, (), len(self.inputs))
+        self.inputs.append(node)
+        return node
+
+    def lift(self, value) -> CBool:
+        if isinstance(value, CBool):
+            if value.trace is not self:
+                raise LiftingError("CBool used outside its own trace")
+            return value
+        if isinstance(value, bool):
+            return self.const(value)
+        raise LiftingError(f"not liftable to a traced boolean: {value!r}")
+
+    def gate(self, op: str, a, b) -> CBool:
+        a, b = self.lift(a), self.lift(b)
+        folded = self._fold(op, a, b)
+        if folded is not None:
+            return folded
+        if self.share:
+            left, right = sorted((a.node_id, b.node_id))
+            key = (op, left, right)
+            cached = self._table.get(key)
+            if cached is not None:
+                return cached
+            node = CBool(self, op, (a, b))
+            self._table[key] = node
+            return node
+        return CBool(self, op, (a, b))
+
+    def gate_not(self, a) -> CBool:
+        a = self.lift(a)
+        if a.op == CONST:
+            return self.const(not a.value)
+        if a.op == NOT:
+            return a.args[0]
+        if self.share:
+            key = (NOT, a.node_id)
+            cached = self._table.get(key)
+            if cached is not None:
+                return cached
+            node = CBool(self, NOT, (a,))
+            self._table[key] = node
+            return node
+        return CBool(self, NOT, (a,))
+
+    @staticmethod
+    def _fold(op: str, a: CBool, b: CBool) -> CBool | None:
+        """Constant folding (parameters vanish, as in Quipper)."""
+        trace = a.trace
+        a_const = a.op == CONST
+        b_const = b.op == CONST
+        if a_const and b_const:
+            table = {
+                AND: a.value and b.value,
+                OR: a.value or b.value,
+                XOR: a.value != b.value,
+            }
+            return trace.const(table[op])
+        if a_const or b_const:
+            const, other = (a, b) if a_const else (b, a)
+            if op == AND:
+                return other if const.value else trace.const(False)
+            if op == OR:
+                return trace.const(True) if const.value else other
+            if op == XOR:
+                return trace.gate_not(other) if const.value else other
+        if a is b:
+            if op in (AND, OR):
+                return a
+            if op == XOR:
+                return trace.const(False)
+        return None
+
+
+def bool_xor(a, b):
+    """Exclusive or, usable on both traced and plain booleans.
+
+    This is the lifted counterpart of the paper's ``bool_xor`` in the
+    parity-oracle example.
+    """
+    if isinstance(a, CBool):
+        return a ^ b
+    if isinstance(b, CBool):
+        return b ^ a
+    return bool(a) != bool(b)
+
+
+def cond(c, then_value, else_value):
+    """Symbolic if-then-else: both branches are built (Section 4.3.2).
+
+    Works elementwise over equal-length lists/tuples.  For a *parameter*
+    condition (a plain bool), only the chosen branch is returned -- the
+    paper's point that parameter conditionals generate smaller circuits.
+    """
+    if isinstance(c, bool):
+        return then_value if c else else_value
+    if not isinstance(c, CBool):
+        raise LiftingError(f"cond condition must be bool or CBool: {c!r}")
+    if isinstance(then_value, (list, tuple)):
+        if len(then_value) != len(else_value):
+            raise LiftingError("cond branches must have equal shape")
+        pairs = [cond(c, t, e) for t, e in zip(then_value, else_value)]
+        return type(then_value)(pairs)
+    return (c & then_value) | (~c & else_value)
+
+
+def bool_and(a, b):
+    """Conjunction usable on both traced and plain booleans."""
+    if isinstance(a, CBool) or isinstance(b, CBool):
+        return (a if isinstance(a, CBool) else b) & (
+            b if isinstance(a, CBool) else a
+        )
+    return bool(a) and bool(b)
+
+
+def bool_or(a, b):
+    """Disjunction usable on both traced and plain booleans."""
+    if isinstance(a, CBool) or isinstance(b, CBool):
+        return (a if isinstance(a, CBool) else b) | (
+            b if isinstance(a, CBool) else a
+        )
+    return bool(a) or bool(b)
+
+
+def all_of(values: Iterable):
+    """Conjunction of a sequence of (traced) booleans."""
+    result = True
+    for value in values:
+        result = bool_and(result, value)
+    return result
+
+
+def any_of(values: Iterable):
+    """Disjunction of a sequence of (traced) booleans."""
+    result = False
+    for value in values:
+        result = bool_or(result, value)
+    return result

@@ -1,0 +1,227 @@
+"""Traced integers and fixed-point reals for circuit lifting.
+
+Quipper's ``build_circuit`` handles not just booleans but the arithmetic
+types: the paper's Linear Systems oracles lift functions like ``sin(x)``
+over 32+32-bit fixed-point arguments into multi-million-gate circuits
+(Section 4.6.1).  :class:`CWord` is a fixed-width two's-complement integer
+over traced booleans; :class:`CFix` adds a binary point.
+
+All arithmetic is synthesized as boolean logic in the trace (ripple-carry
+adders, shift-and-add multipliers), which the template synthesizer then
+turns into Toffoli/CNOT circuits.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import LiftingError
+from .cbool import CBool, Trace, cond
+
+
+class CWord:
+    """A fixed-width two's-complement integer of traced booleans.
+
+    Bits are stored little-endian (``bits[0]`` is the least significant).
+    Arithmetic wraps modulo ``2**width``, matching ``QDInt`` semantics.
+    """
+
+    __slots__ = ("trace", "bits")
+
+    def __init__(self, trace: Trace, bits: list):
+        self.trace = trace
+        self.bits = [trace.lift(b) for b in bits]
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    @classmethod
+    def from_const(cls, trace: Trace, value: int, width: int) -> "CWord":
+        value %= 1 << width
+        return cls(
+            trace, [bool((value >> i) & 1) for i in range(width)]
+        )
+
+    def _coerce(self, other) -> "CWord":
+        if isinstance(other, CWord):
+            if other.width != self.width:
+                raise LiftingError(
+                    f"CWord width mismatch: {self.width} vs {other.width}"
+                )
+            return other
+        if isinstance(other, int):
+            return CWord.from_const(self.trace, other, self.width)
+        raise LiftingError(f"cannot coerce {other!r} to CWord")
+
+    # -- arithmetic -------------------------------------------------------
+
+    def add_with_carry(self, other) -> tuple["CWord", CBool]:
+        """Ripple-carry addition; returns (sum, carry_out)."""
+        other = self._coerce(other)
+        carry = self.trace.const(False)
+        out = []
+        for a, b in zip(self.bits, other.bits):
+            out.append(a ^ b ^ carry)
+            carry = (a & b) | (carry & (a ^ b))
+        return CWord(self.trace, out), carry
+
+    def __add__(self, other):
+        total, _ = self.add_with_carry(other)
+        return total
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        flipped = CWord(self.trace, [~b for b in self.bits])
+        return flipped + 1
+
+    def __sub__(self, other):
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        return self._coerce(other) - self
+
+    def __mul__(self, other):
+        """Shift-and-add multiplication modulo ``2**width``."""
+        other = self._coerce(other)
+        total = CWord.from_const(self.trace, 0, self.width)
+        for i, bit in enumerate(other.bits):
+            shifted = self.shift_left(i)
+            gated = CWord(self.trace, [bit & s for s in shifted.bits])
+            total = total + gated
+        return total
+
+    __rmul__ = __mul__
+
+    def shift_left(self, amount: int) -> "CWord":
+        """Logical shift left by a constant (drops high bits)."""
+        false = self.trace.const(False)
+        bits = [false] * amount + self.bits[: self.width - amount]
+        return CWord(self.trace, bits)
+
+    def shift_right(self, amount: int) -> "CWord":
+        """*Arithmetic* shift right by a constant (sign-extending)."""
+        sign = self.bits[-1]
+        bits = self.bits[amount:] + [sign] * min(amount, self.width)
+        return CWord(self.trace, bits[: self.width])
+
+    def sign_extend(self, width: int) -> "CWord":
+        if width < self.width:
+            raise LiftingError("sign_extend cannot shrink a word")
+        sign = self.bits[-1]
+        return CWord(self.trace, self.bits + [sign] * (width - self.width))
+
+    def truncate(self, width: int) -> "CWord":
+        return CWord(self.trace, self.bits[:width])
+
+    # -- comparisons (symbolic) ---------------------------------------------
+
+    def eq(self, other) -> CBool:
+        other = self._coerce(other)
+        result = self.trace.const(True)
+        for a, b in zip(self.bits, other.bits):
+            result = result & ~(a ^ b)
+        return result
+
+    def lt_unsigned(self, other) -> CBool:
+        """Unsigned less-than via the subtraction borrow."""
+        other = self._coerce(other)
+        borrow = self.trace.const(False)
+        for a, b in zip(self.bits, other.bits):
+            # borrow' = (~a & b) | (~(a ^ b) & borrow)
+            borrow = ((~a) & b) | (~(a ^ b) & borrow)
+        return borrow
+
+    def select(self, c, other) -> "CWord":
+        """cond over words: self if c else other."""
+        other = self._coerce(other)
+        return CWord(
+            self.trace,
+            [cond(c, a, b) for a, b in zip(self.bits, other.bits)],
+        )
+
+
+class CFix:
+    """A traced fixed-point real: CWord with a binary point.
+
+    The value is ``word (two's complement) / 2**fraction_bits``.  This is
+    the lifting-domain counterpart of :class:`~repro.datatypes.FPReal`.
+    """
+
+    __slots__ = ("word", "integer_bits", "fraction_bits")
+
+    def __init__(self, word: CWord, integer_bits: int, fraction_bits: int):
+        if word.width != integer_bits + fraction_bits:
+            raise LiftingError("CFix word width does not match format")
+        self.word = word
+        self.integer_bits = integer_bits
+        self.fraction_bits = fraction_bits
+
+    @property
+    def trace(self) -> Trace:
+        return self.word.trace
+
+    @property
+    def width(self) -> int:
+        return self.word.width
+
+    @classmethod
+    def from_const(cls, trace: Trace, value: float, integer_bits: int,
+                   fraction_bits: int) -> "CFix":
+        raw = round(value * (1 << fraction_bits))
+        word = CWord.from_const(trace, raw, integer_bits + fraction_bits)
+        return cls(word, integer_bits, fraction_bits)
+
+    def _coerce(self, other) -> "CFix":
+        if isinstance(other, CFix):
+            if (other.integer_bits, other.fraction_bits) != (
+                self.integer_bits,
+                self.fraction_bits,
+            ):
+                raise LiftingError("CFix format mismatch")
+            return other
+        if isinstance(other, (int, float)):
+            return CFix.from_const(
+                self.trace, other, self.integer_bits, self.fraction_bits
+            )
+        raise LiftingError(f"cannot coerce {other!r} to CFix")
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        return CFix(
+            self.word + other.word, self.integer_bits, self.fraction_bits
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        return CFix(-self.word, self.integer_bits, self.fraction_bits)
+
+    def __sub__(self, other):
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        return self._coerce(other) - self
+
+    def __mul__(self, other):
+        """Fixed-point product: widen, multiply, shift the point back.
+
+        Both operands are sign-extended to double width so the unsigned
+        shift-and-add product agrees with the signed product modulo
+        ``2**(2w)``; the result is the middle window of the full product.
+        """
+        other = self._coerce(other)
+        wide_self = self.word.sign_extend(2 * self.width)
+        wide_other = other.word.sign_extend(2 * self.width)
+        product = wide_self * wide_other
+        window = product.shift_right(self.fraction_bits).truncate(self.width)
+        return CFix(window, self.integer_bits, self.fraction_bits)
+
+    __rmul__ = __mul__
+
+    def select(self, c, other) -> "CFix":
+        other = self._coerce(other)
+        return CFix(
+            self.word.select(c, other.word),
+            self.integer_bits,
+            self.fraction_bits,
+        )

@@ -1,0 +1,48 @@
+"""``classical_to_reversible``: the fourth oracle-automation step.
+
+Paper Section 4.6.1: the standard trick of replacing ``x -> f(x)`` by the
+reversible ``(x, y) -> (x, y XOR f(x))``, "while also uncomputing any
+scratch space used by the function f".  The compute/copy/uncompute
+discipline is exactly ``with_computed``, so the implementation is three
+lines of orchestration::
+
+    classical_to_reversible(unpack(template_f))  # (qc, x, y) -> (x, y)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.builder import Circ
+from ..core.errors import ShapeMismatchError
+from ..core.qdata import qdata_leaves
+
+
+def classical_to_reversible(circuit_fn: Callable) -> Callable:
+    """Lift ``(qc, x) -> f(x)`` into reversible ``(qc, x, y) -> (x, y)``.
+
+    The returned function computes f's circuit, XORs the result into *y*
+    (which must match f's output shape), and uncomputes everything --
+    inputs come back unchanged and all ancillas are returned to |0>.
+    """
+
+    def reversible(qc: Circ, x, y):
+        def compute():
+            return circuit_fn(qc, x)
+
+        def action(result):
+            result_leaves = qdata_leaves(result)
+            y_leaves = qdata_leaves(y)
+            if len(result_leaves) != len(y_leaves):
+                raise ShapeMismatchError(
+                    f"oracle output has {len(result_leaves)} wires but the "
+                    f"target register has {len(y_leaves)}"
+                )
+            for src, dst in zip(result_leaves, y_leaves):
+                qc.qnot(dst, controls=src)
+            return None
+
+        qc.with_computed(compute, action)
+        return x, y
+
+    return reversible

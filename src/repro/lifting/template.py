@@ -1,0 +1,239 @@
+"""``build_circuit``: automatic generation of circuits from classical code.
+
+Paper Section 4.6.1: "The implementation of a quantum oracle 'by hand'
+usually requires four separate steps ... In Quipper, all of these steps but
+the first one can be automated."  The ``build_circuit`` decorator wraps a
+classical Python function; :func:`unpack` turns the wrapped function into a
+circuit-generating function::
+
+    @build_circuit
+    def f(as_):
+        result = False
+        for h in as_:
+            result = bool_xor(h, result)
+        return result
+
+    template_f = unpack(f)          # (qc, [Qubit]) -> Qubit
+
+The function still runs classically when called directly (the decorator is
+transparent), mirroring Quipper's generation of both ``f`` and
+``template_f``.
+
+Synthesis allocates one ancilla per DAG node: AND becomes a Toffoli, OR a
+negative-controlled Toffoli plus X, XOR two CNOTs, NOT a CNOT plus X.
+Scratch wires are left live (the paper's parity figure shows them as extra
+outputs); wrap with :func:`~repro.lifting.reversible.classical_to_reversible`
+to uncompute them.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from ..core.builder import Circ, neg
+from ..core.errors import LiftingError
+from ..core.wires import Qubit, Wire
+from ..datatypes.fpreal import FPReal
+from ..datatypes.qdint import QDInt
+from ..datatypes.register import Register
+from .cbool import AND, CBool, CONST, INPUT, NOT, OR, XOR, Trace
+from .cint import CFix, CWord
+
+
+class Template:
+    """The result of ``build_circuit``: callable classically, liftable."""
+
+    def __init__(self, fn: Callable, share: bool = True):
+        functools.update_wrapper(self, fn)
+        self.fn = fn
+        self.share = share
+
+    def __call__(self, *args, **kwargs):
+        return self.fn(*args, **kwargs)
+
+    def circuit(self, qc: Circ, *args):
+        """Generate the lifted circuit applied to quantum *args*."""
+        return _lift_call(self, qc, args)
+
+
+def build_circuit(fn: Callable | None = None, *, share: bool = True):
+    """Decorator marking a classical function for circuit lifting.
+
+    With ``share=False``, hash-consing of common subexpressions is
+    disabled, which matches the behaviour of Quipper's Template Haskell
+    lifting (and its larger gate counts).
+    """
+    if fn is None:
+        return lambda real_fn: Template(real_fn, share=share)
+    return Template(fn, share=share)
+
+
+def unpack(template: Template) -> Callable:
+    """The circuit-generating function of a lifted classical function.
+
+    ``unpack(template_f)`` has signature ``(qc, *quantum_args) -> outputs``,
+    the Python counterpart of the paper's
+    ``unpack template_f :: [Qubit] -> Circ Qubit``.
+    """
+    if not isinstance(template, Template):
+        raise LiftingError(
+            "unpack() expects a function decorated with @build_circuit"
+        )
+
+    def circuit_fn(qc: Circ, *args):
+        return _lift_call(template, qc, args)
+
+    circuit_fn.__name__ = f"template_{template.fn.__name__}"
+    return circuit_fn
+
+
+def _lift_call(template: Template, qc: Circ, args):
+    trace = Trace(share=template.share)
+    input_wires: dict[int, Qubit] = {}  # node_id -> circuit wire
+    symbolic_args = [
+        _to_symbolic(trace, arg, input_wires) for arg in args
+    ]
+    result = template.fn(*symbolic_args)
+    synth = _Synthesizer(qc, trace, input_wires)
+    return synth.realize(result)
+
+
+def _to_symbolic(trace: Trace, value, input_wires: dict):
+    if isinstance(value, Qubit):
+        node = trace.new_input()
+        input_wires[node.node_id] = value
+        return node
+    if isinstance(value, FPReal):
+        bits = [
+            _to_symbolic(trace, w, input_wires) for w in value.bits_le()
+        ]
+        return CFix(
+            CWord(trace, bits), value.integer_bits, value.fraction_bits
+        )
+    if isinstance(value, Register):  # QDInt, QIntTF, ...
+        bits = [
+            _to_symbolic(trace, w, input_wires) for w in value.bits_le()
+        ]
+        return CWord(trace, bits)
+    if isinstance(value, tuple):
+        return tuple(_to_symbolic(trace, v, input_wires) for v in value)
+    if isinstance(value, list):
+        return [_to_symbolic(trace, v, input_wires) for v in value]
+    if isinstance(value, dict):
+        return {
+            k: _to_symbolic(trace, v, input_wires) for k, v in value.items()
+        }
+    # Anything else is a generation-time parameter, passed through.
+    return value
+
+
+class _Synthesizer:
+    """Turns a traced boolean DAG into gates on a builder."""
+
+    def __init__(self, qc: Circ, trace: Trace, input_wires: dict):
+        self.qc = qc
+        self.trace = trace
+        self.wire_of: dict[int, Qubit] = dict(input_wires)
+        self.used_outputs: set[int] = set(
+            w.wire_id for w in input_wires.values()
+        )
+
+    def realize(self, result):
+        """Synthesize all nodes reachable from *result*; map it to wires."""
+        self._synthesize_nodes(_collect_nodes(result))
+        return self._to_wires(result, outputs=True)
+
+    def _synthesize_nodes(self, roots: list[CBool]) -> None:
+        # Iterative post-order DFS (oracles can have 10^5+ nodes).
+        stack: list[tuple[CBool, bool]] = [(n, False) for n in roots]
+        while stack:
+            node, expanded = stack.pop()
+            if node.node_id in self.wire_of:
+                continue
+            if node.op in (INPUT,):
+                raise LiftingError("input node without a wire")
+            if not expanded:
+                stack.append((node, True))
+                for child in node.args:
+                    if child.node_id not in self.wire_of:
+                        stack.append((child, False))
+                continue
+            self.wire_of[node.node_id] = self._emit(node)
+
+    def _emit(self, node: CBool) -> Qubit:
+        qc = self.qc
+        if node.op == CONST:
+            return qc.qinit_qubit(node.value)
+        child_wires = [self.wire_of[c.node_id] for c in node.args]
+        target = qc.qinit_qubit(False)
+        if node.op == NOT:
+            qc.qnot(target, controls=child_wires[0])
+            qc.qnot(target)
+        elif node.op == XOR:
+            qc.qnot(target, controls=child_wires[0])
+            qc.qnot(target, controls=child_wires[1])
+        elif node.op == AND:
+            qc.qnot(target, controls=tuple(child_wires))
+        elif node.op == OR:
+            qc.qnot(target, controls=[neg(w) for w in child_wires])
+            qc.qnot(target)
+        else:
+            raise LiftingError(f"unknown node kind {node.op!r}")
+        return target
+
+    def _node_wire(self, node: CBool, outputs: bool) -> Qubit:
+        wire = self.wire_of[node.node_id]
+        if outputs and wire.wire_id in self.used_outputs:
+            # An output must be a fresh wire when the node is an input or
+            # is used for several outputs: copy it.
+            copy = self.qc.qinit_qubit(False)
+            self.qc.qnot(copy, controls=wire)
+            wire = copy
+        if outputs:
+            self.used_outputs.add(wire.wire_id)
+        return wire
+
+    def _to_wires(self, value, outputs: bool = False):
+        if isinstance(value, CBool):
+            return self._node_wire(value, outputs)
+        if isinstance(value, CFix):
+            bits = [
+                self._to_wires(b, outputs) for b in value.word.bits
+            ]
+            return FPReal(
+                list(reversed(bits)), value.integer_bits, value.fraction_bits
+            )
+        if isinstance(value, CWord):
+            bits = [self._to_wires(b, outputs) for b in value.bits]
+            return QDInt(list(reversed(bits)))
+        if isinstance(value, tuple):
+            return tuple(self._to_wires(v, outputs) for v in value)
+        if isinstance(value, list):
+            return [self._to_wires(v, outputs) for v in value]
+        if isinstance(value, dict):
+            return {
+                k: self._to_wires(v, outputs) for k, v in value.items()
+            }
+        return value
+
+
+def _collect_nodes(value) -> list[CBool]:
+    nodes: list[CBool] = []
+    _collect_into(value, nodes)
+    return nodes
+
+
+def _collect_into(value, nodes: list[CBool]) -> None:
+    if isinstance(value, CBool):
+        nodes.append(value)
+    elif isinstance(value, CWord):
+        nodes.extend(value.bits)
+    elif isinstance(value, CFix):
+        nodes.extend(value.word.bits)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _collect_into(item, nodes)
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            _collect_into(value[key], nodes)

@@ -1,0 +1,22 @@
+"""Circuit output: text rendering and gate-count reports.
+
+Quipper's ``print_generic`` supports several formats (text, PostScript,
+PDF, gate counts); this reproduction provides the text and gate-count
+formats, which are the ones the paper's evaluation uses.
+"""
+
+from .ascii import format_bcircuit, format_circuit, print_generic
+from .gatecount import format_gatecount, gatecount_generic, print_gatecount
+from .preview import preview_bcircuit, preview_circuit, preview_generic
+
+__all__ = [
+    "format_bcircuit",
+    "format_circuit",
+    "print_generic",
+    "format_gatecount",
+    "gatecount_generic",
+    "print_gatecount",
+    "preview_circuit",
+    "preview_bcircuit",
+    "preview_generic",
+]

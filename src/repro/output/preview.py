@@ -1,0 +1,171 @@
+"""Column-art circuit rendering: draw small circuits like the paper's figures.
+
+Renders a flat circuit as wire rows and gate columns::
+
+    0 |0>--H--*--| Meas
+    1 |0>-----X--| Meas
+
+with ``*`` filled (positive) controls, ``o`` empty (negative) controls,
+``X`` targets of NOTs, boxed names for other gates, ``|0>--`` for
+initializations and ``--|0``  for assertive terminations -- the notation
+of the paper's Section 4.2.1 diagrams.
+
+Intended for small circuits (tutorials, tests, docs); use the gate-per-
+line ASCII format of :mod:`repro.output.ascii` for anything large.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import BCircuit, Circuit
+from ..core.errors import QuipperError
+from ..core.gates import (
+    BoxCall,
+    CDiscard,
+    CGate,
+    CInit,
+    CNot,
+    Comment,
+    CTerm,
+    Discard,
+    Init,
+    Measure,
+    NamedGate,
+    Term,
+)
+from ..core.wires import QUANTUM
+
+_WIRE_Q = "--"
+_WIRE_C = "=="
+
+
+class _Grid:
+    """Rows of cell strings, one row per wire, padded column-wise."""
+
+    def __init__(self) -> None:
+        self.rows: dict[int, list[str]] = {}
+        self.types: dict[int, str] = {}
+        self.order: list[int] = []
+        self.columns = 0
+
+    def ensure_wire(self, wire: int, wtype: str) -> None:
+        if wire not in self.rows:
+            self.rows[wire] = [""] * self.columns
+            self.types[wire] = wtype
+            self.order.append(wire)
+
+    def add_column(self, cells: dict[int, str]) -> None:
+        for wire, cell in cells.items():
+            self.rows[wire].append(cell)
+        for wire in self.rows:
+            if wire not in cells:
+                self.rows[wire].append("")
+        self.columns += 1
+
+    def render(self) -> str:
+        lines = []
+        widths = [
+            max(
+                (len(self.rows[w][col]) for w in self.order
+                 if col < len(self.rows[w])),
+                default=0,
+            )
+            for col in range(self.columns)
+        ]
+        for wire in self.order:
+            fill = _WIRE_Q if self.types.get(wire) == QUANTUM else _WIRE_C
+            parts = [f"{wire:>3} "]
+            for col, cell in enumerate(self.rows[wire]):
+                pad = widths[col] - len(cell)
+                if cell == "":
+                    parts.append(fill[0] * (widths[col] + 2))
+                else:
+                    parts.append(
+                        fill[0] + cell + fill[0] * (pad + 1)
+                    )
+            lines.append("".join(parts).rstrip("-=") or f"{wire:>3} ")
+        return "\n".join(lines)
+
+
+def _gate_cells(gate) -> dict[int, str] | None:
+    if isinstance(gate, Comment):
+        return None
+    if isinstance(gate, NamedGate):
+        name = gate.display_name()
+        symbol = "X" if name in ("not", "X") else f"[{name}]"
+        cells = {t: symbol for t in gate.targets}
+        for ctl in gate.controls:
+            cells[ctl.wire] = "*" if ctl.positive else "o"
+        return cells
+    if isinstance(gate, Init):
+        return {gate.wire: f"|{int(gate.value)}>"}
+    if isinstance(gate, Term):
+        return {gate.wire: f"<{int(gate.value)}|"}
+    if isinstance(gate, Discard):
+        return {gate.wire: "/discard/"}
+    if isinstance(gate, CInit):
+        return {gate.wire: f"({int(gate.value)})"}
+    if isinstance(gate, CTerm):
+        return {gate.wire: f"({int(gate.value)}|"}
+    if isinstance(gate, CDiscard):
+        return {gate.wire: "/discard/"}
+    if isinstance(gate, Measure):
+        return {gate.wire: "[Meas]"}
+    if isinstance(gate, CGate):
+        star = "*" if gate.uncompute else ""
+        cells = {gate.target: f"[{gate.name}{star}]"}
+        for wire in gate.inputs:
+            cells.setdefault(wire, "*")
+        return cells
+    if isinstance(gate, CNot):
+        cells = {gate.wire: "X"}
+        for ctl in gate.controls:
+            cells[ctl.wire] = "*" if ctl.positive else "o"
+        return cells
+    if isinstance(gate, BoxCall):
+        star = "*" if gate.inverted else ""
+        reps = f"x{gate.repetitions}" if gate.repetitions != 1 else ""
+        label = f"[{gate.name}{star}{reps}]"
+        cells = {w: label for w, _ in gate.in_wires}
+        for w, _ in gate.out_wires:
+            cells.setdefault(w, label)
+        for ctl in gate.controls:
+            cells[ctl.wire] = "*" if ctl.positive else "o"
+        return cells
+    raise QuipperError(f"cannot preview gate {gate!r}")
+
+
+def preview_circuit(circuit: Circuit, max_gates: int = 200) -> str:
+    """Render a flat circuit as column art (small circuits only)."""
+    if len(circuit.gates) > max_gates:
+        raise QuipperError(
+            f"circuit has {len(circuit.gates)} gates; preview is meant for "
+            f"small circuits (max_gates={max_gates})"
+        )
+    grid = _Grid()
+    for wire, wtype in circuit.inputs:
+        grid.ensure_wire(wire, wtype)
+    for gate in circuit.gates:
+        cells = _gate_cells(gate)
+        if cells is None:
+            continue
+        for wire, wtype in list(gate.wires_in()) + list(gate.wires_out()):
+            grid.ensure_wire(wire, wtype)
+        grid.add_column(cells)
+    return grid.render()
+
+
+def preview_bcircuit(bc: BCircuit, max_gates: int = 200) -> str:
+    """Render a hierarchy: the main circuit, then each subroutine."""
+    parts = [preview_circuit(bc.circuit, max_gates)]
+    for name in bc.subroutine_names():
+        parts.append(f'\nSubroutine "{name}":')
+        parts.append(preview_circuit(bc.namespace[name].circuit, max_gates))
+    return "\n".join(parts)
+
+
+def preview_generic(fn, *shape_args, max_gates: int = 200) -> str:
+    """Generate fn's circuit and render it as column art."""
+    from ..core.builder import build
+
+    bc, _ = build(fn, *shape_args)
+    return preview_bcircuit(bc, max_gates)

@@ -1,0 +1,190 @@
+"""Efficient simulation of classical (boolean/reversible) circuits.
+
+The paper (Section 4.4.5): "The more specialized functions
+run_classical_generic and run_clifford_generic can be used to simulate
+certain classes of circuits efficiently; this is especially useful in
+testing oracles."  This module is ``run_classical_generic``: it evaluates
+circuits whose gates act classically on computational-basis states -- NOT
+gates with controls, swaps, init/term (assertions checked!), measurement,
+and classical logic gates.  Oracles and the arithmetic library are tested
+almost entirely through it, at sizes far beyond statevector reach.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import build
+from ..core.circuit import BCircuit
+from ..core.errors import AssertionFailedError, SimulationError
+from ..core.gates import (
+    BoxCall,
+    CDiscard,
+    CGate,
+    CInit,
+    CNot,
+    Comment,
+    CTerm,
+    Discard,
+    Gate,
+    Init,
+    Measure,
+    NamedGate,
+    Term,
+)
+from ..core.qdata import qdata_leaves
+from ..core.wires import QUANTUM
+
+_CLASSICAL_FUNCTIONS = {
+    "and": lambda values: all(values),
+    "or": lambda values: any(values),
+    "xor": lambda values: sum(values) % 2 == 1,
+    "not": lambda values: not values[0],
+    "eq": lambda values: values[0] == values[1],
+}
+
+
+class ClassicalState:
+    """Wire valuation for boolean circuit evaluation."""
+
+    def __init__(self) -> None:
+        self.values: dict[int, bool] = {}
+
+    def _controls_satisfied(self, controls) -> bool:
+        return all(self.values[c.wire] == c.positive for c in controls)
+
+    def execute(self, gate: Gate) -> None:
+        if isinstance(gate, Comment):
+            return
+        if isinstance(gate, NamedGate):
+            if gate.name in ("not", "X"):
+                if self._controls_satisfied(gate.controls):
+                    wire = gate.targets[0]
+                    self.values[wire] = not self.values[wire]
+                return
+            if gate.name == "swap":
+                if self._controls_satisfied(gate.controls):
+                    a, b = gate.targets
+                    self.values[a], self.values[b] = (
+                        self.values[b],
+                        self.values[a],
+                    )
+                return
+            raise SimulationError(
+                f"gate {gate.name!r} is not classical; use run_generic"
+            )
+        if isinstance(gate, (Init, CInit)):
+            self.values[gate.wire] = gate.value
+            return
+        if isinstance(gate, (Term, CTerm)):
+            actual = self.values.pop(gate.wire)
+            if actual != gate.value:
+                raise AssertionFailedError(
+                    f"wire {gate.wire} terminated asserting {gate.value} "
+                    f"but holds {actual} (programmer assertion violated)"
+                )
+            return
+        if isinstance(gate, (Discard, CDiscard)):
+            self.values.pop(gate.wire)
+            return
+        if isinstance(gate, Measure):
+            return  # value is preserved; the wire changes type only
+        if isinstance(gate, CGate):
+            inputs = [self.values[w] for w in gate.inputs]
+            value = _CLASSICAL_FUNCTIONS[gate.name](inputs)
+            if gate.uncompute:
+                if self.values.pop(gate.target) != value:
+                    raise AssertionFailedError(
+                        f"CGate* uncompute mismatch on wire {gate.target}"
+                    )
+            else:
+                self.values[gate.target] = value
+            return
+        if isinstance(gate, CNot):
+            if self._controls_satisfied(gate.controls):
+                self.values[gate.wire] = not self.values[gate.wire]
+            return
+        if isinstance(gate, BoxCall):
+            raise SimulationError("BoxCall reached evaluator; inline first")
+        raise SimulationError(f"cannot evaluate gate {gate!r}")
+
+
+def evaluate(bc: BCircuit, in_values: dict[int, bool]) -> dict[int, bool]:
+    """Evaluate a classical circuit on given input wire values.
+
+    Returns the valuation of the output wires.
+    """
+    from ..transform.inline import iter_flat_gates
+
+    state = ClassicalState()
+    for wire, _ in bc.circuit.inputs:
+        state.values[wire] = bool(in_values.get(wire, False))
+    for gate in iter_flat_gates(bc):
+        state.execute(gate)
+    return {wire: state.values[wire] for wire, _ in bc.circuit.outputs}
+
+
+def _shape_from_params(value):
+    """A shape specimen for a parameter structure (bools -> qubits)."""
+    from ..core.qdata import qubit
+
+    if isinstance(value, bool):
+        return qubit
+    if isinstance(value, tuple):
+        return tuple(_shape_from_params(v) for v in value)
+    if isinstance(value, list):
+        return [_shape_from_params(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _shape_from_params(v) for k, v in value.items()}
+    if hasattr(value, "qshape_specimen"):
+        return value.qshape_specimen()
+    raise SimulationError(f"cannot derive an input shape from {value!r}")
+
+
+def _param_bools(value) -> list[bool]:
+    if isinstance(value, bool):
+        return [value]
+    if isinstance(value, (tuple, list)):
+        return [b for v in value for b in _param_bools(v)]
+    if isinstance(value, dict):
+        return [b for k in sorted(value) for b in _param_bools(value[k])]
+    if hasattr(value, "qshape_bools"):
+        return value.qshape_bools()
+    raise SimulationError(f"cannot take input bools from {value!r}")
+
+
+def run_classical_generic(fn, *inputs, as_bools=None):
+    """Run a circuit-producing function on classical basis inputs.
+
+    *inputs* are bool structures (or parameter objects such as ``IntM``)
+    matching fn's quantum arguments.  The circuit is generated once and
+    evaluated classically; the return value is fn's output structure with
+    every wire replaced by its boolean value (custom registers are
+    converted back via their ``from_bools`` hook when available).
+    """
+    shapes = [_shape_from_params(v) for v in inputs]
+    bc, out_struct = build(fn, *shapes)
+    in_leaf_values = [b for v in inputs for b in _param_bools(v)]
+    in_values = {
+        wire: value
+        for (wire, _), value in zip(bc.circuit.inputs, in_leaf_values)
+    }
+    out_values = evaluate(bc, in_values)
+    return _readout(out_struct, out_values)
+
+
+def _readout(struct, values: dict[int, bool]):
+    from ..core.wires import Wire
+
+    if isinstance(struct, Wire):
+        return values[struct.wire_id]
+    if isinstance(struct, tuple):
+        return tuple(_readout(s, values) for s in struct)
+    if isinstance(struct, list):
+        return [_readout(s, values) for s in struct]
+    if isinstance(struct, dict):
+        return {k: _readout(v, values) for k, v in struct.items()}
+    if hasattr(struct, "from_bools"):
+        bools = [values[leaf.wire_id] for leaf in qdata_leaves(struct)]
+        return struct.from_bools(bools)
+    if hasattr(struct, "qdata_leaves"):
+        return [values[leaf.wire_id] for leaf in struct.qdata_leaves()]
+    return struct  # embedded parameter

@@ -1,0 +1,288 @@
+"""Stabilizer (Clifford) simulation -- the paper's ``run_clifford_generic``.
+
+Implements the Aaronson-Gottesman CHP tableau algorithm (Phys. Rev. A 70,
+052328).  Circuits built from H, S, CNOT, X, Y, Z, CZ, swap, init/term and
+measurement are simulated in polynomial time, which is "especially useful
+in testing oracles" (Section 4.4.5) and for checking the statevector
+simulator against an independent implementation.
+
+Because the builder never reuses wire ids, initialization is handled by
+pre-allocating one tableau column per wire ever used; Term measures the
+qubit and checks the programmer's assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.circuit import BCircuit
+from ..core.errors import AssertionFailedError, SimulationError
+from ..core.gates import (
+    BoxCall,
+    CDiscard,
+    CGate,
+    CInit,
+    CNot,
+    Comment,
+    CTerm,
+    Discard,
+    Gate,
+    Init,
+    Measure,
+    NamedGate,
+    Term,
+)
+from ..core.wires import QUANTUM
+
+
+class Tableau:
+    """A CHP stabilizer tableau over *n* qubits."""
+
+    def __init__(self, n: int, rng: np.random.Generator | None = None):
+        self.n = n
+        self.x = np.zeros((2 * n, n), dtype=bool)
+        self.z = np.zeros((2 * n, n), dtype=bool)
+        self.r = np.zeros(2 * n, dtype=bool)
+        self.x[np.arange(n), np.arange(n)] = True  # destabilizers X_i
+        self.z[np.arange(n, 2 * n), np.arange(n)] = True  # stabilizers Z_i
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # -- Clifford gates ----------------------------------------------------
+
+    def hadamard(self, a: int) -> None:
+        self.r ^= self.x[:, a] & self.z[:, a]
+        self.x[:, a], self.z[:, a] = (
+            self.z[:, a].copy(),
+            self.x[:, a].copy(),
+        )
+
+    def s_gate(self, a: int) -> None:
+        self.r ^= self.x[:, a] & self.z[:, a]
+        self.z[:, a] ^= self.x[:, a]
+
+    def s_dagger(self, a: int) -> None:
+        self.s_gate(a)
+        self.z_gate(a)
+
+    def cnot(self, a: int, b: int) -> None:
+        """CNOT with control a, target b."""
+        self.r ^= (
+            self.x[:, a] & self.z[:, b] & (self.x[:, b] ^ self.z[:, a] ^ True)
+        )
+        self.x[:, b] ^= self.x[:, a]
+        self.z[:, a] ^= self.z[:, b]
+
+    def x_gate(self, a: int) -> None:
+        self.r ^= self.z[:, a]
+
+    def z_gate(self, a: int) -> None:
+        self.r ^= self.x[:, a]
+
+    def y_gate(self, a: int) -> None:
+        self.r ^= self.x[:, a] ^ self.z[:, a]
+
+    def cz(self, a: int, b: int) -> None:
+        self.hadamard(b)
+        self.cnot(a, b)
+        self.hadamard(b)
+
+    def swap(self, a: int, b: int) -> None:
+        self.cnot(a, b)
+        self.cnot(b, a)
+        self.cnot(a, b)
+
+    # -- measurement -------------------------------------------------------
+
+    @staticmethod
+    def _g(x1, z1, x2, z2):
+        """Phase exponent contribution of multiplying two Pauli letters."""
+        out = np.zeros(x1.shape, dtype=np.int64)
+        case_xz = x1 & z1  # letter Y
+        out += np.where(case_xz, z2.astype(np.int64) - x2.astype(np.int64), 0)
+        case_x = x1 & ~z1  # letter X
+        out += np.where(case_x, z2.astype(np.int64) * (2 * x2 - 1), 0)
+        case_z = ~x1 & z1  # letter Z
+        out += np.where(case_z, x2.astype(np.int64) * (1 - 2 * z2), 0)
+        return out
+
+    def _rowsum(self, h: int, i: int) -> None:
+        total = 2 * int(self.r[h]) + 2 * int(self.r[i]) + int(
+            self._g(self.x[i], self.z[i], self.x[h], self.z[h]).sum()
+        )
+        self.r[h] = (total % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    def measure(self, a: int) -> bool:
+        n = self.n
+        stab_rows = np.nonzero(self.x[n:, a])[0]
+        if stab_rows.size:  # random outcome
+            p = int(stab_rows[0]) + n
+            for i in range(2 * n):
+                if i != p and self.x[i, a]:
+                    self._rowsum(i, p)
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[p - n] = self.r[p]
+            self.x[p] = False
+            self.z[p] = False
+            outcome = bool(self.rng.integers(2))
+            self.z[p, a] = True
+            self.r[p] = outcome
+            return outcome
+        # Deterministic outcome: accumulate into a scratch row.
+        sx = np.zeros(n, dtype=bool)
+        sz = np.zeros(n, dtype=bool)
+        sr = 0
+        for i in range(n):
+            if self.x[i, a]:
+                total = (
+                    2 * sr
+                    + 2 * int(self.r[i + n])
+                    + int(self._g(self.x[i + n], self.z[i + n], sx, sz).sum())
+                )
+                sr = (total % 4) // 2
+                sx ^= self.x[i + n]
+                sz ^= self.z[i + n]
+        return bool(sr)
+
+
+class CliffordState:
+    """Adapter running extended-model circuits on a :class:`Tableau`."""
+
+    def __init__(self, wires: list[int], rng=None):
+        self.index = {w: i for i, w in enumerate(wires)}
+        self.tableau = Tableau(len(wires), rng=rng)
+        self.bits: dict[int, bool] = {}
+
+    def execute(self, gate: Gate) -> None:
+        tab = self.tableau
+        if isinstance(gate, Comment):
+            return
+        if isinstance(gate, NamedGate):
+            self._named(gate)
+            return
+        if isinstance(gate, Init):
+            if gate.value:
+                tab.x_gate(self.index[gate.wire])
+            return
+        if isinstance(gate, Term):
+            outcome = tab.measure(self.index[gate.wire])
+            if outcome != gate.value:
+                raise AssertionFailedError(
+                    f"qubit {gate.wire} terminated asserting "
+                    f"|{int(gate.value)}> but measured {int(outcome)}"
+                )
+            return
+        if isinstance(gate, Discard):
+            tab.measure(self.index[gate.wire])
+            return
+        if isinstance(gate, Measure):
+            self.bits[gate.wire] = tab.measure(self.index[gate.wire])
+            return
+        if isinstance(gate, CInit):
+            self.bits[gate.wire] = gate.value
+            return
+        if isinstance(gate, CTerm):
+            if self.bits.pop(gate.wire) != gate.value:
+                raise AssertionFailedError("classical assertion failed")
+            return
+        if isinstance(gate, CDiscard):
+            self.bits.pop(gate.wire)
+            return
+        if isinstance(gate, (CGate, CNot)):
+            from .classical import ClassicalState
+
+            proxy = ClassicalState()
+            proxy.values = self.bits
+            proxy.execute(gate)
+            return
+        if isinstance(gate, BoxCall):
+            raise SimulationError("BoxCall reached simulator; inline first")
+        raise SimulationError(f"cannot Clifford-simulate {gate!r}")
+
+    def _named(self, gate: NamedGate) -> None:
+        tab = self.tableau
+        quantum_controls = [
+            c for c in gate.controls if c.wire_type == QUANTUM
+        ]
+        classical_controls = [
+            c for c in gate.controls if c.wire_type != QUANTUM
+        ]
+        if any(self.bits[c.wire] != c.positive for c in classical_controls):
+            return
+        name = gate.name
+        targets = [self.index[t] for t in gate.targets]
+        if quantum_controls:
+            ctl = quantum_controls[0]
+            if len(quantum_controls) > 1:
+                raise SimulationError(
+                    "multiply-controlled gates are not Clifford; decompose "
+                    "to the Toffoli base will not help -- this simulator "
+                    "handles only Clifford circuits"
+                )
+            a = self.index[ctl.wire]
+            if not ctl.positive:
+                tab.x_gate(a)
+            if name in ("not", "X"):
+                tab.cnot(a, targets[0])
+            elif name == "Z":
+                tab.cz(a, targets[0])
+            else:
+                raise SimulationError(
+                    f"controlled {name!r} is not a Clifford gate"
+                )
+            if not ctl.positive:
+                tab.x_gate(a)
+            return
+        if name in ("not", "X"):
+            tab.x_gate(targets[0])
+        elif name == "Y":
+            tab.y_gate(targets[0])
+        elif name == "Z":
+            tab.z_gate(targets[0])
+        elif name == "H":
+            tab.hadamard(targets[0])
+        elif name == "S":
+            if gate.inverted:
+                tab.s_dagger(targets[0])
+            else:
+                tab.s_gate(targets[0])
+        elif name == "swap":
+            tab.swap(targets[0], targets[1])
+        elif name == "phase":
+            return
+        else:
+            raise SimulationError(f"{name!r} is not a Clifford gate")
+
+
+def run_clifford(bc: BCircuit, in_values: dict[int, bool] | None = None,
+                 rng=None) -> CliffordState:
+    """Run a Clifford circuit, returning the final CliffordState.
+
+    Input wires are initialized to basis states from ``in_values``.
+    """
+    from ..transform.inline import iter_flat_gates
+
+    in_values = in_values or {}
+    gates = list(iter_flat_gates(bc))
+    wires = []
+    seen = set()
+    for wire, wtype in bc.circuit.inputs:
+        if wtype == QUANTUM:
+            wires.append(wire)
+            seen.add(wire)
+    for gate in gates:
+        if isinstance(gate, Init) and gate.wire not in seen:
+            wires.append(gate.wire)
+            seen.add(gate.wire)
+    state = CliffordState(wires, rng=rng)
+    for wire, wtype in bc.circuit.inputs:
+        if wtype == QUANTUM:
+            if in_values.get(wire, False):
+                state.tableau.x_gate(state.index[wire])
+        else:
+            state.bits[wire] = in_values.get(wire, False)
+    for gate in gates:
+        state.execute(gate)
+    return state

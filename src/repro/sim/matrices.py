@@ -1,0 +1,108 @@
+"""Unitary matrices for the built-in gate vocabulary.
+
+Conventions: single-qubit matrices act on basis (|0>, |1>); two-qubit
+matrices on (|00>, |01>, |10>, |11>) with the *first* target as the more
+significant bit.  Parametrised gates receive their parameter (an angle,
+time, or QFT level) from the gate record.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.gates import NamedGate
+
+_SQRT2 = math.sqrt(2.0)
+
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_T = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+_V = 0.5 * np.array(
+    [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+)  # sqrt(X)
+_E = np.array(  # Quipper's E = H S^3 omega^3, a Clifford gate
+    [[-1 + 1j, 1 + 1j], [-1 + 1j, -1 - 1j]], dtype=complex
+) / 2
+_IX = 1j * _X
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+# The BWT W gate: fixes |00> and |11>, Hadamard on span{|01>, |10>}.
+_W = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1 / _SQRT2, 1 / _SQRT2, 0],
+        [0, 1 / _SQRT2, -1 / _SQRT2, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+_FIXED: dict[str, np.ndarray] = {
+    "H": _H,
+    "X": _X,
+    "not": _X,
+    "Y": _Y,
+    "Z": _Z,
+    "S": _S,
+    "T": _T,
+    "V": _V,
+    "E": _E,
+    "iX": _IX,
+    "swap": _SWAP,
+    "W": _W,
+}
+
+
+def gate_matrix(gate: NamedGate) -> np.ndarray:
+    """The unitary matrix of a named gate (controls excluded).
+
+    Raises :class:`~repro.core.errors.SimulationError` for unknown names;
+    user-defined named gates have no intrinsic semantics and must be
+    transformed away before simulation.
+    """
+    matrix = _named_matrix(gate)
+    if gate.inverted:
+        matrix = matrix.conj().T
+    return matrix
+
+
+def _named_matrix(gate: NamedGate) -> np.ndarray:
+    name, param = gate.name, gate.param
+    fixed = _FIXED.get(name)
+    if fixed is not None:
+        return fixed
+    if name == "exp(-i%Z)":
+        t = float(param)
+        return np.diag(
+            [cmath.exp(-1j * t), cmath.exp(1j * t)]
+        )
+    if name == "exp(-i%ZZ)":
+        t = float(param)
+        lo, hi = cmath.exp(-1j * t), cmath.exp(1j * t)
+        return np.diag([lo, hi, hi, lo])
+    if name in ("R(2pi/%)", "rGate"):
+        # diag(1, exp(2 pi i / 2^n)): the QFT phase-shift ladder gate.
+        n = float(param)
+        return np.diag([1.0, cmath.exp(2j * math.pi / (2.0 ** n))])
+    if name == "Rz":
+        t = float(param)
+        return np.diag([cmath.exp(-1j * t / 2), cmath.exp(1j * t / 2)])
+    if name == "Rx":
+        t = float(param)
+        c, s = math.cos(t / 2), math.sin(t / 2)
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if name == "Ry":
+        t = float(param)
+        c, s = math.cos(t / 2), math.sin(t / 2)
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if name == "phase":
+        return np.array([[cmath.exp(1j * float(param))]], dtype=complex)
+    raise SimulationError(f"no matrix known for gate {name!r}")

@@ -1,0 +1,266 @@
+"""Dense statevector simulation of the extended circuit model.
+
+This is the paper's ``run_generic``: "Quipper also provides a function
+run_generic to simulate a circuit (this is necessarily inefficient on a
+classical computer)" (Section 4.4.5).  The simulator supports the whole
+extended circuit model: dynamic qubit allocation (Init grows the state,
+Term shrinks it *and checks the programmer's assertion*), measurement,
+classical wires, and classically-controlled gates.
+
+The state is a complex ndarray of shape ``(2,) * n`` with one axis per live
+qubit; classical wires live in a plain dict.  Qubit count is limited by
+memory (about 24 qubits in a few GB), which is ample for the library's
+tests -- the paper's large circuits are *counted*, never simulated.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.circuit import BCircuit
+from ..core.errors import (
+    AssertionFailedError,
+    SimulationError,
+)
+from ..core.gates import (
+    BoxCall,
+    CDiscard,
+    CGate,
+    CInit,
+    CNot,
+    Comment,
+    Control,
+    CTerm,
+    Discard,
+    Gate,
+    Init,
+    Measure,
+    NamedGate,
+    Term,
+)
+from ..core.wires import QUANTUM
+from .matrices import gate_matrix
+
+_TOLERANCE = 1e-9
+
+_CLASSICAL_FUNCTIONS = {
+    "and": lambda values: all(values),
+    "or": lambda values: any(values),
+    "xor": lambda values: sum(values) % 2 == 1,
+    "not": lambda values: not values[0],
+    "eq": lambda values: values[0] == values[1],
+}
+
+
+class StateVector:
+    """A resizable statevector with named qubit axes and a classical store."""
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self.state = np.ones((), dtype=complex)  # zero qubits: amplitude 1
+        self.axes: dict[int, int] = {}  # wire id -> axis index
+        self.bits: dict[int, bool] = {}
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # -- qubit bookkeeping ---------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.axes)
+
+    def add_qubit(self, wire: int, value: bool) -> None:
+        if wire in self.axes:
+            raise SimulationError(f"qubit {wire} already allocated")
+        basis = np.zeros(2, dtype=complex)
+        basis[int(value)] = 1.0
+        self.state = np.tensordot(self.state, basis, axes=0)
+        self.axes[wire] = self.state.ndim - 1
+
+    def _remove_axis(self, wire: int, keep_index: int) -> None:
+        axis = self.axes.pop(wire)
+        self.state = np.take(self.state, keep_index, axis=axis)
+        for other, other_axis in self.axes.items():
+            if other_axis > axis:
+                self.axes[other] = other_axis - 1
+
+    def remove_qubit_asserted(self, wire: int, value: bool) -> None:
+        """Project onto |value> after checking the assertion holds."""
+        axis = self.axes[wire]
+        wrong = np.take(self.state, 1 - int(value), axis=axis)
+        if math.sqrt(float(np.sum(np.abs(wrong) ** 2))) > 1e-6:
+            raise AssertionFailedError(
+                f"qubit {wire} terminated with assertion |{int(value)}> "
+                "but has nonzero amplitude in the other basis state"
+            )
+        self._remove_axis(wire, int(value))
+        self._renormalize()
+
+    def measure_qubit(self, wire: int) -> bool:
+        axis = self.axes[wire]
+        ones = np.take(self.state, 1, axis=axis)
+        p_one = float(np.sum(np.abs(ones) ** 2))
+        total = float(np.sum(np.abs(self.state) ** 2))
+        outcome = bool(self.rng.random() < p_one / total)
+        self._remove_axis(wire, int(outcome))
+        self._renormalize()
+        return outcome
+
+    def _renormalize(self) -> None:
+        norm = math.sqrt(float(np.sum(np.abs(self.state) ** 2)))
+        if norm < _TOLERANCE:
+            raise SimulationError("state collapsed to zero norm")
+        self.state = self.state / norm
+
+    # -- gate application ------------------------------------------------
+
+    def _control_slice(
+        self, controls: tuple[Control, ...]
+    ) -> tuple | None:
+        """Build an index restricting to the control-satisfied subspace.
+
+        Returns None if a classical control is unsatisfied (gate skipped).
+        """
+        index: list = [slice(None)] * self.state.ndim
+        for ctl in controls:
+            if ctl.wire_type == QUANTUM:
+                index[self.axes[ctl.wire]] = 1 if ctl.positive else 0
+            else:
+                if self.bits[ctl.wire] != ctl.positive:
+                    return None
+        return tuple(index)
+
+    def apply_unitary(
+        self,
+        matrix: np.ndarray,
+        targets: tuple[int, ...],
+        controls: tuple[Control, ...] = (),
+    ) -> None:
+        index = self._control_slice(controls)
+        if index is None:
+            return
+        if not targets:  # global phase
+            self.state[index] = self.state[index] * matrix[0, 0]
+            return
+        view = self.state[index]
+        # Axis positions of the targets inside the sliced view: each integer-
+        # indexed (control) axis before a target shifts it left by one.
+        control_axes = sorted(
+            self.axes[c.wire] for c in controls if c.wire_type == QUANTUM
+        )
+        view_axes = []
+        for target in targets:
+            axis = self.axes[target]
+            shift = sum(1 for c in control_axes if c < axis)
+            view_axes.append(axis - shift)
+        k = len(targets)
+        moved = np.moveaxis(view, view_axes, range(k))
+        tail = moved.shape[k:]
+        flat = moved.reshape(2 ** k, -1)
+        result = (matrix @ flat).reshape((2,) * k + tail)
+        self.state[index] = np.moveaxis(result, range(k), view_axes)
+
+    # -- gate dispatch -----------------------------------------------------
+
+    def execute(self, gate: Gate) -> None:
+        """Execute one (box-free) gate."""
+        if isinstance(gate, Comment):
+            return
+        if isinstance(gate, NamedGate):
+            self.apply_unitary(gate_matrix(gate), gate.targets, gate.controls)
+            return
+        if isinstance(gate, Init):
+            self.add_qubit(gate.wire, gate.value)
+            return
+        if isinstance(gate, Term):
+            self.remove_qubit_asserted(gate.wire, gate.value)
+            return
+        if isinstance(gate, Discard):
+            self.measure_qubit(gate.wire)  # trace out by sampling
+            return
+        if isinstance(gate, Measure):
+            self.bits[gate.wire] = self.measure_qubit(gate.wire)
+            return
+        if isinstance(gate, CInit):
+            self.bits[gate.wire] = gate.value
+            return
+        if isinstance(gate, CTerm):
+            if self.bits.pop(gate.wire) != gate.value:
+                raise AssertionFailedError(
+                    f"classical wire {gate.wire} terminated with wrong value"
+                )
+            return
+        if isinstance(gate, CDiscard):
+            self.bits.pop(gate.wire)
+            return
+        if isinstance(gate, CGate):
+            inputs = [self.bits[w] for w in gate.inputs]
+            value = _CLASSICAL_FUNCTIONS[gate.name](inputs)
+            if gate.uncompute:
+                if self.bits.pop(gate.target) != value:
+                    raise AssertionFailedError(
+                        f"CGate* uncompute mismatch on wire {gate.target}"
+                    )
+            else:
+                self.bits[gate.target] = value
+            return
+        if isinstance(gate, CNot):
+            satisfied = all(
+                (
+                    self.bits[c.wire] == c.positive
+                    if c.wire_type != QUANTUM
+                    else self._classical_control_on_qubit(c)
+                )
+                for c in gate.controls
+            )
+            if satisfied:
+                self.bits[gate.wire] = not self.bits[gate.wire]
+            return
+        if isinstance(gate, BoxCall):
+            raise SimulationError(
+                "BoxCall reached the simulator; inline the circuit first"
+            )
+        raise SimulationError(f"cannot simulate gate {gate!r}")
+
+    def _classical_control_on_qubit(self, ctl: Control) -> bool:
+        raise SimulationError(
+            "a classical NOT cannot be controlled by a qubit (measurement "
+            "would be required); restructure the circuit"
+        )
+
+    def basis_probabilities(self, wires: list[int]) -> dict[tuple[int, ...], float]:
+        """Probability of each computational-basis outcome on *wires*."""
+        order = [self.axes[w] for w in wires]
+        probs = np.abs(self.state) ** 2
+        other = [a for a in range(self.state.ndim) if a not in order]
+        marginal = probs.sum(axis=tuple(other)) if other else probs
+        marginal = np.moveaxis(
+            marginal, [sorted(order).index(a) for a in order], range(len(order))
+        )
+        result: dict[tuple[int, ...], float] = {}
+        for idx in np.ndindex(*([2] * len(wires))):
+            p = float(marginal[idx])
+            if p > 1e-12:
+                result[idx] = p
+        return result
+
+
+def simulate(bc: BCircuit, in_values: dict[int, bool] | None = None,
+             rng: np.random.Generator | None = None) -> StateVector:
+    """Simulate a circuit hierarchy from computational-basis inputs.
+
+    ``in_values`` maps input wire ids to initial basis values (default all
+    False).  Returns the final :class:`StateVector` (outputs unmeasured).
+    """
+    from ..transform.inline import iter_flat_gates
+
+    in_values = in_values or {}
+    sim = StateVector(rng=rng)
+    for wire, wtype in bc.circuit.inputs:
+        if wtype == QUANTUM:
+            sim.add_qubit(wire, in_values.get(wire, False))
+        else:
+            sim.bits[wire] = in_values.get(wire, False)
+    for gate in iter_flat_gates(bc):
+        sim.execute(gate)
+    return sim

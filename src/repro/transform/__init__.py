@@ -1,0 +1,58 @@
+"""Whole-circuit operators: reversal, transformation, decomposition, counting.
+
+These implement the paper's Section 4.4.3 operators (``reverse_simple``,
+``decompose_generic``) and the gate-counting machinery behind Section 5.4's
+trillion-gate counts.
+"""
+
+from .depth import circuit_depth, t_depth
+from .count import (
+    GateCountKey,
+    aggregate_gate_count,
+    count_circuit_flat,
+    total_gates,
+    total_logical_gates,
+)
+from .inline import inline
+from .reverse import reverse_bcircuit, reverse_circuit
+from .toffoli import decompose_toffoli
+from .binary import decompose_binary
+from .transformer import transform_bcircuit
+
+TOFFOLI = "toffoli"
+BINARY = "binary"
+
+
+def decompose_generic(base: str, bc):
+    """Decompose a circuit hierarchy into the given gate base.
+
+    ``base`` is :data:`TOFFOLI` (gates with at most two controls on NOT,
+    one control elsewhere) or :data:`BINARY` (at most two wires per gate,
+    using the V / V* construction of Nielsen-Chuang Section 4.3, as in the
+    paper's ``timestep2`` example).
+    """
+    if base == TOFFOLI:
+        return decompose_toffoli(bc)
+    if base == BINARY:
+        return decompose_binary(decompose_toffoli(bc))
+    raise ValueError(f"unknown gate base {base!r}")
+
+
+__all__ = [
+    "GateCountKey",
+    "aggregate_gate_count",
+    "count_circuit_flat",
+    "total_gates",
+    "total_logical_gates",
+    "circuit_depth",
+    "t_depth",
+    "inline",
+    "reverse_bcircuit",
+    "reverse_circuit",
+    "decompose_generic",
+    "decompose_toffoli",
+    "decompose_binary",
+    "transform_bcircuit",
+    "TOFFOLI",
+    "BINARY",
+]

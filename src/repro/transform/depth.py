@@ -1,0 +1,117 @@
+"""Circuit depth: critical-path resource estimation.
+
+Gate counts (Section 5.4) measure total work; *depth* measures the
+critical path -- the number of time steps when independent gates run in
+parallel.  Like the gate counter, the depth computation works on the
+hierarchical representation: a boxed subroutine's depth is computed once
+and a call occupies all its bound wires for that many steps (repetitions
+multiply, since iterations of an in-place subroutine are sequential).
+
+This is conservative for box calls (a call synchronizes all its wires,
+so parallelism *across* a subroutine boundary is not exploited), which is
+the standard trade for hierarchy-preserving estimation.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import BCircuit, Circuit
+from ..core.errors import QuipperError
+from ..core.gates import BoxCall, Comment, Gate
+
+
+def _gate_span(gate: Gate, namespace, memo) -> tuple[list[int], int]:
+    """The wires a gate occupies and the number of steps it takes."""
+    if isinstance(gate, BoxCall):
+        steps = _sub_depth(gate.name, namespace, memo) * gate.repetitions
+        wires = [w for w, _ in gate.in_wires]
+        wires += [w for w, _ in gate.out_wires if (w, "_") and w not in wires]
+        wires += [c.wire for c in gate.controls]
+        return wires, max(steps, 1)
+    ins = [w for w, _ in gate.wires_in()]
+    outs = [w for w, _ in gate.wires_out() if w not in ins]
+    return ins + outs, 1
+
+
+def _sub_depth(name: str, namespace, memo) -> int:
+    if name not in memo:
+        sub = namespace.get(name)
+        if sub is None:
+            raise QuipperError(f"undefined subroutine {name!r}")
+        memo[name] = None  # cycle guard
+        memo[name] = _circuit_depth(sub.circuit, namespace, memo)
+    if memo[name] is None:
+        raise QuipperError(f"recursive subroutine {name!r}")
+    return memo[name]
+
+
+def _circuit_depth(circuit: Circuit, namespace, memo) -> int:
+    frontier: dict[int, int] = {w: 0 for w, _ in circuit.inputs}
+    total = 0
+    for gate in circuit.gates:
+        if isinstance(gate, Comment):
+            continue
+        wires, steps = _gate_span(gate, namespace, memo)
+        start = max((frontier.get(w, 0) for w in wires), default=0)
+        finish = start + steps
+        for wire in wires:
+            frontier[wire] = finish
+        total = max(total, finish)
+    return total
+
+
+def circuit_depth(bc: BCircuit) -> int:
+    """The critical-path depth of a hierarchical circuit.
+
+    Comments cost nothing; every other gate costs one step on the wires
+    it touches; a boxed call costs its body's depth (times repetitions)
+    on its bound wires.  Exact big-integer arithmetic throughout, so the
+    depth of trillion-gate circuits is as cheap to compute as their count.
+    """
+    memo: dict[str, int | None] = {}
+    return _circuit_depth(bc.circuit, bc.namespace, memo)
+
+
+def t_depth(bc: BCircuit) -> int:
+    """Depth counting only T/T* gates (fault-tolerance cost model).
+
+    Clifford gates are treated as free (depth 0); each T or T* costs one
+    step.  Useful after a decomposition into a Clifford+T-ish base.
+    """
+    memo: dict[str, int | None] = {}
+
+    def sub_t_depth(name: str) -> int:
+        if name not in memo:
+            sub = bc.namespace.get(name)
+            if sub is None:
+                raise QuipperError(f"undefined subroutine {name!r}")
+            memo[name] = None
+            memo[name] = walk(sub.circuit)
+        if memo[name] is None:
+            raise QuipperError(f"recursive subroutine {name!r}")
+        return memo[name]
+
+    def walk(circuit: Circuit) -> int:
+        frontier: dict[int, int] = {w: 0 for w, _ in circuit.inputs}
+        total = 0
+        for gate in circuit.gates:
+            if isinstance(gate, Comment):
+                continue
+            if isinstance(gate, BoxCall):
+                steps = sub_t_depth(gate.name) * gate.repetitions
+                wires = [w for w, _ in gate.in_wires]
+                wires += [c.wire for c in gate.controls]
+            else:
+                from ..core.gates import NamedGate
+
+                is_t = isinstance(gate, NamedGate) and gate.name == "T"
+                steps = 1 if is_t else 0
+                wires = [w for w, _ in gate.wires_in()]
+                wires += [w for w, _ in gate.wires_out() if w not in wires]
+            start = max((frontier.get(w, 0) for w in wires), default=0)
+            finish = start + steps
+            for wire in wires:
+                frontier[wire] = finish
+            total = max(total, finish)
+        return total
+
+    return walk(bc.circuit)

@@ -1,0 +1,140 @@
+"""Box inlining: expand a hierarchical circuit into a flat one.
+
+Inlining is the semantic ground truth for boxed subcircuits: simulation,
+printing with ``unbox``, and the testing of hierarchical gate counts all go
+through it.  Controls on a box call are distributed over the body's gates
+(Init/Term gates pass under controls unchanged, per Quipper's "nocontrol"
+convention -- an ancilla is |0> regardless of the control's value, and the
+body's assertions guarantee it is returned to |0>).
+
+:func:`iter_flat_gates` is a lazy generator, so simulators can stream
+through hierarchies whose inlined size would not fit in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.circuit import BCircuit, Circuit
+from ..core.errors import BoxError, ScopeError
+from ..core.gates import (
+    BoxCall,
+    Comment,
+    Control,
+    Discard,
+    Gate,
+    Measure,
+    map_gate_wires,
+    with_extra_controls,
+)
+
+
+def _max_wire_id(circuit: Circuit) -> int:
+    top = -1
+    for wire, _ in circuit.inputs:
+        top = max(top, wire)
+
+    def visit(wid: int) -> int:
+        nonlocal top
+        top = max(top, wid)
+        return wid
+
+    for gate in circuit.gates:
+        map_gate_wires(gate, visit)
+    return top
+
+
+class _WireSource:
+    """A monotone supply of fresh wire ids above an existing range."""
+
+    def __init__(self, start: int):
+        self.next_wire = start
+
+    def fresh(self) -> int:
+        wid = self.next_wire
+        self.next_wire += 1
+        return wid
+
+
+def _expand(
+    gate: Gate,
+    controls: tuple[Control, ...],
+    namespace: dict,
+    source: _WireSource,
+) -> Iterator[Gate]:
+    if isinstance(gate, Comment):
+        yield gate
+        return
+    if not isinstance(gate, BoxCall):
+        if controls and isinstance(gate, (Measure, Discard)):
+            raise ScopeError(
+                "cannot distribute controls over a Measure/Discard gate"
+            )
+        yield with_extra_controls(gate, controls)
+        return
+    sub = namespace.get(gate.name)
+    if sub is None:
+        raise BoxError(f"undefined subroutine {gate.name!r}")
+    inner_controls = controls + gate.controls
+    if gate.inverted:
+        body = [g.inverse() for g in reversed(sub.circuit.gates)]
+        entry, exit_ = sub.circuit.outputs, sub.circuit.inputs
+    else:
+        body = sub.circuit.gates
+        entry, exit_ = sub.circuit.inputs, sub.circuit.outputs
+    for _ in range(gate.repetitions):
+        mapping: dict[int, int] = {}
+        for (sid, _), (cid, _) in zip(entry, gate.in_wires):
+            mapping[sid] = cid
+        for (sid, _), (cid, _) in zip(exit_, gate.out_wires):
+            existing = mapping.get(sid)
+            if existing is not None and existing != cid:
+                raise BoxError(
+                    f"inconsistent wire binding for box {gate.name!r}"
+                )
+            mapping[sid] = cid
+
+        def remap(wid: int) -> int:
+            if wid not in mapping:
+                mapping[wid] = source.fresh()
+            return mapping[wid]
+
+        for body_gate in body:
+            yield from _expand(
+                map_gate_wires(body_gate, remap),
+                inner_controls,
+                namespace,
+                source,
+            )
+
+
+def iter_flat_gates(bc: BCircuit) -> Iterator[Gate]:
+    """Lazily yield the gates of the fully-inlined circuit."""
+    source = _WireSource(_max_wire_id(bc.circuit) + 1)
+    for gate in bc.circuit.gates:
+        yield from _expand(gate, (), bc.namespace, source)
+
+
+def iter_flat_gates_from(
+    gates: list[Gate], namespace: dict, next_wire: int
+) -> Iterator[Gate]:
+    """Lazily inline an explicit gate list (used by the QRAM executor)."""
+    source = _WireSource(next_wire)
+    for gate in gates:
+        yield from _expand(gate, (), namespace, source)
+
+
+def inline(bc: BCircuit) -> BCircuit:
+    """Fully expand every BoxCall, returning a flat, box-free circuit.
+
+    The inlined circuit's gate count equals
+    :func:`~repro.transform.count.aggregate_gate_count` of the original --
+    this equality is a key invariant of the library (tested property).
+    Only call this when the inlined size is tractable.
+    """
+    flat = Circuit(
+        inputs=bc.circuit.inputs,
+        gates=list(iter_flat_gates(bc)),
+        outputs=bc.circuit.outputs,
+    )
+    return BCircuit(flat, {})

@@ -1,0 +1,31 @@
+"""Circuit-level reversal.
+
+Per Section 4.2.2 of the paper, circuits containing qubit initializations and
+assertive terminations are unitary on the subspace where the assertions hold,
+so Quipper reverses them "without complaint": Init becomes Term and vice
+versa.  Circuits containing measurements or non-assertive discards are not
+reversible and raise :class:`~repro.core.errors.IrreversibleError`.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import BCircuit, Circuit
+
+
+def reverse_circuit(circuit: Circuit) -> Circuit:
+    """The inverse of a circuit: gates inverted, in reverse order."""
+    return Circuit(
+        inputs=circuit.outputs,
+        gates=[gate.inverse() for gate in reversed(circuit.gates)],
+        outputs=circuit.inputs,
+    )
+
+
+def reverse_bcircuit(bc: BCircuit) -> BCircuit:
+    """Reverse the main circuit of a hierarchy.
+
+    Subroutine definitions are shared unchanged: a reversed ``BoxCall``
+    simply carries an ``inverted`` flag (this is how reversing stays O(size
+    of the representation), not O(size of the inlined circuit)).
+    """
+    return BCircuit(reverse_circuit(bc.circuit), bc.namespace)

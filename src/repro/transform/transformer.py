@@ -1,0 +1,71 @@
+"""The generic circuit transformer framework (``transform_generic``).
+
+A *transformer* is a rule that receives each gate of a circuit together
+with a builder positioned at that gate, and either emits replacement gates
+or passes the gate through.  Transformers are applied recursively through
+the box hierarchy: every subroutine body is transformed once, and box calls
+are preserved, so transforming a trillion-gate circuit costs only the size
+of its *representation* (Section 4.4: "circuit transformations, e.g.
+replacing one elementary gate set by another").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.builder import Circ
+from ..core.circuit import BCircuit, Circuit, Subroutine
+from ..core.gates import Gate
+from .inline import _max_wire_id
+
+#: A transformer rule: ``rule(qc, gate) -> handled``.  It may emit any
+#: number of gates into ``qc``; returning False (or None) passes the
+#: original gate through unchanged.
+Rule = Callable[[Circ, Gate], Optional[bool]]
+
+
+def _rewrite_circuit(
+    circuit: Circuit, rule: Rule, namespace: dict[str, Subroutine]
+) -> Circuit:
+    qc = Circ(namespace=namespace)
+    qc._live = dict(circuit.inputs)
+    qc._next_wire = _max_wire_id(circuit) + 1
+    qc._max_live = len(qc._live)
+    for gate in circuit.gates:
+        handled = rule(qc, gate)
+        if not handled:
+            qc._emit_raw(gate)
+    return Circuit(
+        inputs=circuit.inputs, gates=qc.gates, outputs=circuit.outputs
+    )
+
+
+def transform_bcircuit(bc: BCircuit, rule: Rule) -> BCircuit:
+    """Apply a transformer rule to a whole circuit hierarchy.
+
+    Every subroutine body and the main circuit are rewritten gate by gate.
+    The rule may allocate ancillas and emit multiple gates per input gate;
+    wire ids of the original circuit are preserved, and new wires are
+    allocated above the existing range.
+    """
+    new_namespace: dict[str, Subroutine] = {}
+    for name, sub in bc.namespace.items():
+        new_sub = Subroutine(
+            name=sub.name,
+            circuit=None,  # filled below; callees may be referenced first
+            in_shape=sub.in_shape,
+            out_shape=sub.out_shape,
+        )
+        # Seed a provisional width so that builder bookkeeping works while
+        # callee bodies are still being rewritten; recomputed on check().
+        new_sub._width = sub.width(bc.namespace)
+        new_sub._signature = getattr(sub, "_signature", None)
+        new_namespace[name] = new_sub
+    for name, sub in bc.namespace.items():
+        new_namespace[name].circuit = _rewrite_circuit(
+            sub.circuit, rule, new_namespace
+        )
+    main = _rewrite_circuit(bc.circuit, rule, new_namespace)
+    for new_sub in new_namespace.values():
+        new_sub._width = None
+    return BCircuit(main, new_namespace)

@@ -1,0 +1,298 @@
+"""Property-based tests for the quantum arithmetic library.
+
+Every circuit is checked against ordinary Python arithmetic through the
+efficient classical simulator -- the same methodology Quipper programmers
+use to validate oracles (paper Section 4.4.5).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import (
+    add_const_in_place,
+    add_in_place,
+    add_out_of_place,
+    add_tf,
+    add_tf_select,
+    decrement_in_place,
+    equals,
+    equals_const,
+    greater_than,
+    increment_in_place,
+    less_than,
+    mul_const_out_of_place,
+    mul_out_of_place,
+    mul_tf,
+    negate_in_place,
+    rotate_left_tf,
+    rotate_right_tf,
+    shift_left_out_of_place,
+    square_out_of_place,
+    square_tf,
+    subtract_in_place,
+    qft_add_in_place,
+    qft_subtract_in_place,
+)
+from repro.datatypes import IntM, IntTF
+from repro.sim import run_classical_generic, run_generic
+
+L = 5
+M = 1 << L
+MT = M - 1
+
+small = st.integers(min_value=0, max_value=M - 1)
+small_tf = st.integers(min_value=0, max_value=MT - 1)
+settings.register_profile("arith", max_examples=12, deadline=None)
+settings.load_profile("arith")
+
+
+@given(small, small)
+def test_add_in_place(a, b):
+    def circ(qc, x, y):
+        add_in_place(qc, x, y)
+        return x, y
+
+    x, y = run_classical_generic(circ, IntM(a, L), IntM(b, L))
+    assert int(x) == a and int(y) == (a + b) % M
+
+
+@given(small, small)
+def test_add_with_carry_out(a, b):
+    def circ(qc, x, y):
+        c = qc.qinit_qubit(False)
+        add_in_place(qc, x, y, carry_out=c)
+        return x, y, c
+
+    x, y, c = run_classical_generic(circ, IntM(a, L), IntM(b, L))
+    assert int(y) == (a + b) % M
+    assert c == (a + b >= M)
+
+
+@given(small, small, st.booleans())
+def test_controlled_add(a, b, ctl):
+    def circ(qc, c, x, y):
+        add_in_place(qc, x, y, controls=c)
+        return c, x, y
+
+    c, x, y = run_classical_generic(circ, ctl, IntM(a, L), IntM(b, L))
+    assert int(y) == ((a + b) % M if ctl else b)
+
+
+@given(small, small)
+def test_subtract_inverts_add(a, b):
+    def circ(qc, x, y):
+        add_in_place(qc, x, y)
+        subtract_in_place(qc, x, y)
+        return x, y
+
+    x, y = run_classical_generic(circ, IntM(a, L), IntM(b, L))
+    assert int(y) == b
+
+
+@given(small, small)
+def test_subtract_value(a, b):
+    def circ(qc, x, y):
+        subtract_in_place(qc, x, y)
+        return x, y
+
+    _, y = run_classical_generic(circ, IntM(a, L), IntM(b, L))
+    assert int(y) == (b - a) % M
+
+
+@given(small, small)
+def test_add_out_of_place(a, b):
+    def circ(qc, x, y):
+        return x, y, add_out_of_place(qc, x, y)
+
+    x, y, s = run_classical_generic(circ, IntM(a, L), IntM(b, L))
+    assert (int(x), int(y), int(s)) == (a, b, (a + b) % M)
+
+
+@given(small, st.integers(min_value=0, max_value=M - 1))
+def test_add_const(a, k):
+    def circ(qc, y):
+        add_const_in_place(qc, k, y)
+        return y
+
+    y = run_classical_generic(circ, IntM(a, L))
+    assert int(y) == (a + k) % M
+
+
+@given(small)
+def test_increment_decrement(a):
+    def circ(qc, y):
+        increment_in_place(qc, y)
+        increment_in_place(qc, y)
+        decrement_in_place(qc, y)
+        return y
+
+    y = run_classical_generic(circ, IntM(a, L))
+    assert int(y) == (a + 1) % M
+
+
+@given(small)
+def test_negate(a):
+    def circ(qc, y):
+        negate_in_place(qc, y)
+        return y
+
+    y = run_classical_generic(circ, IntM(a, L))
+    assert int(y) == (-a) % M
+
+
+@given(small, small)
+def test_mul(a, b):
+    def circ(qc, x, y):
+        return x, y, mul_out_of_place(qc, x, y)
+
+    x, y, p = run_classical_generic(circ, IntM(a, L), IntM(b, L))
+    assert int(p) == (a * b) % M
+
+
+@given(small)
+def test_square(a):
+    def circ(qc, x):
+        return x, square_out_of_place(qc, x)
+
+    x, s = run_classical_generic(circ, IntM(a, L))
+    assert int(s) == (a * a) % M
+
+
+@given(small, st.integers(min_value=0, max_value=M - 1))
+def test_mul_const(a, k):
+    def circ(qc, y):
+        return y, mul_const_out_of_place(qc, k, y)
+
+    y, p = run_classical_generic(circ, IntM(a, L))
+    assert int(p) == (a * k) % M
+
+
+@given(small, small)
+def test_comparators(a, b):
+    def circ(qc, x, y):
+        lt = less_than(qc, x, y)
+        gt = greater_than(qc, x, y)
+        eq = equals(qc, x, y)
+        return x, y, lt, gt, eq
+
+    x, y, lt, gt, eq = run_classical_generic(circ, IntM(a, L), IntM(b, L))
+    assert (lt, gt, eq) == (a < b, a > b, a == b)
+    assert int(x) == a and int(y) == b  # inputs restored
+
+
+@given(small, st.integers(min_value=0, max_value=M - 1))
+def test_equals_const(a, k):
+    def circ(qc, x):
+        return x, equals_const(qc, x, k)
+
+    x, eq = run_classical_generic(circ, IntM(a, L))
+    assert eq == (a == k)
+
+
+@given(small_tf, small_tf)
+def test_add_tf(a, b):
+    def circ(qc, x, y):
+        return x, y, add_tf(qc, x, y)
+
+    x, y, s = run_classical_generic(circ, IntTF(a, L), IntTF(b, L))
+    assert s == (a + b) % MT
+
+
+@given(small_tf, small_tf, st.booleans())
+def test_add_tf_select(a, b, ctl):
+    def circ(qc, c, x, y):
+        m = qc.measure(c) if False else c
+        return c, x, y, add_tf_select(qc, c, x, y)
+
+    c, x, y, s = run_classical_generic(
+        circ, ctl, IntTF(a, L), IntTF(b, L)
+    )
+    assert s == ((a + b) % MT if ctl else b % MT)
+
+
+@given(small_tf, small_tf)
+def test_mul_tf(a, b):
+    def circ(qc, x, y):
+        return x, y, mul_tf(qc, x, y)
+
+    x, y, p = run_classical_generic(circ, IntTF(a, L), IntTF(b, L))
+    assert p == (a * b) % MT
+
+
+@given(small_tf)
+def test_square_tf(a):
+    def circ(qc, x):
+        return x, square_tf(qc, x)
+
+    x, s = run_classical_generic(circ, IntTF(a, L))
+    assert s == (a * a) % MT
+
+
+@given(small_tf)
+def test_rotate_tf_roundtrip(a):
+    def circ(qc, x):
+        y = rotate_left_tf(qc, x)
+        z = rotate_right_tf(qc, y)
+        return z
+
+    z = run_classical_generic(circ, IntTF(a, L))
+    assert z == a
+
+
+@given(small_tf)
+def test_rotate_is_doubling(a):
+    def circ(qc, x):
+        return rotate_left_tf(qc, x)
+
+    y = run_classical_generic(circ, IntTF(a, L))
+    assert y == (2 * a) % MT
+
+
+@given(small, st.integers(min_value=0, max_value=L - 1))
+def test_shift_left(a, k):
+    def circ(qc, x):
+        return x, shift_left_out_of_place(qc, x, k)
+
+    x, y = run_classical_generic(circ, IntM(a, L))
+    assert int(y) == (a << k) % M
+
+
+@pytest.mark.parametrize("a", [0, 1, 3, 5, 7])
+@pytest.mark.parametrize("b", [0, 2, 6, 7])
+def test_qft_adder(a, b):
+    def circ(qc, x, y):
+        qft_add_in_place(qc, x, y)
+        return x, y
+
+    x, y = run_generic(circ, IntM(a, 3), IntM(b, 3), seed=0)
+    assert int(y) == (a + b) % 8
+    assert int(x) == a
+
+
+@pytest.mark.parametrize("a,b", [(1, 5), (3, 3), (7, 0), (6, 2)])
+def test_qft_subtract(a, b):
+    def circ(qc, x, y):
+        qft_add_in_place(qc, x, y)
+        qft_subtract_in_place(qc, x, y)
+        return x, y
+
+    x, y = run_generic(circ, IntM(a, 3), IntM(b, 3), seed=0)
+    assert int(y) == b
+
+
+def test_adder_is_ancilla_clean():
+    """All adder scratch is assertively terminated (checked by the sim)."""
+
+    def circ(qc, x, y):
+        add_in_place(qc, x, y)
+        return x, y
+
+    from repro import aggregate_gate_count, build
+    from repro.datatypes import qdint_shape
+
+    bc, _ = build(circ, qdint_shape(L), qdint_shape(L))
+    counts = aggregate_gate_count(bc)
+    inits = sum(v for (k, _, _), v in counts.items() if k.startswith("Init"))
+    terms = sum(v for (k, _, _), v in counts.items() if k.startswith("Term"))
+    assert inits == terms == L

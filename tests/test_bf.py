@@ -1,0 +1,142 @@
+"""Tests for the Boolean Formula / Hex algorithm."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lifting import classical_to_reversible, unpack
+from repro.sim import run_classical_generic, run_generic
+from repro.algorithms.bf import (
+    blue_wins,
+    count_winning_assignments,
+    hex_oracle_gatecount,
+    make_hex_winner_template,
+    make_nand_formula_template,
+    nand_formula_value,
+    neighbors,
+    random_final_position,
+    winning_move_search,
+)
+
+
+class TestFloodFill:
+    def test_full_blue_board_wins(self):
+        assert blue_wins([True] * 9, 3, 3)
+
+    def test_empty_board_loses(self):
+        assert not blue_wins([False] * 9, 3, 3)
+
+    def test_single_row_path(self):
+        board = [True, True, True] + [False] * 6
+        assert blue_wins(board, 3, 3)
+
+    def test_blocked_column(self):
+        # right column empty -> no connection
+        board = [True, True, False] * 3
+        assert not blue_wins(board, 3, 3)
+
+    def test_diagonal_hex_adjacency(self):
+        # hex adjacency includes (r-1, c+1): a staircase connects
+        board = [
+            False, False, True,
+            False, True, False,
+            True, False, False,
+        ]
+        assert blue_wins(board, 3, 3)
+
+    def test_neighbor_count_bounds(self):
+        for r in range(3):
+            for c in range(3):
+                count = len(neighbors(r, c, 3, 3))
+                assert 2 <= count <= 6
+
+
+class TestLiftedOracle:
+    @given(st.lists(st.booleans(), min_size=9, max_size=9))
+    @settings(max_examples=15, deadline=None)
+    def test_oracle_matches_flood_fill(self, board):
+        template = make_hex_winner_template(3, 3)
+        # classical callability of the template itself
+        assert template(board) == blue_wins(board, 3, 3)
+        rev = classical_to_reversible(unpack(template))
+
+        def circ(qc, cells, target):
+            return rev(qc, cells, target)
+
+        cells, target = run_classical_generic(circ, board, False)
+        assert target == blue_wins(board, 3, 3)
+        assert cells == board
+
+    def test_gatecount_grows_with_board(self):
+        small = hex_oracle_gatecount(2, 2)
+        large = hex_oracle_gatecount(3, 3)
+        assert large > 2 * small
+
+    def test_share_false_larger_than_share_true(self):
+        assert hex_oracle_gatecount(3, 3, share=False) >= \
+            hex_oracle_gatecount(3, 3, share=True)
+
+
+class TestNandFormula:
+    @given(st.lists(st.booleans(), min_size=8, max_size=8))
+    @settings(max_examples=10, deadline=None)
+    def test_lifted_matches_classical(self, leaves):
+        template = make_nand_formula_template(3)
+        rev = classical_to_reversible(unpack(template))
+
+        def circ(qc, ls, t):
+            return rev(qc, ls, t)
+
+        ls, value = run_classical_generic(circ, leaves, False)
+        assert value == nand_formula_value(leaves)
+
+    def test_nand_tree_known_values(self):
+        assert nand_formula_value([False, False]) is True
+        assert nand_formula_value([True, True]) is False
+        assert nand_formula_value([True, True, True, True]) is True
+
+
+class TestWinningMoveSearch:
+    def test_counts_ground_truth(self):
+        partial = [True, None, False, False, None, True]
+        assert count_winning_assignments(2, 3, partial) == 1
+
+    def test_grover_finds_the_winning_move(self):
+        partial = [True, None, False, False, None, True]
+
+        def circ(qc):
+            reg, _ = winning_move_search(qc, 2, 3, partial, iterations=1)
+            return reg
+
+        hits = 0
+        for seed in range(20):
+            out = run_generic(circ, seed=seed)
+            board = list(partial)
+            board[1], board[4] = out[0], out[1]
+            hits += blue_wins(board, 2, 3)
+        assert hits >= 17  # near-deterministic for M=1, N=4
+
+    def test_no_empty_cells_rejected(self):
+        with pytest.raises(ValueError):
+            from repro import build
+
+            build(lambda qc: winning_move_search(qc, 2, 2,
+                                                 [True, False, True, False]))
+
+    def test_final_positions_decided(self):
+        """In hex, someone always wins a full board: blue wins iff red
+        (the complement) does not connect top-bottom -- spot check that
+        random full boards are consistently decided by flood fill."""
+        rng = random.Random(1)
+        for seed in range(10):
+            board = random_final_position(3, 3, seed)
+            blue = blue_wins(board, 3, 3)
+            # red plays the transposed board with inverted stones
+            red_board = [False] * 9
+            for r in range(3):
+                for c in range(3):
+                    red_board[c * 3 + r] = not board[r * 3 + c]
+            red = blue_wins(red_board, 3, 3)
+            assert blue != red

@@ -1,0 +1,392 @@
+"""Tests for the Circ builder: emission, checks, blocks, reversal, boxes."""
+
+import pytest
+
+from repro import Circ, build, neg, qubit
+from repro.core.circuit import Circuit
+from repro.core.errors import (
+    BoxError,
+    CloningError,
+    DeadWireError,
+    DynamicLiftingError,
+    ScopeError,
+    ShapeMismatchError,
+    WireTypeError,
+)
+from repro.core.gates import BoxCall, Comment, Init, NamedGate, Term
+from repro.core.qdata import bit
+from repro.core.wires import Bit, Qubit
+
+
+def _gates(fn, *shapes):
+    bc, _ = build(fn, *shapes)
+    return bc.circuit.gates
+
+
+class TestRuntimeChecks:
+    def test_no_cloning_same_gate(self):
+        def bad(qc, a):
+            qc.named_gate("swap", a, a)
+
+        with pytest.raises(CloningError):
+            build(bad, qubit)
+
+    def test_control_equal_to_target(self):
+        def bad(qc, a):
+            qc.qnot(a, controls=a)
+
+        with pytest.raises(CloningError):
+            build(bad, qubit)
+
+    def test_dead_wire_use(self):
+        def bad(qc, a):
+            qc.qterm(a)
+            qc.hadamard(a)
+
+        with pytest.raises(DeadWireError):
+            build(bad, qubit)
+
+    def test_measure_then_gate_is_type_error(self):
+        def bad(qc, a):
+            qc.measure(a)
+            qc.hadamard(a)
+
+        with pytest.raises(WireTypeError):
+            build(bad, qubit)
+
+    def test_measure_under_controls_rejected(self):
+        def bad(qc, a, b):
+            with qc.controls(b):
+                qc.measure(a)
+
+        with pytest.raises(ScopeError):
+            build(bad, qubit, qubit)
+
+    def test_dynamic_lift_without_context(self):
+        def bad(qc, a):
+            b = qc.measure(a)
+            qc.dynamic_lift(b)
+
+        with pytest.raises(DynamicLiftingError):
+            build(bad, qubit)
+
+
+class TestBlocks:
+    def test_controls_attach(self):
+        def circ(qc, a, c):
+            with qc.controls(c):
+                qc.hadamard(a)
+            return a, c
+
+        gates = _gates(circ, qubit, qubit)
+        assert gates[0].controls[0].wire == 1
+
+    def test_negative_control(self):
+        def circ(qc, a, c):
+            qc.qnot(a, controls=neg(c))
+            return a, c
+
+        gates = _gates(circ, qubit, qubit)
+        assert not gates[0].controls[0].positive
+
+    def test_nested_controls_accumulate(self):
+        def circ(qc, a, c1, c2):
+            with qc.controls(c1):
+                with qc.controls(c2):
+                    qc.qnot(a)
+            return a, c1, c2
+
+        gates = _gates(circ, qubit, qubit, qubit)
+        assert len(gates[0].controls) == 2
+
+    def test_controls_skip_init_term(self):
+        def circ(qc, a, c):
+            with qc.controls(c):
+                with qc.ancilla() as x:
+                    qc.qnot(x, controls=a)
+                    qc.qnot(x, controls=a)
+            return a, c
+
+        gates = _gates(circ, qubit, qubit)
+        assert isinstance(gates[0], Init) and not hasattr(gates[0], "controls")
+        assert isinstance(gates[-1], Term)
+        # the inner nots carry both a and c
+        assert len(gates[1].controls) == 2
+
+    def test_ancilla_scope(self):
+        def circ(qc, a):
+            with qc.ancilla() as x:
+                qc.qnot(x, controls=a)
+                qc.qnot(x, controls=a)
+            return a
+
+        gates = _gates(circ, qubit)
+        assert isinstance(gates[0], Init)
+        assert isinstance(gates[-1], Term)
+
+    def test_ancilla_init_structure(self):
+        def circ(qc):
+            with qc.ancilla_init([True, False]) as (x, y):
+                qc.qnot(y, controls=x)
+                qc.qnot(y, controls=x)
+            return ()
+
+        bc, _ = build(circ)
+        terms = [g for g in bc.circuit.gates if isinstance(g, Term)]
+        assert [t.value for t in terms] == [True, False]
+
+    def test_with_computed_mirrors(self):
+        def circ(qc, a, b):
+            def compute():
+                x = qc.qinit_qubit(False)
+                qc.qnot(x, controls=a)
+                return x
+
+            qc.with_computed(compute, lambda x: qc.qnot(b, controls=x))
+            return a, b
+
+        gates = _gates(circ, qubit, qubit)
+        kinds = [type(g).__name__ for g in gates]
+        assert kinds == ["Init", "NamedGate", "NamedGate", "NamedGate", "Term"]
+
+    def test_with_basis_change(self):
+        def circ(qc, a):
+            qc.with_basis_change(
+                lambda: qc.hadamard(a), lambda: qc.gate_Z(a)
+            )
+            return a
+
+        gates = _gates(circ, qubit)
+        assert [g.name for g in gates] == ["H", "Z", "H"]
+
+
+class TestShapeGenericOps:
+    def test_qinit_structure(self):
+        def circ(qc):
+            return qc.qinit((True, [False, True]))
+
+        bc, outs = build(circ)
+        inits = [g for g in bc.circuit.gates if isinstance(g, Init)]
+        assert [g.value for g in inits] == [True, False, True]
+
+    def test_measure_preserves_shape(self):
+        def circ(qc):
+            data = qc.qinit((False, [True, False]))
+            return qc.measure(data)
+
+        bc, outs = build(circ)
+        assert isinstance(outs, tuple)
+        assert isinstance(outs[1], list)
+        assert all(isinstance(leaf, Bit) for leaf in [outs[0], *outs[1]])
+
+    def test_controlled_not_shape_mismatch(self):
+        def bad(qc, a, b):
+            qc.controlled_not([a], [b, b])
+
+        with pytest.raises((ShapeMismatchError, CloningError)):
+            build(bad, qubit, qubit)
+
+    def test_cinit_and_cdiscard(self):
+        def circ(qc):
+            b = qc.cinit([True, False])
+            qc.cdiscard(b)
+            return ()
+
+        bc, _ = build(circ)
+        assert bc.check() == 2
+
+
+class TestReverseEndo:
+    def test_reverse_is_inverse_sequence(self):
+        def body(qc, a, b):
+            qc.hadamard(a)
+            qc.gate_T(b)
+            qc.qnot(b, controls=a)
+            return a, b
+
+        def circ(qc, a, b):
+            qc.reverse_endo(body, a, b)
+            return a, b
+
+        gates = _gates(circ, qubit, qubit)
+        names = [g.display_name() for g in gates]
+        assert names == ["not", "T*", "H"]
+
+    def test_reverse_with_ancillas(self):
+        def body(qc, a):
+            with qc.ancilla() as x:
+                qc.qnot(x, controls=a)
+                qc.qnot(x, controls=a)
+            return a
+
+        def circ(qc, a):
+            qc.reverse_endo(body, a)
+            return a
+
+        gates = _gates(circ, qubit)
+        assert isinstance(gates[0], Init)
+        assert isinstance(gates[-1], Term)
+
+    def test_double_reverse_identity(self):
+        def body(qc, a):
+            qc.gate_S(a)
+            return a
+
+        def circ(qc, a):
+            qc.reverse_endo(lambda q, x: q.reverse_endo(body, x), a)
+            return a
+
+        gates = _gates(circ, qubit)
+        assert [g.display_name() for g in gates] == ["S"]
+
+
+class TestBoxes:
+    @staticmethod
+    def _mycirc(qc, a, b):
+        qc.hadamard(a)
+        qc.qnot(b, controls=a)
+        return a, b
+
+    def test_box_generated_once(self):
+        def circ(qc, a, b):
+            qc.box("f", self_mycirc, a, b)
+            qc.box("f", self_mycirc, b, a)
+            return a, b
+
+        self_mycirc = self._mycirc
+        bc, _ = build(circ, qubit, qubit)
+        assert bc.subroutine_names() == ["f"]
+        calls = [g for g in bc.circuit.gates if isinstance(g, BoxCall)]
+        assert len(calls) == 2
+
+    def test_box_distinct_shapes_get_distinct_keys(self):
+        def body(qc, xs):
+            for x in xs:
+                qc.hadamard(x)
+            return xs
+
+        def circ(qc, a, b, c):
+            qc.box("g", body, [a, b])
+            qc.box("g", body, [a, b, c])
+            return a, b, c
+
+        bc, _ = build(circ, qubit, qubit, qubit)
+        assert len(bc.namespace) == 2
+
+    def test_box_with_fresh_outputs(self):
+        def body(qc, a):
+            fresh = qc.qinit_qubit(False)
+            qc.qnot(fresh, controls=a)
+            return a, fresh
+
+        def circ(qc, a):
+            a, fresh = qc.box("h", body, a)
+            return a, fresh
+
+        bc, outs = build(circ, qubit)
+        assert bc.check() == 2
+        assert isinstance(outs[1], Qubit)
+
+    def test_box_must_return_all_live_wires(self):
+        def body(qc, a):
+            qc.qinit_qubit(False)  # leaked
+            return a
+
+        def circ(qc, a):
+            qc.box("leaky", body, a)
+            return a
+
+        with pytest.raises(ScopeError):
+            build(circ, qubit)
+
+    def test_repeated_box_requires_endo(self):
+        def body(qc, a):
+            fresh = qc.qinit_qubit(False)
+            qc.qterm(a)
+            return fresh
+
+        def circ(qc, a):
+            return qc.nbox("reps", 3, body, a)
+
+        with pytest.raises(BoxError):
+            build(circ, qubit)
+
+    def test_repetitions_recorded(self):
+        def body(qc, a):
+            qc.hadamard(a)
+            return a
+
+        def circ(qc, a):
+            return qc.nbox("r", 5, body, a)
+
+        bc, _ = build(circ, qubit)
+        call = next(g for g in bc.circuit.gates if isinstance(g, BoxCall))
+        assert call.repetitions == 5
+
+    def test_nested_boxes(self):
+        def inner(qc, a):
+            qc.gate_T(a)
+            return a
+
+        def outer(qc, a):
+            qc.box("inner", inner, a)
+            qc.box("inner", inner, a)
+            return a
+
+        def circ(qc, a):
+            qc.box("outer", outer, a)
+            return a
+
+        bc, _ = build(circ, qubit)
+        assert set(bc.namespace) == {"inner", "outer"}
+        assert bc.check() == 1
+
+
+class TestComments:
+    def test_comment_with_label_indexing(self):
+        def circ(qc, a, b):
+            qc.comment_with_label("ENTER", (a, b), ("x", "y"))
+            return a, b
+
+        gates = _gates(circ, qubit, qubit)
+        assert isinstance(gates[0], Comment)
+        assert gates[0].labels == ((0, "Q", "x"), (1, "Q", "y"))
+
+    def test_multi_wire_label_gets_indices(self):
+        def circ(qc):
+            data = qc.qinit([False] * 3)
+            qc.comment_with_label("L", data, "v")
+            return data
+
+        bc, _ = build(circ)
+        comment = next(
+            g for g in bc.circuit.gates if isinstance(g, Comment)
+        )
+        assert [lab for (_, _, lab) in comment.labels] == [
+            "v[0]", "v[1]", "v[2]"
+        ]
+
+
+class TestCircuitCheck:
+    def test_width_counts_ancillas(self):
+        def circ(qc, a):
+            with qc.ancilla() as x:
+                with qc.ancilla() as y:
+                    qc.qnot(y, controls=(a, x)) if False else None
+                    qc.qnot(y, controls=x)
+                    qc.qnot(y, controls=x)
+            return a
+
+        bc, _ = build(circ, qubit)
+        assert bc.check() == 3
+
+    def test_output_mismatch_detected(self):
+        circuit = Circuit(
+            inputs=((0, "Q"),),
+            gates=[],
+            outputs=((0, "Q"), (1, "Q")),
+        )
+        from repro.core.errors import QuipperError
+
+        with pytest.raises(QuipperError):
+            circuit.check()

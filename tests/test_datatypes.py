@@ -1,0 +1,134 @@
+"""Tests for the quantum data types (IntM/QDInt, IntTF/QIntTF, FPRealM)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import build
+from repro.core.errors import ShapeMismatchError
+from repro.core.wires import Bit, Qubit
+from repro.datatypes import (
+    CInt,
+    FPRealM,
+    IntM,
+    IntTF,
+    QDInt,
+    bools_msb_first,
+    fpreal_shape,
+    int_from_bools_msb,
+    qdint_shape,
+    qinttf_shape,
+)
+from repro.sim import run_classical_generic
+
+
+class TestIntM:
+    @given(st.integers(-300, 300), st.integers(-300, 300))
+    def test_add_wraps(self, a, b):
+        x = IntM(a, 8) + IntM(b, 8)
+        assert x.value == (a + b) % 256
+
+    @given(st.integers(-300, 300), st.integers(-300, 300))
+    def test_mul_wraps(self, a, b):
+        assert (IntM(a, 8) * IntM(b, 8)).value == (a * b) % 256
+
+    def test_signed_value(self):
+        assert IntM(255, 8).signed_value == -1
+        assert IntM(127, 8).signed_value == 127
+
+    def test_int_coercion(self):
+        assert IntM(5, 4) + 3 == 8
+        assert int(IntM(5, 4)) == 5
+
+    def test_width_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            IntM(1, 4) + IntM(1, 5)
+
+    @given(st.integers(0, 255))
+    def test_bools_round_trip(self, v):
+        assert int_from_bools_msb(bools_msb_first(v, 8)) == v
+
+    def test_qinit_round_trip(self):
+        def circ(qc):
+            return qc.qinit(IntM(11, 5))
+
+        bc, outs = build(circ)
+        assert isinstance(outs, QDInt)
+        assert len(outs) == 5
+        value = run_classical_generic(lambda qc: qc.qinit(IntM(11, 5)))
+        assert value == 11
+
+
+class TestIntTF:
+    @given(st.integers(0, 500), st.integers(0, 500))
+    def test_modular_add(self, a, b):
+        assert (IntTF(a, 5) + IntTF(b, 5)).value == (a + b) % 31
+
+    @given(st.integers(0, 500), st.integers(0, 500))
+    def test_modular_mul(self, a, b):
+        assert (IntTF(a, 5) * IntTF(b, 5)).value == (a * b) % 31
+
+    def test_double_zero_equality(self):
+        # 2^l - 1 is the alternate representation of zero
+        assert IntTF(31, 5) == IntTF(0, 5)
+        assert IntTF(31, 5) == 0
+
+    def test_minimum_length(self):
+        with pytest.raises(ValueError):
+            IntTF(0, 1)
+
+
+class TestFPReal:
+    @given(st.floats(-3.9, 3.9, allow_nan=False))
+    def test_value_round_trip(self, v):
+        m = FPRealM(v, 3, 10)
+        assert abs(m.value - v) <= 2 ** -10
+
+    def test_negative_representation(self):
+        m = FPRealM(-1.5, 3, 4)
+        assert m.value == -1.5
+
+    def test_shape_specimen(self):
+        spec = fpreal_shape(3, 5)
+        assert spec.length == 8
+        assert spec.integer_bits == 3
+
+    def test_format_mismatch(self):
+        from repro.datatypes.fpreal import FPReal
+
+        with pytest.raises(ShapeMismatchError):
+            FPReal([Qubit(0)], 3, 4)
+
+    def test_qinit_readout(self):
+        value = run_classical_generic(
+            lambda qc: qc.qinit(FPRealM(1.25, 3, 6))
+        )
+        assert float(value) == 1.25
+
+
+class TestRegisters:
+    def test_bit_accessor_is_little_endian(self):
+        reg = QDInt([Qubit(0), Qubit(1), Qubit(2)])  # MSB first
+        assert reg.bit(0).wire_id == 2
+        assert reg.bit(2).wire_id == 0
+
+    def test_bits_le(self):
+        reg = QDInt([Qubit(0), Qubit(1)])
+        assert [w.wire_id for w in reg.bits_le()] == [1, 0]
+
+    def test_measure_produces_cint(self):
+        def circ(qc):
+            reg = qc.qinit(IntM(6, 4))
+            return qc.measure(reg)
+
+        bc, outs = build(circ)
+        assert isinstance(outs, CInt)
+        assert all(isinstance(w, Bit) for w in outs.wires)
+
+    def test_shapes(self):
+        assert len(qdint_shape(7)) == 7
+        assert len(qinttf_shape(4)) == 4
+
+    def test_rebuild_wrong_length(self):
+        with pytest.raises(ShapeMismatchError):
+            qdint_shape(3).qdata_rebuild([Qubit(0)])

@@ -1,0 +1,121 @@
+"""Tests for hierarchical circuit-depth estimation."""
+
+import pytest
+
+from repro import build, qubit
+from repro.transform.depth import circuit_depth, t_depth
+
+
+def test_sequential_gates_add_depth():
+    def circ(qc, a):
+        qc.hadamard(a)
+        qc.gate_T(a)
+        qc.gate_S(a)
+        return a
+
+    bc, _ = build(circ, qubit)
+    assert circuit_depth(bc) == 3
+
+
+def test_parallel_gates_share_a_step():
+    def circ(qc, a, b, c):
+        qc.hadamard(a)
+        qc.hadamard(b)
+        qc.hadamard(c)
+        return a, b, c
+
+    bc, _ = build(circ, qubit, qubit, qubit)
+    assert circuit_depth(bc) == 1
+
+
+def test_controls_synchronize_wires():
+    def circ(qc, a, b):
+        qc.hadamard(a)       # step 1 on a
+        qc.qnot(b, controls=a)  # step 2 on both
+        qc.hadamard(a)       # step 3 on a
+        qc.hadamard(b)       # step 3 on b (parallel)
+        return a, b
+
+    bc, _ = build(circ, qubit, qubit)
+    assert circuit_depth(bc) == 3
+
+
+def test_comments_are_free():
+    def circ(qc, a):
+        qc.comment("x")
+        qc.hadamard(a)
+        qc.comment("y")
+        return a
+
+    bc, _ = build(circ, qubit)
+    assert circuit_depth(bc) == 1
+
+
+def test_box_depth_multiplies_repetitions():
+    def body(qc, a):
+        qc.hadamard(a)
+        qc.gate_T(a)
+        return a
+
+    def circ(qc, a):
+        return qc.nbox("b", 1000, body, a)
+
+    bc, _ = build(circ, qubit)
+    assert circuit_depth(bc) == 2000
+
+
+def test_trillion_scale_depth_is_cheap():
+    def body(qc, a):
+        qc.hadamard(a)
+        return a
+
+    def mid(qc, a):
+        return qc.nbox("inner", 10 ** 7, body, a)
+
+    def circ(qc, a):
+        return qc.nbox("outer", 10 ** 7, mid, a)
+
+    bc, _ = build(circ, qubit)
+    assert circuit_depth(bc) == 10 ** 14
+
+
+def test_independent_boxes_run_in_parallel():
+    def body(qc, a):
+        for _ in range(5):
+            qc.hadamard(a)
+        return a
+
+    def circ(qc, a, b):
+        qc.box("f", body, a)
+        qc.box("f", body, b)
+        return a, b
+
+    bc, _ = build(circ, qubit, qubit)
+    assert circuit_depth(bc) == 5
+
+
+def test_t_depth_counts_only_t_gates():
+    def circ(qc, a, b):
+        qc.hadamard(a)
+        qc.gate_T(a)
+        qc.qnot(b, controls=a)
+        qc.gate_T(b)
+        qc.gate_T(a)
+        return a, b
+
+    bc, _ = build(circ, qubit, qubit)
+    # a: T ... T (2 sequential); b's T depends on the CNOT after a's first T
+    assert t_depth(bc) == 2
+    assert circuit_depth(bc) == 4
+
+
+def test_depth_of_real_oracle():
+    from repro.algorithms.tf.main import build_part
+
+    bc = build_part("pow17", 4, 3, 2, "orthodox")
+    depth = circuit_depth(bc)
+    from repro import aggregate_gate_count, total_gates
+
+    total = total_gates(aggregate_gate_count(bc))
+    assert 0 < depth <= total  # depth never exceeds gate count
+    assert depth > 100  # the arithmetic is deeply sequential

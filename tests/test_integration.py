@@ -1,0 +1,255 @@
+"""Cross-module integration tests.
+
+Scenarios that exercise several subsystems together: lifting + reversal +
+decomposition + simulation chains, boxed oracles under Grover, the CLI
+entry points, and failure injection across module boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BINARY,
+    TOFFOLI,
+    aggregate_gate_count,
+    build,
+    decompose_generic,
+    inline,
+    qubit,
+    reverse_bcircuit,
+    total_gates,
+)
+from repro.core.errors import AssertionFailedError, IrreversibleError
+from repro.datatypes import IntM, IntTF, qdint_shape
+from repro.lifting import bool_xor, build_circuit, classical_to_reversible, unpack
+from repro.sim import run_classical_generic, run_generic
+from repro.sim.state import simulate
+from repro.transform.count import count_circuit_flat
+
+
+class TestLiftReverseDecomposeSimulate:
+    """A lifted oracle survives the full transformation pipeline."""
+
+    @staticmethod
+    def _oracle_circuit():
+        @build_circuit
+        def majority(bits):
+            a, b, c = bits
+            return (a & b) | (a & c) | (b & c)
+
+        rev = classical_to_reversible(unpack(majority))
+
+        def circ(qc, bits, target):
+            return rev(qc, bits, target)
+
+        return build(circ, [qubit] * 3, qubit)[0]
+
+    def test_semantics_preserved_through_toffoli(self):
+        bc = self._oracle_circuit()
+        toff = decompose_generic(TOFFOLI, bc)
+        for value in range(8):
+            bits = [bool((value >> i) & 1) for i in range(3)]
+            expect = sum(bits) >= 2
+            in_values = {
+                w: b for (w, _), b in zip(bc.circuit.inputs, bits + [False])
+            }
+            sim = simulate(toff, in_values)
+            target_wire = bc.circuit.inputs[3][0]
+            probs = sim.basis_probabilities([target_wire])
+            assert probs.get((int(expect),), 0) == pytest.approx(1.0)
+
+    def test_reverse_of_decomposed_is_identity(self):
+        bc = decompose_generic(BINARY, self._oracle_circuit())
+        rev = reverse_bcircuit(bc)
+        state = simulate(bc, {0: True, 1: True})
+        for gate in rev.circuit.gates:
+            state.execute(gate)
+        wires = [w for w, _ in bc.circuit.inputs]
+        probs = state.basis_probabilities(wires)
+        assert probs[(1, 1, 0, 0)] == pytest.approx(1.0, abs=1e-9)
+
+    def test_counting_invariant_under_inline_after_decompose(self):
+        bc = decompose_generic(TOFFOLI, self._oracle_circuit())
+        assert aggregate_gate_count(bc) == count_circuit_flat(
+            inline(bc).circuit
+        )
+
+
+class TestBoxedArithmeticPipeline:
+    def test_boxed_tf_arithmetic_counts_and_evaluates(self):
+        """A boxed multiplier both counts hierarchically and evaluates."""
+        from repro.algorithms.tf import o8_MUL
+
+        def circ(qc, x, y):
+            _, _, p1 = o8_MUL(qc, x, y)
+            _, _, p2 = o8_MUL(qc, x, y)
+            return x, y, p1, p2
+
+        x, y, p1, p2 = run_classical_generic(
+            circ, IntTF(5, 4), IntTF(9, 4)
+        )
+        assert p1 == (5 * 9) % 15 and p2 == p1
+
+        bc, _ = build(
+            circ, IntTF(0, 4).qshape_specimen(),
+            IntTF(0, 4).qshape_specimen(),
+        )
+        # one stored o8 body, two calls: aggregate = 2x the body count
+        from repro.core.circuit import BCircuit
+
+        body = BCircuit(bc.namespace["o8"].circuit, bc.namespace)
+        assert (
+            total_gates(aggregate_gate_count(bc))
+            == 2 * total_gates(aggregate_gate_count(body))
+        )
+
+    def test_deep_box_nesting_counts(self):
+        def leaf(qc, a):
+            qc.gate_T(a)
+            return a
+
+        def make_level(inner, name, reps):
+            def level(qc, a):
+                return qc.nbox(name, reps, inner, a)
+
+            return level
+
+        fn = leaf
+        for depth in range(6):
+            fn = make_level(fn, f"level{depth}", 10)
+
+        bc, _ = build(lambda qc, a: fn(qc, a), qubit)
+        counts = aggregate_gate_count(bc)
+        assert counts[("T", 0, 0)] == 10 ** 6
+        assert len(bc) < 20  # six tiny bodies
+
+
+class TestFailureInjection:
+    def test_dirty_ancilla_detected_through_box_and_inline(self):
+        def body(qc, a):
+            x = qc.qinit_qubit(False)
+            qc.qnot(x, controls=a)  # dirty when a=1
+            qc.qterm(x)
+            return a
+
+        def circ(qc, a):
+            qc.box("bad", body, a)
+            return a
+
+        run_classical_generic(lambda qc: circ(qc, qc.qinit(False)))
+        with pytest.raises(AssertionFailedError):
+            run_classical_generic(lambda qc: circ(qc, qc.qinit(True)))
+
+    def test_measure_inside_reversed_box_rejected(self):
+        def body(qc, a):
+            b = qc.measure(a)
+            return b
+
+        def circ(qc, a):
+            qc.box("m", body, a)
+            return ()
+
+        bc, _ = build(lambda qc, a: (qc.box("m", body, a),), qubit)
+        with pytest.raises(IrreversibleError):
+            inline(reverse_bcircuit(bc))
+
+    def test_statevector_catches_bad_assertion_after_decompose(self):
+        def circ(qc, a):
+            with qc.ancilla() as x:
+                qc.qnot(x, controls=a)  # left dirty when a=1
+            return a
+
+        bc, _ = build(circ, qubit)
+        toff = decompose_generic(TOFFOLI, bc)
+        simulate(toff, {0: False})
+        with pytest.raises(AssertionFailedError):
+            simulate(toff, {0: True})
+
+
+class TestGroverOverLiftedOracle:
+    def test_search_with_lifted_predicate(self):
+        """Grover over a build_circuit-lifted predicate, end to end."""
+        from repro.lib import (
+            grover_iteration,
+            phase_oracle_from_bit_oracle,
+            prepare_uniform,
+        )
+
+        @build_circuit
+        def is_target(bits):
+            # target pattern 101
+            a, b, c = bits
+            return a & ~b & c
+
+        oracle_fn = unpack(is_target)
+
+        def circuit(qc):
+            qs = [qc.qinit_qubit(False) for _ in range(3)]
+            prepare_uniform(qc, qs)
+            for _ in range(2):
+                grover_iteration(
+                    qc, qs,
+                    lambda q, d: phase_oracle_from_bit_oracle(
+                        q, lambda q2, d2: oracle_fn(q2, d2), d
+                    ),
+                )
+            return qs
+
+        hits = sum(
+            run_generic(circuit, seed=s) == [True, False, True]
+            for s in range(20)
+        )
+        assert hits >= 17
+
+
+class TestCLIs:
+    @pytest.mark.parametrize(
+        "module,args",
+        [
+            ("repro.algorithms.bwt.main", ["-n", "3", "-f", "gatecount"]),
+            ("repro.algorithms.bf.main", ["--rows", "2", "--cols", "2"]),
+            ("repro.algorithms.cl.main", ["-d", "7", "--samples", "6"]),
+            ("repro.algorithms.gse.main", ["--gatecount"]),
+            ("repro.algorithms.qls.main", []),
+            ("repro.algorithms.usv.main", ["--seed", "1"]),
+        ],
+    )
+    def test_cli_runs(self, module, args, capsys):
+        import importlib
+
+        main = importlib.import_module(module).main
+        assert main(args) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_tf_cli_matches_paper_invocation(self, capsys):
+        from repro.algorithms.tf.main import main
+
+        # the paper's: ./tf -s pow17 -l 4 -n 3 -r 2
+        assert main(["-s", "pow17", "-l", "4", "-n", "3", "-r", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ENTER: o4_POW17" in out
+
+
+class TestQShapeTriples:
+    """The paper's QShape relationship: parameter <-> quantum <-> classical."""
+
+    def test_intm_qdint_cint_cycle(self):
+        def circ(qc):
+            quantum = qc.qinit(IntM(13, 5))   # IntM -> QDInt
+            classical = qc.measure(quantum)   # QDInt -> CInt
+            return classical
+
+        value = run_classical_generic(circ)
+        assert value == 13 and value.length == 5
+
+    def test_shape_structures_compose(self):
+        def circ(qc):
+            data = qc.qinit(
+                {"pair": (True, False), "reg": IntM(3, 3), "flag": False}
+            )
+            return qc.measure(data)
+
+        out = run_classical_generic(circ)
+        assert out["pair"] == (True, False)
+        assert out["reg"] == 3
+        assert out["flag"] is False

@@ -1,0 +1,237 @@
+"""Tests for the quantum primitives library."""
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import build, qubit
+from repro.arith import equals_const
+from repro.core.qdata import qdata_leaves
+from repro.datatypes import IntM, qdint_shape
+from repro.lib import (
+    adjacency_interaction,
+    amplitude_amplification,
+    diffuse,
+    exp_pauli,
+    grover_iteration,
+    phase_estimation,
+    phase_flip_if_zero,
+    phase_oracle_from_bit_oracle,
+    prepare_uniform,
+    qft,
+    qft_inverse,
+    qram_fetch,
+    qram_store,
+    qram_swap,
+    trotterized_evolution,
+)
+from repro.sim import run_classical_generic, run_generic
+from repro.sim.state import simulate
+
+
+class TestQFT:
+    @pytest.mark.parametrize("value", range(8))
+    def test_round_trip(self, value):
+        def circ(qc, x):
+            return qft_inverse(qc, qft(qc, x))
+
+        out = run_generic(circ, IntM(value, 3), seed=0)
+        assert int(out) == value
+
+    def test_zero_maps_to_uniform(self):
+        bc, _ = build(lambda qc, x: qft(qc, x), qdint_shape(3))
+        sim = simulate(bc)
+        amps = sim.state.flatten()
+        assert np.allclose(np.abs(amps), 1 / math.sqrt(8))
+
+    def test_qft_matrix_row(self):
+        """QFT|1> has amplitudes omega^k / sqrt(N)."""
+        bc, outs = build(lambda qc, x: qft(qc, x), qdint_shape(2))
+        sim = simulate(bc, {w: v for (w, _), v in zip(
+            bc.circuit.inputs, [False, True])})
+        wires = [w.wire_id for w in qdata_leaves(outs)]
+        axes = [sim.axes[w] for w in wires]
+        vec = np.moveaxis(sim.state, axes, range(2)).reshape(4)
+        omega = np.exp(2j * math.pi / 4)
+        expect = np.array([omega ** k for k in range(4)]) / 2
+        assert np.allclose(vec, expect)
+
+
+class TestGrover:
+    def test_phase_flip_if_zero(self):
+        def circ(qc):
+            qs = [qc.qinit_qubit(False) for _ in range(3)]
+            prepare_uniform(qc, qs)
+            phase_flip_if_zero(qc, qs)
+            return qs
+
+        bc, outs = build(circ)
+        sim = simulate(bc)
+        vec = sim.state.flatten()
+        signs = np.sign(vec.real)
+        assert signs[0] == -1 and all(signs[1:] == 1)
+
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_search_finds_marked(self, marked):
+        def circ(qc):
+            x = qc.qinit(IntM(0, 3))
+            prepare_uniform(qc, x)
+            amplitude_amplification(
+                qc, x,
+                lambda q, d: phase_oracle_from_bit_oracle(
+                    q, lambda q2, d2: equals_const(q2, d2, marked), d
+                ),
+                iterations=2,
+            )
+            return x
+
+        hits = Counter(
+            int(run_generic(circ, seed=s)) for s in range(25)
+        )
+        assert hits[marked] >= 20  # theory: ~94.5%
+
+    def test_diffusion_preserves_uniform(self):
+        def circ(qc):
+            qs = [qc.qinit_qubit(False) for _ in range(3)]
+            prepare_uniform(qc, qs)
+            diffuse(qc, qs)
+            return qs
+
+        bc, _ = build(circ)
+        sim = simulate(bc)
+        amps = np.abs(sim.state.flatten())
+        assert np.allclose(amps, amps[0])
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize("k", range(8))
+    def test_exact_phases(self, k):
+        def controlled_power(qc, target, power, ctl):
+            for _ in range(k * power % 8):
+                qc.rGate(3, target, controls=ctl)
+
+        def circ(qc):
+            t = qc.qinit(True)
+            return phase_estimation(qc, controlled_power, t, 3)
+
+        assert int(run_generic(circ, seed=0)) == k
+
+    def test_inexact_phase_concentrates(self):
+        theta = 0.3  # not a multiple of 1/8
+        def controlled_power(qc, target, power, ctl):
+            # diag(1, e^{2 pi i theta power}) on the target, controlled:
+            # a doubly-conditioned global phase.
+            qc.named_gate(
+                "phase", controls=[ctl, target],
+                param=2 * math.pi * theta * power,
+            )
+
+        def circ(qc):
+            t = qc.qinit(True)
+            return phase_estimation(qc, controlled_power, t, 3)
+
+        outcomes = Counter(
+            int(run_generic(circ, seed=s)) for s in range(40)
+        )
+        best_two = {2, 3}  # 0.3 * 8 = 2.4
+        assert sum(outcomes[k] for k in best_two) >= 25
+
+
+class TestQRAM:
+    def test_fetch(self):
+        def circ(qc):
+            i = qc.qinit(IntM(2, 2))
+            table = {a: qc.qinit(IntM(a * 5 + 1, 4)) for a in range(4)}
+            t = qc.qinit(IntM(0, 4))
+            qram_fetch(qc, i, table, t)
+            return i, t, table
+
+        i, t, table = run_classical_generic(circ)
+        assert int(t) == 11
+
+    def test_store(self):
+        def circ(qc):
+            i = qc.qinit(IntM(1, 2))
+            table = {a: qc.qinit(IntM(0, 3)) for a in range(4)}
+            s = qc.qinit(IntM(6, 3))
+            qram_store(qc, i, table, s)
+            return i, s, table
+
+        i, s, table = run_classical_generic(circ)
+        assert int(table[1]) == 6
+        assert all(int(table[a]) == 0 for a in (0, 2, 3))
+
+    def test_swap_all_addresses(self):
+        for address in range(4):
+            def circ(qc, address=address):
+                i = qc.qinit(IntM(address, 2))
+                table = {a: qc.qinit(IntM(a, 3)) for a in range(4)}
+                v = qc.qinit(IntM(7, 3))
+                qram_swap(qc, i, table, v)
+                return i, v, table
+
+            i, v, table = run_classical_generic(circ)
+            assert int(v) == address
+            assert int(table[address]) == 7
+
+
+class TestHamiltonianSimulation:
+    def test_single_x_rotation(self):
+        def circ(qc):
+            q = qc.qinit_qubit(False)
+            exp_pauli(qc, 0.4, 1.0, {0: "X"}, [q])
+            return q
+
+        bc, _ = build(circ)
+        vec = simulate(bc).state.flatten()
+        expect = np.array([math.cos(0.4), -1j * math.sin(0.4)])
+        assert np.allclose(vec, expect)
+
+    def test_zz_phase(self):
+        def circ(qc):
+            a = qc.qinit_qubit(True)
+            b = qc.qinit_qubit(True)
+            exp_pauli(qc, 0.25, 1.0, {0: "Z", 1: "Z"}, [a, b])
+            return a, b
+
+        bc, _ = build(circ)
+        vec = simulate(bc).state.flatten()
+        # |11>: ZZ eigenvalue +1 -> phase e^{-i 0.25}
+        assert np.allclose(vec[-1], np.exp(-0.25j))
+
+    def test_trotter_converges(self):
+        import scipy.linalg as sla
+
+        hamiltonian = [(0.7, {0: "X"}), (0.3, {0: "Z"})]
+        matrix = 0.7 * np.array([[0, 1], [1, 0]]) + 0.3 * np.diag([1, -1])
+
+        def circ(steps):
+            def inner(qc):
+                q = qc.qinit_qubit(False)
+                trotterized_evolution(qc, hamiltonian, 1.0, steps, [q])
+                return q
+
+            return inner
+
+        exact = sla.expm(-1j * matrix) @ np.array([1, 0])
+        errors = []
+        for steps in (2, 8, 32):
+            bc, _ = build(circ(steps))
+            vec = simulate(bc).state.flatten()
+            errors.append(np.linalg.norm(vec - exact))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-2  # first-order Trotter: error ~ 1/steps
+
+    def test_adjacency_interaction_runs(self):
+        def circ(qc):
+            a = [qc.qinit_qubit(False) for _ in range(2)]
+            b = [qc.qinit_qubit(True) for _ in range(2)]
+            r = qc.qinit_qubit(False)
+            adjacency_interaction(qc, a, b, r, 0.2)
+            return a, b, r
+
+        bc, _ = build(circ)
+        bc.check()
+        simulate(bc)

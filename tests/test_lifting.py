@@ -1,0 +1,307 @@
+"""Tests for circuit lifting: CBool, CWord/CFix, templates, reversibility."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build, qubit
+from repro.core.errors import LiftingError
+from repro.core.gates import Init, Term
+from repro.datatypes import FPRealM, IntM, fpreal_shape, qdint_shape
+from repro.lifting import (
+    CFix,
+    CWord,
+    Trace,
+    all_of,
+    any_of,
+    bool_xor,
+    build_circuit,
+    classical_to_reversible,
+    cond,
+    unpack,
+)
+from repro.sim import run_classical_generic
+
+
+class TestCBool:
+    def test_constant_folding(self):
+        trace = Trace()
+        a = trace.new_input()
+        assert (a & False) is trace.const(False)
+        assert (a & True) is a
+        assert (a | True) is trace.const(True)
+        assert (a | False) is a
+        assert (a ^ False) is a
+        assert (~~a) is a
+
+    def test_idempotence_folding(self):
+        trace = Trace()
+        a = trace.new_input()
+        assert (a & a) is a
+        assert (a | a) is a
+        assert (a ^ a) is trace.const(False)
+
+    def test_sharing(self):
+        trace = Trace(share=True)
+        a, b = trace.new_input(), trace.new_input()
+        assert (a & b) is (b & a)  # hash-consed, commutative key
+
+    def test_no_sharing_mode(self):
+        trace = Trace(share=False)
+        a, b = trace.new_input(), trace.new_input()
+        assert (a & b) is not (a & b)
+
+    def test_branching_raises(self):
+        trace = Trace()
+        a = trace.new_input()
+        with pytest.raises(LiftingError):
+            if a:
+                pass
+
+    def test_cond_on_parameter(self):
+        assert cond(True, "t", "e") == "t"
+        assert cond(False, "t", "e") == "e"
+
+    def test_cross_trace_rejected(self):
+        t1, t2 = Trace(), Trace()
+        a, b = t1.new_input(), t2.new_input()
+        with pytest.raises(LiftingError):
+            a & b
+
+    def test_bool_xor_plain(self):
+        assert bool_xor(True, False) is True
+        assert bool_xor(True, True) is False
+
+
+class TestCWord:
+    @staticmethod
+    def _eval(trace, word, assignment):
+        def value_of(node):
+            if node.op == "const":
+                return node.value
+            if node.op == "in":
+                return assignment[node.value]
+            args = [value_of(a) for a in node.args]
+            return {
+                "and": lambda: args[0] and args[1],
+                "or": lambda: args[0] or args[1],
+                "xor": lambda: args[0] != args[1],
+                "not": lambda: not args[0],
+            }[node.op]()
+
+        total = 0
+        for i, bit_node in enumerate(word.bits):
+            total |= int(value_of(bit_node)) << i
+        return total
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_add(self, a, b):
+        trace = Trace()
+        inputs = [trace.new_input() for _ in range(16)]
+        wa = CWord(trace, inputs[:8])
+        wb = CWord(trace, inputs[8:])
+        assignment = [bool((a >> i) & 1) for i in range(8)] + [
+            bool((b >> i) & 1) for i in range(8)
+        ]
+        result = self._eval(trace, wa + wb, assignment)
+        assert result == (a + b) % 256
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_mul(self, a, b):
+        trace = Trace()
+        inputs = [trace.new_input() for _ in range(12)]
+        wa = CWord(trace, inputs[:6])
+        wb = CWord(trace, inputs[6:])
+        assignment = [bool((a >> i) & 1) for i in range(6)] + [
+            bool((b >> i) & 1) for i in range(6)
+        ]
+        assert self._eval(trace, wa * wb, assignment) == (a * b) % 64
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_comparisons(self, a, b):
+        trace = Trace()
+        inputs = [trace.new_input() for _ in range(16)]
+        wa = CWord(trace, inputs[:8])
+        wb = CWord(trace, inputs[8:])
+        assignment = [bool((a >> i) & 1) for i in range(8)] + [
+            bool((b >> i) & 1) for i in range(8)
+        ]
+        lt = CWord(trace, [wa.lt_unsigned(wb)])
+        eq = CWord(trace, [wa.eq(wb)])
+        assert self._eval(trace, lt, assignment) == int(a < b)
+        assert self._eval(trace, eq, assignment) == int(a == b)
+
+    def test_width_mismatch(self):
+        trace = Trace()
+        a = CWord(trace, [trace.new_input()])
+        b = CWord(trace, [trace.new_input()] * 2)
+        with pytest.raises(LiftingError):
+            a + b
+
+
+class TestTemplates:
+    def test_classical_callability_preserved(self):
+        @build_circuit
+        def f(x, y):
+            return bool_xor(x, y)
+
+        assert f(True, False) is True
+
+    def test_parity_circuit_structure(self):
+        """The paper's 4-qubit parity figure: 2 scratch + 1 output."""
+
+        @build_circuit
+        def parity(bits):
+            result = False
+            for b in bits:
+                result = bool_xor(b, result)
+            return result
+
+        def circ(qc, qs):
+            out = unpack(parity)(qc, qs)
+            return qs, out
+
+        bc, _ = build(circ, [qubit] * 4)
+        inits = sum(isinstance(g, Init) for g in bc.circuit.gates)
+        assert inits == 3  # two scratch + one output
+        assert bc.circuit.in_arity == 4
+        assert bc.check() == 7  # 4 inputs + 3 ancillas
+
+    def test_reversible_wrapper_is_clean(self):
+        @build_circuit
+        def f(bits):
+            return all_of(bits)
+
+        rev = classical_to_reversible(unpack(f))
+
+        def circ(qc, qs, t):
+            return rev(qc, qs, t)
+
+        bc, _ = build(circ, [qubit] * 3, qubit)
+        inits = sum(isinstance(g, Init) for g in bc.circuit.gates)
+        terms = sum(isinstance(g, Term) for g in bc.circuit.gates)
+        assert inits == terms  # every ancilla uncomputed
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=7),
+           st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_lifted_parity_agrees(self, bits, t0):
+        @build_circuit
+        def parity(bs):
+            result = False
+            for b in bs:
+                result = bool_xor(b, result)
+            return result
+
+        rev = classical_to_reversible(unpack(parity))
+
+        def circ(qc, qs, t):
+            return rev(qc, qs, t)
+
+        qs, t = run_classical_generic(circ, bits, t0)
+        assert qs == bits
+        assert t == (t0 ^ (sum(bits) % 2 == 1))
+
+    def test_reversible_self_inverse(self):
+        """Applying the reversible oracle twice is the identity."""
+
+        @build_circuit
+        def f(bits):
+            return any_of(bits)
+
+        rev = classical_to_reversible(unpack(f))
+
+        def circ(qc, qs, t):
+            rev(qc, qs, t)
+            rev(qc, qs, t)
+            return qs, t
+
+        rng = random.Random(0)
+        for _ in range(6):
+            bits = [rng.random() < 0.5 for _ in range(4)]
+            t0 = rng.random() < 0.5
+            qs, t = run_classical_generic(circ, bits, t0)
+            assert qs == bits and t == t0
+
+    def test_integer_template(self):
+        @build_circuit
+        def f(x):
+            return x * x + x + 1
+
+        rev = classical_to_reversible(unpack(f))
+
+        def circ(qc, x, y):
+            return rev(qc, x, y)
+
+        for a in range(16):
+            x, y = run_classical_generic(circ, IntM(a, 4), IntM(0, 4))
+            assert int(y) == (a * a + a + 1) % 16
+            assert int(x) == a
+
+    def test_fixed_point_template(self):
+        @build_circuit
+        def f(x):
+            return x * x
+
+        rev = classical_to_reversible(unpack(f))
+
+        def circ(qc, x, y):
+            return rev(qc, x, y)
+
+        for value in (0.0, 0.5, 1.25, -0.75):
+            x, y = run_classical_generic(
+                circ, FPRealM(value, 3, 8), FPRealM(0.0, 3, 8)
+            )
+            assert abs(float(y) - value * value) < 0.02
+
+    def test_cond_in_template(self):
+        @build_circuit
+        def f(data):
+            c, a, b = data
+            return cond(c, a, b)
+
+        rev = classical_to_reversible(unpack(f))
+
+        def circ(qc, c, a, b, t):
+            return rev(qc, (c, a, b), t)
+
+        for c in (False, True):
+            for a in (False, True):
+                for b in (False, True):
+                    (cc, aa, bb), t = run_classical_generic(
+                        circ, c, a, b, False
+                    )
+                    assert t == (a if c else b)
+
+    def test_share_reduces_gate_count(self):
+        def make(share):
+            @build_circuit(share=share)
+            def f(bits):
+                x = all_of(bits)
+                y = all_of(bits)  # repeated subterm
+                return x ^ y ^ any_of(bits)
+
+            def circ(qc, qs):
+                out = unpack(f)(qc, qs)
+                return qs, out
+
+            bc, _ = build(circ, [qubit] * 4)
+            return len(bc.circuit.gates)
+
+        assert make(True) < make(False)
+
+    def test_unpack_requires_template(self):
+        with pytest.raises(LiftingError):
+            unpack(lambda x: x)

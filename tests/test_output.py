@@ -1,0 +1,116 @@
+"""Tests for the text and gate-count output formats."""
+
+import io
+
+from repro import build, neg, qubit
+from repro.output import (
+    format_bcircuit,
+    format_circuit,
+    format_gatecount,
+    gatecount_generic,
+    print_generic,
+)
+
+
+def _mycirc(qc, a, b):
+    qc.hadamard(a)
+    qc.qnot(b, controls=a)
+    return a, b
+
+
+class TestAscii:
+    def test_basic_format(self):
+        bc, _ = build(_mycirc, qubit, qubit)
+        text = format_circuit(bc.circuit)
+        assert "Inputs: 0:Qubit, 1:Qubit" in text
+        assert 'QGate["H"](0)' in text
+        assert 'QGate["not"](1) with controls=[+0]' in text
+        assert "Outputs: 0:Qubit, 1:Qubit" in text
+
+    def test_negative_control_rendering(self):
+        def circ(qc, a, b):
+            qc.qnot(a, controls=neg(b))
+            return a, b
+
+        bc, _ = build(circ, qubit, qubit)
+        assert "controls=[-1]" in format_circuit(bc.circuit)
+
+    def test_init_term_measure_rendering(self):
+        def circ(qc, a):
+            with qc.ancilla() as x:
+                qc.qnot(x, controls=a)
+                qc.qnot(x, controls=a)
+            return qc.measure(a)
+
+        bc, _ = build(circ, qubit)
+        text = format_circuit(bc.circuit)
+        assert "QInit0(" in text
+        assert "QTerm0(" in text
+        assert "QMeas(0)" in text
+
+    def test_subroutines_printed(self):
+        def circ(qc, a, b):
+            qc.box("sub", _mycirc, a, b)
+            return a, b
+
+        bc, _ = build(circ, qubit, qubit)
+        text = format_bcircuit(bc)
+        assert 'Subroutine["sub"]' in text
+        assert 'Subroutine: "sub"' in text
+
+    def test_inverted_and_repeated_boxcall(self):
+        def body(qc, a):
+            qc.gate_T(a)
+            return a
+
+        def circ(qc, a):
+            qc.nbox("b", 4, body, a)
+            qc.reverse_endo(lambda q, x: q.box("b", body, x), a)
+            return a
+
+        bc, _ = build(circ, qubit)
+        text = format_bcircuit(bc)
+        assert 'Subroutine["b"] x4(' in text
+        assert 'Subroutine*["b"]' in text
+
+    def test_print_generic(self):
+        buffer = io.StringIO()
+        print_generic(_mycirc, qubit, qubit, file=buffer)
+        assert 'QGate["H"](0)' in buffer.getvalue()
+
+
+class TestGatecountFormat:
+    def test_paper_style_lines(self):
+        def circ(qc, a, b, c):
+            qc.qnot(a, controls=b)
+            qc.qnot(a, controls=(b, c))
+            qc.qnot(a, controls=(b, neg(c)))
+            with qc.ancilla() as x:
+                qc.qnot(x, controls=a)
+                qc.qnot(x, controls=a)
+            return a, b, c
+
+        bc, _ = build(circ, qubit, qubit, qubit)
+        text = format_gatecount(bc)
+        assert '1: "Init0"' in text
+        assert '1: "Not", controls 1+1' in text
+        assert '1: "Not", controls 2' in text
+        assert "Total gates: 7" in text
+        assert "Inputs: 3" in text
+        assert "Outputs: 3" in text
+        assert "Qubits in circuit: 4" in text
+
+    def test_per_subroutine_report(self):
+        def circ(qc, a, b):
+            qc.box("f", _mycirc, a, b)
+            return a, b
+
+        bc, _ = build(circ, qubit, qubit)
+        text = format_gatecount(bc, per_subroutine=True)
+        assert 'Subroutine "f" gate count:' in text
+        assert "Aggregated gate count:" in text
+
+    def test_gatecount_generic(self):
+        counts = gatecount_generic(_mycirc, qubit, qubit)
+        assert counts[("H", 0, 0)] == 1
+        assert counts[("Not", 1, 0)] == 1

@@ -1,0 +1,93 @@
+"""Tests for the column-art circuit preview renderer."""
+
+import pytest
+
+from repro import build, neg, qubit
+from repro.core.errors import QuipperError
+from repro.output.preview import (
+    preview_bcircuit,
+    preview_circuit,
+    preview_generic,
+)
+
+
+def test_controls_and_target_symbols():
+    def circ(qc, a, b, c):
+        qc.qnot(c, controls=(a, neg(b)))
+        return a, b, c
+
+    art = preview_generic(circ, qubit, qubit, qubit)
+    lines = art.splitlines()
+    assert "*" in lines[0]
+    assert "o" in lines[1]
+    assert "X" in lines[2]
+
+
+def test_ancilla_brackets():
+    def circ(qc, a):
+        with qc.ancilla() as x:
+            qc.qnot(x, controls=a)
+            qc.qnot(x, controls=a)
+        return a
+
+    art = preview_generic(circ, qubit)
+    assert "|0>" in art
+    assert "<0|" in art
+
+
+def test_measurement_and_classical_fill():
+    def circ(qc, a):
+        m = qc.measure(a)
+        qc.cnot_bit(m)
+        return m
+
+    art = preview_generic(circ, qubit)
+    assert "[Meas]" in art
+
+
+def test_named_gate_boxes():
+    def circ(qc, a, b):
+        qc.hadamard(a)
+        qc.gate_T(b, inverted=True)
+        return a, b
+
+    art = preview_generic(circ, qubit, qubit)
+    assert "[H]" in art
+    assert "[T*]" in art
+
+
+def test_subroutines_rendered():
+    def body(qc, a):
+        qc.hadamard(a)
+        return a
+
+    def circ(qc, a):
+        qc.nbox("steps", 7, body, a)
+        return a
+
+    art = preview_generic(circ, qubit)
+    assert "[stepsx7]" in art
+    assert 'Subroutine "steps":' in art
+
+
+def test_size_guard():
+    def circ(qc, a):
+        for _ in range(300):
+            qc.hadamard(a)
+        return a
+
+    bc, _ = build(circ, qubit)
+    with pytest.raises(QuipperError):
+        preview_circuit(bc.circuit)
+    # explicit budget raises the cap
+    assert preview_circuit(bc.circuit, max_gates=400)
+
+
+def test_comments_skipped():
+    def circ(qc, a):
+        qc.comment("hello")
+        qc.hadamard(a)
+        return a
+
+    art = preview_generic(circ, qubit)
+    assert "hello" not in art

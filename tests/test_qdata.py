@@ -1,0 +1,126 @@
+"""Tests for shape-generic quantum data (QCData/QShape)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ShapeMismatchError
+from repro.core.qdata import (
+    bit,
+    qdata_leaves,
+    qdata_rebuild,
+    qubit,
+    same_shape,
+    shape_signature,
+)
+from repro.core.wires import Bit, Qubit
+from repro.datatypes import QDInt, qdint_shape
+
+
+class TestLeaves:
+    def test_nested_structure(self):
+        data = (Qubit(0), [Qubit(1), Bit(2)], {"a": Qubit(3)})
+        leaves = qdata_leaves(data)
+        assert [w.wire_id for w in leaves] == [0, 1, 2, 3]
+
+    def test_parameters_carry_no_wires(self):
+        data = (Qubit(0), 42, "label", None, 3.14)
+        assert len(qdata_leaves(data)) == 1
+
+    def test_dict_sorted_by_key(self):
+        data = {2: Qubit(20), 1: Qubit(10)}
+        assert [w.wire_id for w in qdata_leaves(data)] == [10, 20]
+
+    def test_custom_register(self):
+        reg = QDInt([Qubit(5), Qubit(6)])
+        assert [w.wire_id for w in qdata_leaves(reg)] == [5, 6]
+
+    def test_non_qdata_rejected(self):
+        with pytest.raises(ShapeMismatchError):
+            qdata_leaves(object())
+
+
+class TestRebuild:
+    def test_round_trip(self):
+        shape = (qubit, [qubit, bit], {"k": qubit})
+        wires = [Qubit(10), Qubit(11), Bit(12), Qubit(13)]
+        rebuilt = qdata_rebuild(shape, wires)
+        assert qdata_leaves(rebuilt) == wires
+
+    def test_parameters_copied_through(self):
+        shape = (qubit, 7, "tag")
+        rebuilt = qdata_rebuild(shape, [Qubit(0)])
+        assert rebuilt[1] == 7
+        assert rebuilt[2] == "tag"
+
+    def test_too_few_wires(self):
+        with pytest.raises(ShapeMismatchError):
+            qdata_rebuild((qubit, qubit), [Qubit(0)])
+
+    def test_too_many_wires(self):
+        with pytest.raises(ShapeMismatchError):
+            qdata_rebuild(qubit, [Qubit(0), Qubit(1)])
+
+    def test_register_rebuild_respects_type(self):
+        reg = qdint_shape(3)
+        rebuilt = qdata_rebuild(reg, [Bit(0), Bit(1), Bit(2)])
+        from repro.datatypes import CInt
+
+        assert isinstance(rebuilt, CInt)
+
+
+class TestSignatures:
+    def test_same_shape_same_signature(self):
+        assert shape_signature((qubit, [qubit])) == shape_signature(
+            (Qubit(9), [Qubit(4)])
+        )
+
+    def test_types_distinguished(self):
+        assert shape_signature(qubit) != shape_signature(bit)
+
+    def test_parameters_in_signature(self):
+        assert shape_signature((qubit, 1)) != shape_signature((qubit, 2))
+
+    def test_register_length_in_signature(self):
+        assert shape_signature(qdint_shape(3)) != shape_signature(
+            qdint_shape(4)
+        )
+
+    def test_same_shape_predicate(self):
+        assert same_shape([qubit, qubit], [Qubit(0), Qubit(1)])
+        assert not same_shape([qubit], [qubit, qubit])
+        assert not same_shape(qubit, object())
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_rebuild_preserves_list_length(n):
+    shape = [qubit] * n
+    wires = [Qubit(i) for i in range(n)]
+    assert qdata_leaves(qdata_rebuild(shape, wires)) == wires
+
+
+@given(
+    st.recursive(
+        st.sampled_from(["q", "b", True, 3]),
+        lambda children: st.lists(children, max_size=3).map(tuple),
+        max_leaves=12,
+    )
+)
+def test_signature_stable_under_rebuild(spec):
+    def realize(s):
+        if s == "q":
+            return qubit
+        if s == "b":
+            return bit
+        if isinstance(s, tuple):
+            return tuple(realize(x) for x in s)
+        return s
+
+    shape = realize(spec)
+    leaves = qdata_leaves(shape)
+    fresh = [
+        Qubit(i) if isinstance(w, Qubit) else Bit(i)
+        for i, w in enumerate(leaves)
+    ]
+    rebuilt = qdata_rebuild(shape, fresh)
+    assert shape_signature(rebuilt) == shape_signature(shape)

@@ -1,0 +1,241 @@
+"""Tests for the Triangle Finding algorithm (paper Section 5)."""
+
+import random
+
+import pytest
+
+from repro import aggregate_gate_count, build, total_gates
+from repro.core.gates import BoxCall, Comment
+from repro.datatypes import IntM, IntTF, qinttf_shape
+from repro.sim import run_classical_generic
+from repro.algorithms.tf import (
+    QWTFPSpec,
+    a1_QWTFP,
+    a5_TestTriangleEdges,
+    a6_QWSH,
+    classical_edge,
+    o4_POW17,
+    o8_MUL,
+    orthodox_oracle,
+    simple_oracle,
+)
+from repro.algorithms.tf.main import build_part
+from repro.algorithms.tf.simulate import run_all
+
+
+class TestOracleSuite:
+    """The paper's Simulate module: the oracle test suite."""
+
+    def test_all_checks_at_l4(self):
+        results = run_all(l=4, n=3)
+        assert all(results.values()), results
+
+    def test_pow17_at_l5(self):
+        modulus = 31
+
+        def circ(qc, x):
+            return o4_POW17(qc, x)
+
+        for a in (0, 1, 5, 17, 30):
+            x, x17 = run_classical_generic(circ, IntTF(a, 5))
+            assert int(x17) == pow(a, 17, modulus)
+
+    def test_classical_edge_is_symmetric(self):
+        for u in range(8):
+            for v in range(8):
+                assert classical_edge(u, v, 4) == classical_edge(v, u, 4)
+
+
+class TestStructure:
+    def test_pow17_box_structure(self):
+        """Figure 2: o4 contains nine o8 invocations (4 squarings forward,
+        the multiply, four squarings mirrored)."""
+        bc = build_part("pow17", 4, 3, 2, "orthodox")
+        o4_body = bc.namespace["o4"].circuit
+        calls = [g for g in o4_body.gates if isinstance(g, BoxCall)]
+        o8_calls = [c for c in calls if c.name == "o8"]
+        assert len(o8_calls) == 9
+        assert sum(c.inverted for c in o8_calls) == 4
+
+    def test_pow17_endpoints_match_paper(self):
+        """4 inputs, 8 outputs, as in the paper's gate-count listing."""
+        bc = build_part("pow17", 4, 3, 2, "orthodox")
+        assert bc.circuit.in_arity == 4
+        assert bc.circuit.out_arity == 8
+
+    def test_mul_ladder_structure(self):
+        """Figure 3: l controlled-add boxes forward plus l mirrored."""
+        bc = build_part("mul", 4, 3, 2, "orthodox")
+        o8_body = bc.namespace["o8"].circuit
+        o7_calls = [
+            g for g in o8_body.gates
+            if isinstance(g, BoxCall) and g.name == "o7"
+        ]
+        assert len(o7_calls) == 8  # 4 forward + 4 mirrored
+        assert sum(c.inverted for c in o7_calls) == 4
+
+    def test_comments_present(self):
+        bc = build_part("pow17", 4, 3, 2, "orthodox")
+        comments = [
+            g.text
+            for g in bc.namespace["o4"].circuit.gates
+            if isinstance(g, Comment)
+        ]
+        assert "ENTER: o4_POW17" in comments
+        assert "EXIT: o4_POW17" in comments
+
+    def test_counts_scale_with_l(self):
+        small = total_gates(
+            aggregate_gate_count(build_part("pow17", 4, 3, 2, "orthodox"))
+        )
+        large = total_gates(
+            aggregate_gate_count(build_part("pow17", 8, 3, 2, "orthodox"))
+        )
+        assert large > 2 * small
+
+
+EDGES = {(0, 1), (1, 2), (0, 2), (2, 3)}
+
+
+def _edge(u, v):
+    return (min(u, v), max(u, v)) in EDGES
+
+
+def _spec(r=1):
+    return QWTFPSpec(n=2, r=r, l=4, edge_oracle=simple_oracle(EDGES))
+
+
+class TestWalkStep:
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_a6_swaps_and_maintains_edges(self, r):
+        spec = _spec(r)
+        rng = random.Random(5)
+        for _ in range(4):
+            size, n = spec.tuple_size, spec.n
+            tuple_vals = [rng.randrange(4) for _ in range(size)]
+            i_val = rng.randrange(size)
+            v_val = rng.randrange(4)
+
+            def step(qc):
+                tt = {
+                    j: [
+                        qc.qinit_qubit(bool((tuple_vals[j] >> (n - 1 - b)) & 1))
+                        for b in range(n)
+                    ]
+                    for j in range(size)
+                }
+                i = IntM(i_val, spec.r).qinit_shape(qc)
+                v = [
+                    qc.qinit_qubit(bool((v_val >> (n - 1 - b)) & 1))
+                    for b in range(n)
+                ]
+                ee = {
+                    j: {
+                        k: qc.qinit_qubit(_edge(tuple_vals[j], tuple_vals[k]))
+                        for k in range(j)
+                    }
+                    for j in range(1, size)
+                }
+                a6_QWSH(qc, spec, tt, i, v, ee, diffusion=False)
+                return tt, i, v, ee
+
+            tt, i, v, ee = run_classical_generic(step)
+            new_tuple = list(tuple_vals)
+            new_tuple[i_val] = v_val
+            got = [
+                sum(int(b) << (n - 1 - k) for k, b in enumerate(tt[j]))
+                for j in range(size)
+            ]
+            assert got == new_tuple
+            got_v = sum(int(b) << (n - 1 - k) for k, b in enumerate(v))
+            assert got_v == tuple_vals[i_val]
+            for j in range(1, size):
+                for k in range(j):
+                    assert ee[j][k] == _edge(new_tuple[j], new_tuple[k])
+
+    def test_a5_detects_triangle(self):
+        spec = _spec(r=2)
+
+        def circ(tuple_vals):
+            def inner(qc):
+                size = spec.tuple_size
+                ee = {
+                    j: {
+                        k: qc.qinit_qubit(_edge(tuple_vals[j], tuple_vals[k]))
+                        for k in range(j)
+                    }
+                    for j in range(1, size)
+                }
+                w = qc.qinit_qubit(False)
+                a5_TestTriangleEdges(qc, spec, ee, w)
+                return ee, w
+
+            return inner
+
+        # tuple containing the planted triangle {0,1,2}
+        ee, w = run_classical_generic(circ([0, 1, 2, 3]))
+        assert w is True
+        # tuple without a triangle
+        ee, w = run_classical_generic(circ([0, 1, 3, 3]))
+        assert w is False
+
+
+class TestFullAlgorithm:
+    def test_full_circuit_builds_and_checks(self):
+        spec = _spec(r=1)
+        bc, _ = build(
+            lambda qc: a1_QWTFP(qc, spec, grover_iterations=2, walk_steps=2)
+        )
+        width = bc.check()
+        assert width > 8
+        counts = aggregate_gate_count(bc)
+        assert counts[("Meas", 0, 0)] == spec.tuple_size * spec.n + spec.r + spec.n
+
+    def test_walk_steps_multiply_counts(self):
+        spec = _spec(r=1)
+
+        def count_at(steps):
+            bc, _ = build(
+                lambda qc: a1_QWTFP(
+                    qc, spec, grover_iterations=1, walk_steps=steps
+                )
+            )
+            return total_gates(aggregate_gate_count(bc))
+
+        ten = count_at(10)
+        thousand = count_at(1000)
+        assert thousand > 50 * ten  # walk dominates; scales ~linearly
+
+    def test_trillion_scale_count_is_fast(self):
+        import time
+
+        spec = QWTFPSpec(
+            n=8, r=4, l=15, edge_oracle=orthodox_oracle(15)
+        )
+        t0 = time.time()
+        bc, _ = build(
+            lambda qc: a1_QWTFP(
+                qc, spec, grover_iterations=4096, walk_steps=65536
+            )
+        )
+        counts = aggregate_gate_count(bc)
+        elapsed = time.time() - t0
+        assert total_gates(counts) > 10 ** 12
+        assert elapsed < 120  # "under two minutes" (paper Section 5.4)
+
+
+class TestCLI:
+    def test_gatecount_output(self, capsys):
+        from repro.algorithms.tf.main import main
+
+        assert main(["-s", "pow17", "-l", "4", "-f", "gatecount"]) == 0
+        out = capsys.readouterr().out
+        assert "Aggregated gate count:" in out
+        assert "Qubits in circuit:" in out
+
+    def test_ascii_output(self, capsys):
+        from repro.algorithms.tf.main import main
+
+        assert main(["-s", "mul", "-l", "3", "-f", "ascii"]) == 0
+        out = capsys.readouterr().out
+        assert 'Subroutine: "o8"' in out
