@@ -1,0 +1,82 @@
+"""B1: sampling throughput of the execution backends.
+
+Fixes a 12-qubit Clifford circuit (so the dense and stabilizer engines
+run the *same* workload) and measures shots/sec through the registry.
+This is the baseline future performance PRs compare against: the
+statevector backend should be shot-batched (one simulation, one
+multinomial draw regardless of the shot count), while the Clifford
+backend pays per shot.
+"""
+
+from __future__ import annotations
+
+from repro import build, get_backend, qubit
+from conftest import report
+
+N_QUBITS = 12
+SHOTS = 256
+
+
+def _fixed_circuit(qc, *qs):
+    """A 12-qubit GHZ-with-texture Clifford circuit."""
+    qs = list(qs)
+    for q in qs:
+        qc.hadamard(q)
+    for a, b in zip(qs, qs[1:]):
+        qc.qnot(b, controls=a)
+    for q in qs[::2]:
+        qc.gate_S(q)
+    for a, b in zip(qs, qs[1:]):
+        qc.qnot(b, controls=a)
+    for q in qs:
+        qc.hadamard(q)
+    return tuple(qs)
+
+
+def _bc():
+    return build(_fixed_circuit, *([qubit] * N_QUBITS))[0]
+
+
+def test_statevector_throughput(benchmark):
+    bc = _bc()
+    backend = get_backend("statevector")
+
+    result = benchmark(lambda: backend.run(bc, shots=SHOTS, seed=7))
+    assert sum(result.counts.values()) == SHOTS
+    assert result.metadata["batched"]  # measurement-free -> fast path
+    shots_per_sec = SHOTS / benchmark.stats.stats.mean
+    report(
+        "B1 statevector sampling throughput",
+        [
+            ("circuit width (qubits)", N_QUBITS, N_QUBITS),
+            ("shots per run", "-", SHOTS),
+            ("shots/sec", "(baseline)", f"{shots_per_sec:,.0f}"),
+        ],
+    )
+
+
+def test_clifford_throughput(benchmark):
+    bc = _bc()
+    backend = get_backend("clifford")
+
+    result = benchmark(lambda: backend.run(bc, shots=SHOTS, seed=7))
+    assert sum(result.counts.values()) == SHOTS
+    shots_per_sec = SHOTS / benchmark.stats.stats.mean
+    report(
+        "B1 clifford sampling throughput",
+        [
+            ("circuit width (qubits)", N_QUBITS, N_QUBITS),
+            ("shots per run", "-", SHOTS),
+            ("shots/sec", "(baseline)", f"{shots_per_sec:,.0f}"),
+        ],
+    )
+
+
+def test_backends_agree_on_fixed_circuit():
+    """The two engines sample the same distribution (sanity, not perf)."""
+    bc = _bc()
+    sv = get_backend("statevector").run(bc, shots=512, seed=3).counts
+    cl = get_backend("clifford").run(bc, shots=512, seed=3).counts
+    sv_support = {k for k, v in sv.items() if v / 512 > 0.05}
+    cl_support = {k for k, v in cl.items() if v / 512 > 0.05}
+    assert sv_support == cl_support

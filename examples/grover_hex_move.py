@@ -7,9 +7,9 @@ for the game of Hex" (paper Section 1).
 Run:  python examples/grover_hex_move.py
 """
 
-from collections import Counter
-
-from repro.sim import run_generic
+from repro import build, get_backend
+from repro.backends import marginal_counts
+from repro.core.qdata import qdata_leaves
 from repro.algorithms.bf import (
     blue_wins,
     count_winning_assignments,
@@ -42,25 +42,30 @@ def main() -> None:
         )
         return register
 
-    outcomes = Counter()
-    hits = 0
-    for seed in range(30):
-        out = run_generic(circuit, seed=seed)
+    # One circuit, one backend run: 30 shots of the Grover register.
+    bc, register = build(circuit)
+    wires = [q.wire_id for q in qdata_leaves(register)]
+    result = get_backend("statevector").run(bc, shots=30, seed=0)
+    outcomes = marginal_counts(result, bc, wires)
+
+    slots = [i for i, v in enumerate(partial) if v is None]
+
+    def completion(value: int) -> list:
         board = list(partial)
-        slots = [i for i, v in enumerate(partial) if v is None]
-        for slot, value in zip(slots, out):
-            board[slot] = value
-        outcomes[tuple(out)] += 1
-        hits += blue_wins(board, rows, cols)
+        for k, slot in enumerate(slots):
+            board[slot] = bool((value >> (len(slots) - 1 - k)) & 1)
+        return board
+
+    hits = sum(
+        count
+        for value, count in outcomes.items()
+        if blue_wins(completion(value), rows, cols)
+    )
     print(f"Grover search hit a winning completion {hits}/30 times")
     print(f"(random guessing: ~{30 * wins // 2 ** empties})")
-    best = outcomes.most_common(1)[0][0]
-    board = list(partial)
-    slots = [i for i, v in enumerate(partial) if v is None]
-    for slot, value in zip(slots, best):
-        board[slot] = value
+    best = max(outcomes, key=lambda v: outcomes[v])
     print("\nmost frequent completion:")
-    print(render(board, rows, cols))
+    print(render(completion(best), rows, cols))
 
 
 if __name__ == "__main__":

@@ -7,9 +7,16 @@ gate base, and runs a Bell-pair simulation.
 Run:  python examples/quickstart.py
 """
 
-from repro import BINARY, build, decompose_generic, qubit
+from repro import (
+    BINARY,
+    build,
+    decompose_generic,
+    get_backend,
+    qubit,
+    run_generic,
+)
+from repro.io import dumps, loads
 from repro.output import format_bcircuit, format_gatecount
-from repro.sim import run_generic
 
 
 # -- a quantum function: gates applied one at a time (Section 4.4.1) -----
@@ -74,15 +81,28 @@ def main() -> None:
     print()
     print(format_gatecount(bc5))
 
-    print("\n== running a Bell pair on the simulator ==")
+    print("\n== sampling a Bell pair through the backend registry ==")
 
     def bell(qc, a, b):
         qc.hadamard(a)
         qc.qnot(b, controls=a)
         return qc.measure((a, b))
 
-    for seed in range(5):
-        print("  measured:", run_generic(bell, False, False, seed=seed))
+    result = run_generic(bell, qubit, qubit, shots=1024, seed=7)
+    print("  1024 shots on", result.backend, "->", result.counts)
+
+    clifford = get_backend("clifford")
+    bell_bc, _ = build(bell, qubit, qubit)
+    print("  64 shots on clifford   ->",
+          clifford.run(bell_bc, shots=64, seed=7).counts)
+    print("  static resources       ->",
+          get_backend("resources").run(bell_bc).resources["total_gates"],
+          "gates")
+
+    print("\n== round-tripping a circuit through Quipper-ASCII text ==")
+    text = dumps(bc4)
+    print(f"  serialized timestep: {len(text)} chars,",
+          "round-trip equal:", loads(text) == bc4)
 
 
 if __name__ == "__main__":

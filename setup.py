@@ -1,0 +1,5 @@
+"""Legacy-editable-install shim; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

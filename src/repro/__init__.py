@@ -12,8 +12,7 @@ implementations of the paper's evaluation (BWT, BF, CL, GSE, QLS, USV, TF).
 
 Quickstart::
 
-    from repro import build, qubit
-    from repro.output import print_generic
+    from repro import build, qubit, run_generic
 
     def mycirc(qc, a, b):
         qc.hadamard(a)
@@ -21,9 +20,33 @@ Quickstart::
         qc.controlled_not(a, b)
         return a, b
 
-    print_generic(mycirc, qubit, qubit)
+    result = run_generic(mycirc, qubit, qubit, shots=1024, seed=7)
+    print(result.counts)            # e.g. {'00': 270, '01': 243, ...}
+
+Execution is pluggable: every consumer of a generated circuit -- dense
+statevector simulation, stabilizer simulation, boolean evaluation,
+resource estimation -- is a named backend behind
+:func:`~repro.backends.get_backend`::
+
+    from repro import build, get_backend, qubit
+
+    bc, _ = build(mycirc, qubit, qubit)
+    get_backend("statevector").run(bc, shots=1024)   # sampled counts
+    get_backend("resources").run(bc).resources       # gate counts, depth
+
+Circuits serialize to Quipper-ASCII text and back without inlining
+(:func:`repro.io.dumps` / :func:`repro.io.loads`), and export to OpenQASM
+2.0 (:func:`repro.io.bcircuit_to_qasm`).
 """
 
+from .backends import (
+    Backend,
+    BackendError,
+    RunResult,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .core import (
     BCircuit,
     Bit,
@@ -48,7 +71,37 @@ from .transform import (
     total_logical_gates,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def run_generic(
+    fn,
+    *shape_args,
+    backend: str = "statevector",
+    shots: int | None = None,
+    in_values: dict[int, bool] | None = None,
+    seed: int | None = None,
+    **options,
+) -> RunResult:
+    """Generate the circuit of *fn* and execute it on a named backend.
+
+    The execution analogue of :func:`repro.output.print_generic`: the
+    circuit is built once from the given shapes and handed to
+    ``get_backend(backend, **options)``.  With ``shots`` the result
+    carries a counts dictionary over the circuit's output wires; without,
+    each backend returns its natural deterministic result (statevector,
+    bits, or resources).
+
+    This entry point covers *static* circuits.  Circuits that need
+    dynamic lifting (measurement outcomes steering generation) cannot be
+    built ahead of execution -- use :func:`repro.sim.run_generic`, which
+    interleaves the two phases, for those.
+    """
+    bc, _ = build(fn, *shape_args)
+    return get_backend(backend, **options).run(
+        bc, shots=shots, in_values=in_values, seed=seed
+    )
+
 
 __all__ = [
     "Circ",
@@ -62,6 +115,13 @@ __all__ = [
     "Circuit",
     "BCircuit",
     "QuipperError",
+    "Backend",
+    "BackendError",
+    "RunResult",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run_generic",
     "aggregate_gate_count",
     "total_gates",
     "total_logical_gates",

@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import argparse
 
+from ...backends import get_backend
 from ...core.builder import build
 from ...core.qdata import qubit
 from ...lifting.template import unpack
-from ...output.gatecount import format_gatecount
 from ...transform import aggregate_gate_count, total_gates
+from ..runner import add_execution_arguments, emit
 from .flood_fill import make_hex_winner_template
 from .hex_board import blue_wins, random_final_position
 
@@ -31,6 +32,28 @@ def hex_oracle_gatecount(rows: int, cols: int, share: bool = False) -> int:
     )
 
 
+def check_oracle(rows: int, cols: int, seed: int,
+                 share: bool = False) -> tuple[list[bool], bool, bool]:
+    """Evaluate the oracle circuit on a random final position.
+
+    The generated circuit is reversible boolean logic, so the
+    ``"classical"`` backend evaluates it exactly; the result is compared
+    against the classical reference :func:`blue_wins`.  Returns
+    ``(board, oracle_says, reference)``.
+    """
+    board = random_final_position(rows, cols, seed)
+    bc = hex_oracle_circuit(rows, cols, share=share)
+    in_values = {
+        wire: value
+        for (wire, _), value in zip(bc.circuit.inputs, board)
+    }
+    result = get_backend("classical").run(bc, in_values=in_values)
+    # The oracle's answer wire is the last circuit output (after the
+    # pass-through board register).
+    answer_wire = bc.circuit.outputs[-1][0]
+    return board, result.bits[answer_wire], blue_wins(board, rows, cols)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bf", description="Boolean Formula / Hex oracle"
@@ -40,17 +63,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--share", action="store_true",
                         help="enable common-subexpression sharing")
     parser.add_argument("--check", type=int, metavar="SEED", default=None,
-                        help="evaluate a random final position classically")
+                        help="evaluate a random final position on the "
+                        "classical backend and compare with the reference")
+    add_execution_arguments(parser, default_format="gatecount")
     args = parser.parse_args(argv)
 
     if args.check is not None:
-        board = random_final_position(args.rows, args.cols, args.check)
+        board, oracle_says, reference = check_oracle(
+            args.rows, args.cols, args.check, share=args.share
+        )
         print("board:", "".join("B" if b else "R" for b in board))
-        print("blue wins:", blue_wins(board, args.rows, args.cols))
-        return 0
+        print("oracle says blue wins:", oracle_says)
+        print("reference blue wins:  ", reference)
+        return 0 if oracle_says == reference else 1
     bc = hex_oracle_circuit(args.rows, args.cols, share=args.share)
-    print(format_gatecount(bc))
-    return 0
+    return emit(bc, args)
 
 
 if __name__ == "__main__":

@@ -21,9 +21,8 @@ import argparse
 from ...core.builder import Circ, build, neg
 from ...core.qdata import qubit
 from ...core.wires import Qubit
-from ...output.ascii import format_bcircuit
-from ...output.gatecount import format_gatecount
 from ...transform import BINARY, TOFFOLI, decompose_generic
+from ..runner import add_execution_arguments, emit
 from .graph import entrance_label, register_size
 from .orthodox import bwt_oracle
 from .template import bwt_oracle_template
@@ -102,10 +101,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="evolution time per step")
     parser.add_argument("-o", dest="oracle", default="orthodox",
                         choices=("orthodox", "template"))
-    parser.add_argument("-f", dest="fmt", default="gatecount",
-                        choices=("ascii", "gatecount"))
     parser.add_argument("-g", dest="gate_base", default="toffoli",
                         choices=("none", "toffoli", "binary"))
+    add_execution_arguments(parser, default_format="gatecount")
     args = parser.parse_args(argv)
 
     bc = bwt_circuit(args.n, args.s, args.t, args.oracle)
@@ -113,11 +111,7 @@ def main(argv: list[str] | None = None) -> int:
         bc = decompose_generic(TOFFOLI, bc)
     elif args.gate_base == "binary":
         bc = decompose_generic(BINARY, bc)
-    if args.fmt == "gatecount":
-        print(format_gatecount(bc))
-    else:
-        print(format_bcircuit(bc))
-    return 0
+    return emit(bc, args)
 
 
 if __name__ == "__main__":

@@ -4,13 +4,15 @@ from __future__ import annotations
 
 import argparse
 
+from ...core.builder import build
+from ..runner import add_execution_arguments, emit
 from .number_field import (
     continued_fraction_sqrt,
     is_squarefree,
     pell_fundamental_solution,
     regulator,
 )
-from .regulator import estimate_regulator
+from .regulator import estimate_regulator, period_finding_circuit
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -22,10 +24,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--width", type=int, default=6,
                         help="period-finding register width")
     parser.add_argument("--samples", type=int, default=12)
+    add_execution_arguments(
+        parser, default_format="estimate",
+        formats=("estimate", "ascii", "gatecount", "resources",
+                 "quipper", "qasm", "run"),
+    )
     args = parser.parse_args(argv)
 
     if not is_squarefree(args.d):
         parser.error(f"D={args.d} is not squarefree")
+    if args.fmt != "estimate":
+        # The default grid spacing of estimate_regulator (R/5) puts five
+        # grid cells in one period, whatever the discriminant.
+        bc = build(
+            lambda qc: period_finding_circuit(qc, 5, args.width)
+        )[0]
+        return emit(bc, args)
     x, y = pell_fundamental_solution(args.d)
     print(f"Q(sqrt({args.d})): continued fraction",
           continued_fraction_sqrt(args.d))

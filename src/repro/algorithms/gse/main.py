@@ -12,12 +12,12 @@ from __future__ import annotations
 import argparse
 import math
 
+from ...backends import get_backend, marginal_counts
 from ...core.builder import Circ, build
-from ...datatypes.qdint import IntM
+from ...core.qdata import qdata_leaves
 from ...lib.phase_estimation import phase_estimation
 from ...lib.simulation import Hamiltonian, trotterized_evolution
-from ...output.gatecount import format_gatecount
-from ...sim import run_generic
+from ..runner import add_execution_arguments, emit
 from .hamiltonian import H2_HAMILTONIAN, exact_ground_energy
 
 
@@ -62,18 +62,24 @@ def energy_from_phase(phase_int: int, precision: int, t: float) -> float:
 def estimate_ground_energy(precision: int = 6, t: float = 0.8,
                            trotter_steps: int = 4, seed: int = 0,
                            samples: int = 11) -> float:
-    """Run GSE for H2 end to end; returns the median energy estimate."""
-    outcomes = []
-    for index in range(samples):
-        result = run_generic(
-            lambda qc: gse_circuit(
-                qc, H2_HAMILTONIAN, 2, precision, t, trotter_steps,
-                reference_state=0b10,
-            ),
-            seed=seed + index,
+    """Run GSE for H2 end to end; returns the median energy estimate.
+
+    The circuit is built once and sampled ``samples`` times through the
+    ``"statevector"`` backend (measurement-free, so all shots come from
+    one simulation); the phase register is decoded out of each counts
+    outcome and the median energy returned.
+    """
+    bc, (estimate, _) = build(
+        lambda qc: gse_circuit(
+            qc, H2_HAMILTONIAN, 2, precision, t, trotter_steps,
+            reference_state=0b10,
         )
-        estimate, _ = result
-        outcomes.append(energy_from_phase(int(estimate), precision, t))
+    )
+    result = get_backend("statevector").run(bc, shots=samples, seed=seed)
+    estimate_wires = [q.wire_id for q in qdata_leaves(estimate)]  # MSB first
+    outcomes = []
+    for value, count in marginal_counts(result, bc, estimate_wires).items():
+        outcomes.extend([energy_from_phase(value, precision, t)] * count)
     outcomes.sort()
     return outcomes[len(outcomes) // 2]
 
@@ -85,18 +91,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--precision", type=int, default=6)
     parser.add_argument("--trotter-steps", type=int, default=4)
     parser.add_argument("--time", type=float, default=0.8)
-    parser.add_argument("--gatecount", action="store_true")
+    parser.add_argument("--gatecount", action="store_true",
+                        help="shorthand for -f gatecount")
+    add_execution_arguments(
+        parser, default_format="estimate",
+        formats=("estimate", "ascii", "gatecount", "resources",
+                 "quipper", "qasm", "run"),
+    )
     args = parser.parse_args(argv)
 
     if args.gatecount:
+        args.fmt = "gatecount"
+    if args.fmt != "estimate":
         bc, _ = build(
             lambda qc: gse_circuit(
                 qc, H2_HAMILTONIAN, 2, args.precision, args.time,
                 args.trotter_steps, 0b10,
             )
         )
-        print(format_gatecount(bc))
-        return 0
+        return emit(bc, args)
     energy = estimate_ground_energy(
         args.precision, args.time, args.trotter_steps
     )

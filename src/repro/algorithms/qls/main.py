@@ -7,13 +7,13 @@ import math
 
 import numpy as np
 
+from ...backends import get_backend
 from ...core.builder import build
 from ...core.qdata import qdata_leaves
 from ...datatypes.fpreal import fpreal_shape
 from ...lifting.template import unpack
-from ...output.gatecount import format_gatecount
-from ...sim.state import simulate
 from ...transform import aggregate_gate_count, total_gates
+from ..runner import format_counts
 from .hhl import classical_solution, hhl_circuit
 from .oracle import make_sin_template
 
@@ -40,7 +40,7 @@ def solve_demo(matrix=None, b=None, precision: int = 2,
         return system, ancilla
 
     bc, outs = build(circuit)
-    sim = simulate(bc)
+    sim = get_backend("statevector").run(bc).metadata["state"]
     system, ancilla = outs
     system_wires = [q.wire_id for q in qdata_leaves(system)]
     probs = sim.basis_probabilities(system_wires + [ancilla.wire_id])
@@ -86,12 +86,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sin-bits", type=int, default=None, nargs=2,
                         metavar=("INT", "FRAC"),
                         help="count the lifted sin oracle at this size")
+    parser.add_argument("--shots", type=int, default=None,
+                        help="sample the HHL circuit on a backend instead "
+                        "of post-selecting analytically")
+    parser.add_argument("--backend", default="statevector")
+    parser.add_argument("--seed", type=int, default=None)
     args = parser.parse_args(argv)
 
     if args.sin_bits:
         ib, fb = args.sin_bits
         print(f"sin(x) oracle at {ib}+{fb} bits:",
               sin_oracle_gatecount(ib, fb), "gates")
+        return 0
+    if args.shots:
+        bc, _ = build(
+            lambda qc: hhl_circuit(
+                qc, DEMO_MATRIX, DEMO_B, args.precision, math.pi / 2, 1.0
+            )
+        )
+        result = get_backend(args.backend).run(
+            bc, shots=args.shots, seed=args.seed
+        )
+        print("system register + success ancilla (last bit):")
+        print(format_counts(result.counts))
         return 0
     measured, expect = solve_demo(precision=args.precision)
     print("HHL solution probabilities:", np.round(measured, 4))

@@ -1,0 +1,84 @@
+"""Shared CLI plumbing: one circuit, many execution targets.
+
+The paper's ``tf`` executable lets the user "select different output
+formats" from one circuit generator (Section 5.2).  This module gives all
+seven algorithm CLIs that surface uniformly, routed through the backend
+registry: an ``-f/--format`` choice covering the printers (``ascii``,
+``gatecount``), the interchange formats (``quipper``, ``qasm``), the
+``resources`` backend report, and ``run`` -- shot-based sampling on a
+named simulation backend (``--backend``, ``--shots``, ``--seed``).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..backends import format_resource_report, get_backend
+from ..core.circuit import BCircuit
+from ..io import bcircuit_to_qasm, dumps
+from ..output.ascii import format_bcircuit
+from ..output.gatecount import format_gatecount
+
+#: All formats `emit` understands.
+FORMATS = ("ascii", "gatecount", "resources", "quipper", "qasm", "run")
+
+
+def add_execution_arguments(
+    parser: argparse.ArgumentParser,
+    default_format: str = "gatecount",
+    formats: tuple[str, ...] = FORMATS,
+) -> None:
+    """Add the uniform ``-f``/``--backend``/``--shots``/``--seed`` flags."""
+    parser.add_argument(
+        "-f", "--format", dest="fmt", default=default_format,
+        choices=formats, help="output format / execution mode",
+    )
+    parser.add_argument(
+        "--backend", default="statevector",
+        help="backend name for -f run (see repro.backends)",
+    )
+    parser.add_argument(
+        "--shots", type=int, default=1024,
+        help="samples to draw with -f run",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed for -f run",
+    )
+
+
+def format_counts(counts: dict[str, int]) -> str:
+    """Render a counts dictionary, most frequent outcome first."""
+    total = sum(counts.values())
+    lines = [f"{total} shots:"]
+    for key in sorted(counts, key=lambda k: (-counts[k], k)):
+        lines.append(f"  {key}  {counts[key]:6d}  ({counts[key] / total:.3f})")
+    return "\n".join(lines)
+
+
+def emit(bc: BCircuit, args: argparse.Namespace) -> int:
+    """Render or execute *bc* according to the parsed uniform flags."""
+    if args.fmt == "ascii":
+        print(format_bcircuit(bc))
+    elif args.fmt == "gatecount":
+        print(format_gatecount(bc))
+    elif args.fmt == "resources":
+        print(format_resource_report(get_backend("resources").run(bc)))
+    elif args.fmt == "quipper":
+        print(dumps(bc), end="")
+    elif args.fmt == "qasm":
+        print(bcircuit_to_qasm(bc), end="")
+    elif args.fmt == "run":
+        result = get_backend(args.backend).run(
+            bc, shots=args.shots, seed=args.seed
+        )
+        if result.counts is None:
+            print(
+                f"backend {args.backend!r} does not produce counts; "
+                "use -f resources for cost reports",
+            )
+            return 2
+        print(format_counts(result.counts))
+    else:
+        raise ValueError(f"unknown format {args.fmt!r}")
+    return 0

@@ -19,9 +19,8 @@ import argparse
 from ...core.builder import build
 from ...core.qdata import qubit
 from ...datatypes.qinttf import qinttf_shape
-from ...output.ascii import format_bcircuit
-from ...output.gatecount import format_gatecount
 from ...transform import BINARY, TOFFOLI, decompose_generic
+from ..runner import add_execution_arguments, emit
 from .definitions import QWTFPSpec, qnode_shape
 from .oracle import o4_POW17, o8_MUL, orthodox_oracle, simple_oracle
 from .qwtfp import a1_QWTFP, a6_QWSH
@@ -98,9 +97,7 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("orthodox", "simple"))
     parser.add_argument("-O", dest="oracle_only", action="store_true",
                         help="shorthand for -s oracle")
-    parser.add_argument("-f", dest="fmt", default="ascii",
-                        choices=("ascii", "gatecount"),
-                        help="output format")
+    add_execution_arguments(parser, default_format="ascii")
     parser.add_argument("-g", dest="gate_base", default=None,
                         choices=("toffoli", "binary"),
                         help="decompose into a gate base first")
@@ -118,11 +115,7 @@ def main(argv: list[str] | None = None) -> int:
         bc = decompose_generic(TOFFOLI, bc)
     elif args.gate_base == "binary":
         bc = decompose_generic(BINARY, bc)
-    if args.fmt == "gatecount":
-        print(format_gatecount(bc))
-    else:
-        print(format_bcircuit(bc))
-    return 0
+    return emit(bc, args)
 
 
 if __name__ == "__main__":

@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
+from ..runner import add_execution_arguments, emit
 from .lattice import (
     parity_kernel_matrix,
     planted_instance,
     shortest_vector,
 )
 from .usv import (
+    coset_sampling_circuit,
     find_short_vector_parity,
     recover_short_vector,
 )
@@ -44,8 +44,19 @@ def main(argv: list[str] | None = None) -> int:
         prog="usv", description="Unique Shortest Vector"
     )
     parser.add_argument("--dimension", type=int, default=3)
-    parser.add_argument("--seed", type=int, default=0)
+    add_execution_arguments(
+        parser, default_format="solve",
+        formats=("solve", "ascii", "gatecount", "resources",
+                 "quipper", "qasm", "run"),
+    )
     args = parser.parse_args(argv)
+    if args.seed is None:
+        args.seed = 0
+
+    if args.fmt != "solve":
+        basis, parity = planted_instance(args.dimension, args.seed)
+        kernel = parity_kernel_matrix(parity, seed=args.seed)
+        return emit(coset_sampling_circuit(kernel), args)
 
     report = solve_usv(args.dimension, args.seed)
     print("basis:\n", report["basis"])

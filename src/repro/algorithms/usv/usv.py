@@ -59,6 +59,38 @@ def coset_sampling_round(qc: Circ, kernel_rows: np.ndarray):
     return sample_bits, label_values
 
 
+def coset_sampling_circuit(kernel_rows: np.ndarray):
+    """The static circuit of one round (no dynamic lifting).
+
+    The classical controller in :func:`coset_sampling_round` inspects the
+    lifted label but does not branch on it, so the generated gates are
+    identical -- this builder exists so the round can be printed, costed,
+    and sampled through the backend registry, which only takes circuits
+    that exist ahead of execution.
+    """
+    from ...core.builder import build
+
+    def round_circuit(qc: Circ):
+        rows, n = kernel_rows.shape
+        coeff = [qc.qinit_qubit(False) for _ in range(n)]
+        for q in coeff:
+            qc.hadamard(q)
+        label = []
+        for i in range(rows):
+            target = qc.qinit_qubit(False)
+            for j in range(n):
+                if kernel_rows[i, j]:
+                    qc.qnot(target, controls=coeff[j])
+            label.append(target)
+        label_bits = qc.measure(label)
+        for q in coeff:
+            qc.hadamard(q)
+        sample_bits = qc.measure(coeff)
+        return sample_bits, label_bits
+
+    return build(round_circuit)[0]
+
+
 def find_short_vector_parity(kernel_rows: np.ndarray, max_rounds: int = 64,
                              seed: int = 0) -> tuple[np.ndarray, int]:
     """Run rounds under the QRAM model until the parity is pinned down.

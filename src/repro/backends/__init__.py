@@ -1,0 +1,50 @@
+"""Pluggable circuit execution backends.
+
+Every consumer of a generated circuit -- the dense statevector simulator,
+the stabilizer simulator, the boolean evaluator, the resource estimator --
+is a :class:`Backend` registered under a short name::
+
+    from repro import build, qubit
+    from repro.backends import get_backend
+
+    def bell(qc, a, b):
+        qc.hadamard(a)
+        qc.qnot(b, controls=a)
+        return a, b
+
+    bc, _ = build(bell, qubit, qubit)
+    result = get_backend("statevector").run(bc, shots=1024, seed=7)
+    print(result.counts)          # {'00': 515, '11': 509}
+
+Built-in backends:
+
+========== ============================= ==========================
+name       engine                        capabilities
+========== ============================= ==========================
+statevector dense ndarray simulation     counts, statevector
+clifford    CHP stabilizer tableau       counts
+classical   boolean wire evaluation      counts, deterministic
+resources   hierarchical count/depth     resources, deterministic
+========== ============================= ==========================
+"""
+
+from .base import Backend, BackendError, RunResult, marginal_counts
+from .registry import available_backends, get_backend, register_backend
+
+# Importing the adapter modules registers the built-in backends.
+from . import classical as _classical  # noqa: F401
+from . import clifford as _clifford  # noqa: F401
+from . import resources as _resources  # noqa: F401
+from . import statevector as _statevector  # noqa: F401
+from .resources import format_resource_report
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "RunResult",
+    "available_backends",
+    "format_resource_report",
+    "get_backend",
+    "marginal_counts",
+    "register_backend",
+]

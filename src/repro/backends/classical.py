@@ -1,0 +1,41 @@
+"""Boolean-evaluation backend for classical/reversible circuits.
+
+Wraps :mod:`repro.sim.classical` as the ``"classical"`` backend.  The
+circuit is evaluated once -- outcomes are deterministic -- and a shots
+request simply reports the single outcome with the full shot weight,
+so the counts interface is uniform across backends.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import BCircuit
+from ..sim.classical import evaluate
+from .base import Backend, BackendError, RunResult, outcome_key
+from .registry import register_backend
+
+
+@register_backend
+class ClassicalBackend(Backend):
+    """Deterministic evaluation of NOT/Toffoli/CGate circuits."""
+
+    name = "classical"
+    capabilities = frozenset({"counts", "deterministic"})
+
+    def run(
+        self,
+        bc: BCircuit,
+        *,
+        shots: int | None = None,
+        in_values: dict[int, bool] | None = None,
+        seed: int | None = None,
+    ) -> RunResult:
+        if shots is not None and shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        out_values = evaluate(bc, in_values or {})
+        key = outcome_key([out_values[w] for w, _ in bc.circuit.outputs])
+        return RunResult(
+            backend=self.name,
+            shots=shots,
+            counts={key: shots if shots else 1},
+            bits=dict(out_values),
+        )

@@ -1,0 +1,55 @@
+"""String-keyed backend registry and factory.
+
+Mirrors the builder-over-backends pattern of mainstream quantum stacks: a
+backend class registers under a short name once, and every consumer asks
+the registry by name.  Registration is idempotent by name; re-registering
+a name replaces the previous entry (useful for tests injecting fakes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from .base import Backend, BackendError
+
+_REGISTRY: dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(factory: Type[Backend] | Callable[..., Backend]):
+    """Register a backend class (or factory) under its ``name``.
+
+    Usable as a decorator::
+
+        @register_backend
+        class MyBackend(Backend):
+            name = "mine"
+    """
+    name = getattr(factory, "name", "")
+    if not name:
+        raise BackendError(f"backend {factory!r} has no name to register")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def get_backend(name: str, **options) -> Backend:
+    """Instantiate the backend registered under *name*.
+
+    Keyword options are passed to the backend constructor.  Raises
+    :class:`BackendError` with the list of known names when *name* is
+    unknown.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise BackendError(
+            f"unknown backend {name!r}; registered backends: {known}"
+        )
+    return factory(**options)
+
+
+def available_backends() -> dict[str, frozenset[str]]:
+    """Registered backend names mapped to their capability sets."""
+    return {
+        name: getattr(factory, "capabilities", frozenset())
+        for name, factory in sorted(_REGISTRY.items())
+    }

@@ -1,0 +1,169 @@
+"""Dense statevector backend with batched shot sampling.
+
+Wraps :mod:`repro.sim.state` as the registry's ``"statevector"`` backend.
+Shot sampling has a fast path: when the flattened circuit contains no
+*mid-circuit* ``Measure``/``Discard`` gate, the final state is prepared
+once and all shots are drawn from the joint output distribution with one
+multinomial draw -- the cost of 1024 shots is the cost of one simulation.
+Trailing measurements commute with basis-state sampling and are stripped,
+so "run then measure everything" circuits batch too.  Circuits with
+genuine mid-circuit measurement are stochastic and re-simulate per shot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.circuit import BCircuit
+from ..core.gates import Comment, Discard, Gate, Measure
+from ..core.wires import QUANTUM
+from ..sim.state import StateVector
+from ..transform.inline import iter_flat_gates
+from .base import Backend, BackendError, RunResult, outcome_key
+from .registry import register_backend
+
+
+def _load_inputs(sim: StateVector, bc: BCircuit,
+                 in_values: dict[int, bool]) -> None:
+    for wire, wtype in bc.circuit.inputs:
+        if wtype == QUANTUM:
+            sim.add_qubit(wire, in_values.get(wire, False))
+        else:
+            sim.bits[wire] = in_values.get(wire, False)
+
+
+@register_backend
+class StatevectorBackend(Backend):
+    """Exact simulation: any circuit, exponential in qubit count."""
+
+    name = "statevector"
+    capabilities = frozenset({"counts", "statevector"})
+
+    def __init__(self, max_width: int = 26):
+        self.max_width = max_width
+
+    def supports(self, bc: BCircuit) -> bool:
+        return bc.check() <= self.max_width
+
+    def run(
+        self,
+        bc: BCircuit,
+        *,
+        shots: int | None = None,
+        in_values: dict[int, bool] | None = None,
+        seed: int | None = None,
+    ) -> RunResult:
+        width = bc.check()
+        if width > self.max_width:
+            raise BackendError(
+                f"circuit width {width} exceeds the statevector limit "
+                f"({self.max_width}); use the resources backend to size it"
+            )
+        in_values = in_values or {}
+        rng = np.random.default_rng(seed)
+        if shots is None:
+            return self._run_state(bc, in_values, rng)
+        if shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        gates = list(iter_flat_gates(bc))
+        # Trailing measurements commute with basis-state sampling: drop
+        # them and draw their wires from the joint output distribution
+        # instead, so final-measurement circuits still take the one-
+        # simulation fast path.
+        tail = len(gates)
+        while tail and isinstance(gates[tail - 1], (Measure, Comment)):
+            tail -= 1
+        measured = frozenset(
+            g.wire for g in gates[tail:] if isinstance(g, Measure)
+        )
+        if any(isinstance(g, (Measure, Discard)) for g in gates[:tail]):
+            counts = self._sample_repeated(bc, gates, in_values, shots, rng)
+            batched = False
+        else:
+            counts = self._sample_batched(
+                bc, gates[:tail], in_values, shots, rng, measured
+            )
+            batched = True
+        return RunResult(
+            backend=self.name,
+            shots=shots,
+            counts=counts,
+            metadata={"batched": batched, "width": width},
+        )
+
+    # -- shots=None: expose the final state --------------------------------
+
+    def _run_state(self, bc, in_values, rng) -> RunResult:
+        sim = StateVector(rng=rng)
+        _load_inputs(sim, bc, in_values)
+        for gate in iter_flat_gates(bc):
+            sim.execute(gate)
+        wires = sorted(sim.axes, key=lambda w: sim.axes[w])
+        return RunResult(
+            backend=self.name,
+            statevector=sim.state,
+            statevector_wires=tuple(wires),
+            bits=dict(sim.bits),
+            metadata={"state": sim},
+        )
+
+    # -- measurement-free circuits: one simulation, one multinomial --------
+
+    def _sample_batched(self, bc, gates: list[Gate], in_values,
+                        shots: int, rng,
+                        measured: frozenset[int] = frozenset(),
+                        ) -> dict[str, int]:
+        sim = StateVector(rng=rng)
+        _load_inputs(sim, bc, in_values)
+        for gate in gates:
+            sim.execute(gate)
+        outputs = bc.circuit.outputs
+        # *measured* wires were quantum until a stripped trailing Measure;
+        # they are still qubit axes of the final state and get sampled.
+        qwires = [w for w, t in outputs if t == QUANTUM or w in measured]
+        cbits = {
+            w: sim.bits[w]
+            for w, t in outputs
+            if t != QUANTUM and w not in measured
+        }
+        if not qwires:
+            key = outcome_key([cbits[w] for w, _ in outputs])
+            return {key: shots}
+        dist = sim.basis_probabilities(qwires)
+        outcomes = list(dist)
+        probs = np.array([dist[o] for o in outcomes])
+        probs = probs / probs.sum()
+        draws = rng.multinomial(shots, probs)
+        counts: dict[str, int] = {}
+        for outcome, n in zip(outcomes, draws):
+            if n == 0:
+                continue
+            qvalue = dict(zip(qwires, outcome))
+            key = outcome_key(
+                [
+                    bool(qvalue[w]) if w in qvalue else cbits[w]
+                    for w, _ in outputs
+                ]
+            )
+            counts[key] = counts.get(key, 0) + int(n)
+        return counts
+
+    # -- stochastic circuits: re-simulate per shot --------------------------
+
+    def _sample_repeated(self, bc, gates: list[Gate], in_values,
+                         shots: int, rng) -> dict[str, int]:
+        outputs = bc.circuit.outputs
+        counts: dict[str, int] = {}
+        for _ in range(shots):
+            sim = StateVector(rng=rng)
+            _load_inputs(sim, bc, in_values)
+            for gate in gates:
+                sim.execute(gate)
+            key = outcome_key(
+                [
+                    sim.measure_qubit(w) if t == QUANTUM else sim.bits[w]
+                    for w, t in outputs
+                ]
+            )
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -113,13 +113,22 @@ class Subroutine:
     circuit: Circuit
     in_shape: object = None
     out_shape: object = None
-    _width: int | None = None
+    #: Memoized body width.  Excluded from equality: two subroutines with
+    #: the same circuit are the same subroutine whether or not one has had
+    #: its width computed.  The cache is only trustworthy for a fixed
+    #: namespace; :meth:`BCircuit.check` invalidates it before validating,
+    #: so a stale width cannot survive a namespace mutation.
+    _width: int | None = field(default=None, compare=False, repr=False)
 
     def width(self, namespace: dict[str, "Subroutine"]) -> int:
-        """Width of the subroutine body (memoized)."""
+        """Width of the subroutine body (memoized; see :attr:`_width`)."""
         if self._width is None:
             self._width = self.circuit.check(namespace)
         return self._width
+
+    def invalidate_width(self) -> None:
+        """Drop the memoized width (call after mutating the namespace)."""
+        self._width = None
 
 
 @dataclass
@@ -130,7 +139,14 @@ class BCircuit:
     namespace: dict[str, Subroutine] = field(default_factory=dict)
 
     def check(self) -> int:
-        """Validate the whole hierarchy; return the main circuit's width."""
+        """Validate the whole hierarchy; return the main circuit's width.
+
+        Memoized subroutine widths are invalidated first, so a width cached
+        against an earlier version of the namespace can never leak into the
+        result of a later check.
+        """
+        for sub in self.namespace.values():
+            sub.invalidate_width()
         for sub in self.namespace.values():
             sub.width(self.namespace)
         return self.circuit.check(self.namespace)

@@ -136,7 +136,9 @@ class NamedGate(Gate):
 def _fmt_param(value: float) -> str:
     if value == int(value):
         return str(int(value))
-    return f"{value:g}"
+    # repr() is the shortest string that round-trips the float exactly,
+    # which the Quipper-ASCII parser (repro.io) relies on.
+    return repr(value)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,87 @@
+"""Circuit interchange: Quipper-ASCII round-trip and OpenQASM 2 export.
+
+Hierarchical circuits can be persisted to text and reloaded *without
+inlining*::
+
+    from repro import build, qubit
+    from repro.io import dumps, loads
+
+    bc, _ = build(my_circuit, qubit, qubit)
+    text = dumps(bc)          # Quipper-ASCII, boxed subroutines intact
+    again = loads(text)
+    assert again == bc
+
+:func:`dumps` extends the plain :func:`repro.output.ascii.format_bcircuit`
+text with one ``Shape:`` line per subroutine definition, recording the
+boxed interface (the typed argument structure) so that the reloaded
+namespace compares equal to the original -- the printer alone only records
+the flat wire lists.  :func:`loads` accepts both flavours: text without
+``Shape:`` lines (e.g. captured from ``print_generic``) still parses, its
+subroutines just carry ``None`` shapes.
+
+For export to the wider toolchain, :func:`repro.io.bcircuit_to_qasm`
+emits flat OpenQASM 2.0 (see :mod:`repro.io.qasm` for the mapping and its
+limits).  QASM is an exit door, not a round-trip: the hierarchical
+structure is inlined away.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..core.circuit import BCircuit
+from ..output.ascii import format_circuit
+from .ascii_parser import AsciiParseError, encode_shape, parse_bcircuit
+from .qasm import QasmExportError, bcircuit_to_qasm
+
+__all__ = [
+    "AsciiParseError",
+    "QasmExportError",
+    "bcircuit_to_qasm",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+]
+
+
+def dumps(bc: BCircuit) -> str:
+    """Serialize a hierarchical circuit to Quipper-ASCII text.
+
+    The output is :func:`repro.output.ascii.format_bcircuit` plus a
+    ``Shape:`` line per subroutine, and is accepted by :func:`loads` such
+    that ``loads(dumps(bc)) == bc`` for any builder-produced circuit.
+    """
+    parts = [format_circuit(bc.circuit)]
+    for name in bc.subroutine_names():
+        sub = bc.namespace[name]
+        parts.append(f'\nSubroutine: "{name}"')
+        parts.append(
+            f"Shape: {encode_shape(sub.in_shape)} -> "
+            f"{encode_shape(sub.out_shape)}"
+        )
+        parts.append(format_circuit(sub.circuit))
+    return "\n".join(parts) + "\n"
+
+
+def loads(text: str, check: bool = True) -> BCircuit:
+    """Parse Quipper-ASCII text back into a hierarchical circuit.
+
+    Inverse of :func:`dumps`; also accepts the plain printer output
+    (without ``Shape:`` lines).  With ``check`` (default) the result is
+    validated by :meth:`~repro.core.circuit.BCircuit.check`.
+    """
+    return parse_bcircuit(text, check=check)
+
+
+def dump(bc: BCircuit, path: str | os.PathLike) -> None:
+    """Write :func:`dumps` output to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(bc))
+
+
+def load(path: str | os.PathLike, check: bool = True) -> BCircuit:
+    """Read a Quipper-ASCII file written by :func:`dump` (or captured
+    from the printer) back into a hierarchical circuit."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), check=check)

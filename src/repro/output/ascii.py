@@ -81,7 +81,10 @@ def format_gate(gate: Gate) -> str:
     if isinstance(gate, CNot):
         return f"CNot({gate.wire}){_fmt_controls(gate.controls)}"
     if isinstance(gate, Comment):
-        labels = ", ".join(f"{w}:{lab}" for w, _, lab in gate.labels)
+        labels = ", ".join(
+            f"{'' if t == QUANTUM else 'c'}{w}:{lab}"
+            for w, t, lab in gate.labels
+        )
         suffix = f" [{labels}]" if labels else ""
         star = "*" if gate.inverted else ""
         return f'Comment["{gate.text}{star}"]{suffix}'
@@ -89,8 +92,9 @@ def format_gate(gate: Gate) -> str:
         star = "*" if gate.inverted else ""
         reps = f" x{gate.repetitions}" if gate.repetitions != 1 else ""
         ins = ",".join(str(w) for w, _ in gate.in_wires)
+        outs = ",".join(str(w) for w, _ in gate.out_wires)
         return (
-            f'Subroutine{star}["{gate.name}"]{reps}({ins})'
+            f'Subroutine{star}["{gate.name}"]{reps}({ins}) -> ({outs})'
             f"{_fmt_controls(gate.controls)}"
         )
     raise TypeError(f"unknown gate kind {gate!r}")

@@ -1,0 +1,292 @@
+"""Tests for the pluggable execution backend subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BackendError,
+    RunResult,
+    available_backends,
+    bit,
+    build,
+    get_backend,
+    qubit,
+    register_backend,
+    run_generic,
+)
+from repro.backends import Backend, marginal_counts
+
+
+def bell(qc, a, b):
+    qc.hadamard(a)
+    qc.qnot(b, controls=a)
+    return a, b
+
+
+def bell_measured(qc, a, b):
+    qc.hadamard(a)
+    qc.qnot(b, controls=a)
+    return qc.measure((a, b))
+
+
+def ghz(qc, a, b, c):
+    qc.hadamard(a)
+    qc.qnot(b, controls=a)
+    qc.qnot(c, controls=b)
+    return a, b, c
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = set(available_backends())
+        assert {"statevector", "clifford", "classical", "resources"} <= names
+
+    def test_unknown_backend_lists_known_names(self):
+        with pytest.raises(BackendError, match="statevector"):
+            get_backend("quantum-annealer")
+
+    def test_custom_backend_registration(self):
+        @register_backend
+        class FakeBackend(Backend):
+            name = "fake-for-test"
+            capabilities = frozenset({"counts"})
+
+            def run(self, bc, *, shots=None, in_values=None, seed=None):
+                return RunResult(backend=self.name, shots=shots,
+                                 counts={"0": shots or 1})
+
+        try:
+            result = get_backend("fake-for-test").run(None, shots=3)
+            assert result.counts == {"0": 3}
+        finally:
+            from repro.backends.registry import _REGISTRY
+
+            del _REGISTRY["fake-for-test"]
+
+    def test_nameless_backend_rejected(self):
+        class Nameless(Backend):
+            pass
+
+        with pytest.raises(BackendError):
+            register_backend(Nameless)
+
+    def test_constructor_options_forwarded(self):
+        backend = get_backend("statevector", max_width=5)
+        assert backend.max_width == 5
+
+
+class TestStatevectorBackend:
+    def test_shot_counts_acceptance(self):
+        # The PR's acceptance criterion, verbatim.
+        bc, _ = build(bell, qubit, qubit)
+        result = get_backend("statevector").run(bc, shots=1024)
+        assert isinstance(result.counts, dict)
+        assert sum(result.counts.values()) == 1024
+        assert set(result.counts) <= {"00", "11"}
+
+    def test_seeded_runs_reproduce(self):
+        bc, _ = build(bell, qubit, qubit)
+        backend = get_backend("statevector")
+        a = backend.run(bc, shots=256, seed=11).counts
+        b = backend.run(bc, shots=256, seed=11).counts
+        assert a == b
+
+    def test_measurement_free_run_is_batched(self):
+        bc, _ = build(ghz, qubit, qubit, qubit)
+        result = get_backend("statevector").run(bc, shots=64, seed=0)
+        assert result.metadata["batched"]
+        assert set(result.counts) <= {"000", "111"}
+
+    def test_trailing_measurements_still_batch(self):
+        bc, _ = build(bell_measured, qubit, qubit)
+        result = get_backend("statevector").run(bc, shots=64, seed=0)
+        assert result.metadata["batched"]
+        assert set(result.counts) <= {"00", "11"}
+
+    def test_mid_circuit_measurement_resimulates(self):
+        def teleport_ish(qc, a, b):
+            qc.hadamard(a)
+            m = qc.measure(a)
+            qc.qnot(b, controls=m)
+            return m, b
+
+        bc, _ = build(teleport_ish, qubit, qubit)
+        result = get_backend("statevector").run(bc, shots=40, seed=1)
+        assert not result.metadata["batched"]
+        assert set(result.counts) <= {"00", "11"}
+        assert sum(result.counts.values()) == 40
+
+    def test_statevector_without_shots(self):
+        bc, _ = build(bell, qubit, qubit)
+        result = get_backend("statevector").run(bc)
+        assert result.counts is None
+        amplitudes = np.abs(result.statevector.ravel()) ** 2
+        assert amplitudes == pytest.approx([0.5, 0, 0, 0.5])
+
+    def test_in_values(self):
+        def passthrough(qc, a, b):
+            return a, b
+
+        bc, _ = build(passthrough, qubit, qubit)
+        wires = [w for w, _ in bc.circuit.inputs]
+        result = get_backend("statevector").run(
+            bc, shots=8, in_values={wires[0]: True}
+        )
+        assert result.counts == {"10": 8}
+
+    def test_width_limit(self):
+        bc, _ = build(bell, qubit, qubit)
+        backend = get_backend("statevector", max_width=1)
+        assert not backend.supports(bc)
+        with pytest.raises(BackendError, match="width"):
+            backend.run(bc, shots=1)
+
+    def test_invalid_shots(self):
+        bc, _ = build(bell, qubit, qubit)
+        with pytest.raises(BackendError, match="shots"):
+            get_backend("statevector").run(bc, shots=0)
+
+
+class TestCliffordBackend:
+    def test_bell_counts(self):
+        bc, _ = build(bell, qubit, qubit)
+        result = get_backend("clifford").run(bc, shots=128, seed=5)
+        assert set(result.counts) == {"00", "11"}
+        assert sum(result.counts.values()) == 128
+
+    def test_agrees_with_statevector(self):
+        bc, _ = build(ghz, qubit, qubit, qubit)
+        sv = get_backend("statevector").run(bc, shots=400, seed=2).counts
+        cl = get_backend("clifford").run(bc, shots=400, seed=2).counts
+        assert set(sv) == set(cl) == {"000", "111"}
+        assert abs(sv["000"] - cl["000"]) < 120  # both ~200
+
+    def test_deterministic_run_without_shots(self):
+        def flip(qc, a):
+            qc.gate_X(a)
+            return qc.measure(a)
+
+        bc, _ = build(flip, qubit)
+        result = get_backend("clifford").run(bc)
+        assert list(result.bits.values()) == [True]
+
+
+class TestClassicalBackend:
+    def test_toffoli_truth_table(self):
+        def toffoli(qc, a, b, c):
+            qc.qnot(c, controls=(a, b))
+            return a, b, c
+
+        bc, _ = build(toffoli, qubit, qubit, qubit)
+        wires = [w for w, _ in bc.circuit.inputs]
+        backend = get_backend("classical")
+        for a in (False, True):
+            for b in (False, True):
+                result = backend.run(
+                    bc, in_values={wires[0]: a, wires[1]: b}
+                )
+                key = "".join("1" if v else "0" for v in (a, b, a and b))
+                assert result.counts == {key: 1}
+
+    def test_shots_report_single_outcome(self):
+        def ident(qc, a):
+            return a
+
+        bc, _ = build(ident, bit)
+        result = get_backend("classical").run(bc, shots=100)
+        assert result.counts == {"0": 100}
+
+
+class TestResourceBackend:
+    def test_resource_keys(self):
+        bc, _ = build(ghz, qubit, qubit, qubit)
+        res = get_backend("resources").run(bc).resources
+        assert res["total_gates"] == 3
+        assert res["width"] == 3
+        assert res["depth"] == 3
+        assert res["inputs"] == res["outputs"] == 3
+
+    def test_counts_boxed_without_inlining(self):
+        def inner(qc, a):
+            qc.hadamard(a)
+            return a
+
+        def outer(qc, a):
+            qc.box("sub", inner, a, repetitions=1000)
+            return a
+
+        bc, _ = build(outer, qubit)
+        res = get_backend("resources").run(bc).resources
+        assert res["total_gates"] == 1000
+        assert res["subroutines"] == 1
+
+    def test_report_formatting(self):
+        from repro.backends import format_resource_report
+
+        bc, _ = build(ghz, qubit, qubit, qubit)
+        report = format_resource_report(get_backend("resources").run(bc))
+        assert "Total gates: 3" in report
+        assert "Depth: 3" in report
+
+
+class TestRunResult:
+    def test_probabilities(self):
+        result = RunResult(backend="x", shots=4, counts={"0": 3, "1": 1})
+        assert result.probabilities() == {"0": 0.75, "1": 0.25}
+
+    def test_most_frequent(self):
+        result = RunResult(backend="x", shots=4, counts={"0": 1, "1": 3})
+        assert result.most_frequent() == "1"
+
+    def test_countless_result_raises(self):
+        result = RunResult(backend="x")
+        with pytest.raises(BackendError):
+            result.probabilities()
+        with pytest.raises(BackendError):
+            result.most_frequent()
+
+    def test_marginal_counts(self):
+        bc, _ = build(ghz, qubit, qubit, qubit)
+        result = get_backend("statevector").run(bc, shots=100, seed=9)
+        first = bc.circuit.outputs[0][0]
+        marg = marginal_counts(result, bc, [first])
+        assert set(marg) <= {0, 1}
+        assert sum(marg.values()) == 100
+
+    def test_marginal_counts_rejects_non_output(self):
+        bc, _ = build(ghz, qubit, qubit, qubit)
+        result = get_backend("statevector").run(bc, shots=10, seed=9)
+        with pytest.raises(BackendError):
+            marginal_counts(result, bc, [99999])
+
+
+class TestRunGeneric:
+    def test_default_backend_counts(self):
+        result = run_generic(bell, qubit, qubit, shots=64, seed=4)
+        assert result.backend == "statevector"
+        assert sum(result.counts.values()) == 64
+
+    def test_backend_selection(self):
+        result = run_generic(bell, qubit, qubit, backend="clifford",
+                             shots=16, seed=4)
+        assert result.backend == "clifford"
+
+    def test_resources_via_run_generic(self):
+        result = run_generic(ghz, qubit, qubit, qubit, backend="resources")
+        assert result.resources["total_gates"] == 3
+
+
+class TestRunnerEmit:
+    def test_run_format_with_countless_backend(self, capsys):
+        import argparse
+
+        from repro.algorithms.runner import emit
+
+        bc, _ = build(ghz, qubit, qubit, qubit)
+        args = argparse.Namespace(
+            fmt="run", backend="resources", shots=8, seed=None
+        )
+        assert emit(bc, args) == 2
+        assert "does not produce counts" in capsys.readouterr().out
