@@ -1,0 +1,149 @@
+"""Fused vs sequential transformer cost on a deep boxed circuit.
+
+The redesign claim: applying k transformer rules through the fused
+pipeline (one traversal of the box hierarchy, each gate flowing through
+the whole rule chain) beats k sequential ``transform_bcircuit`` passes
+(k full hierarchy rewrites, k intermediate namespaces, k width
+recomputations).
+
+The measured numbers are recorded once to ``benchmarks/baselines/
+fused_transform.json`` (written only if absent, so runs never dirty the
+committed baseline) and every later run reports itself against that
+recorded speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro import build, qubit
+from repro.core.gates import NamedGate
+from repro.transform import (
+    aggregate_gate_count,
+    canonicalize_wires,
+    to_toffoli,
+    transform_bcircuit_fused,
+)
+from repro.transform.transformer import _legacy_transform_bcircuit
+
+from conftest import report
+
+BASELINE = pathlib.Path(__file__).parent / "baselines" / "fused_transform.json"
+
+#: Box-hierarchy depth and per-body gate count of the benchmark circuit.
+DEPTH = 50
+BODY_GATES = 24
+REPEATS = 3
+
+
+def _s_to_tt(qc, gate):
+    if isinstance(gate, NamedGate) and gate.name == "S":
+        half = NamedGate(
+            "T", gate.targets, gate.controls, inverted=gate.inverted
+        )
+        qc._emit_raw(half)
+        qc._emit_raw(half)
+        return True
+    return False
+
+
+def _t_to_hsh(qc, gate):
+    if isinstance(gate, NamedGate) and gate.name == "T" and not gate.controls:
+        for name in ("H", "S", "H"):
+            qc._emit_raw(NamedGate(name, gate.targets))
+        return True
+    return False
+
+
+RULES = (to_toffoli, _s_to_tt, _t_to_hsh)
+
+
+def _deep_boxed_circuit():
+    """DEPTH nested boxed levels, each body mixing plain and 3-control gates."""
+
+    def emit_body(qc, qs):
+        a, b, c, d = qs
+        for _ in range(BODY_GATES // 4):
+            qc.gate_S(a)
+            qc.hadamard(b)
+            qc.qnot(d, controls=(a, b, c))  # toffoli rule fires
+            qc.gate_T(c)
+        return qs
+
+    def make_level(inner, name):
+        def level(qc, qs):
+            qs = qc.box(name, inner, qs) if inner is not None else qs
+            return emit_body(qc, qs)
+
+        return level
+
+    fn = None
+    for depth in range(DEPTH):
+        fn = make_level(fn, f"level{depth}")
+    return build(lambda qc, qs: fn(qc, qs), [qubit] * 4)[0]
+
+
+def _time(fn) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _sequential(bc):
+    for rule in RULES:
+        bc = _legacy_transform_bcircuit(bc, rule)
+    return bc
+
+
+def test_fused_beats_sequential_passes():
+    bc = _deep_boxed_circuit()
+    stored = len(bc)
+
+    seq_time = _time(lambda: _sequential(bc))
+    fused_time = _time(lambda: transform_bcircuit_fused(bc, *RULES))
+
+    # Same circuit either way (up to ancilla numbering).
+    seq = _sequential(bc)
+    fused = transform_bcircuit_fused(bc, *RULES)
+    assert aggregate_gate_count(fused) == aggregate_gate_count(seq)
+    assert canonicalize_wires(fused) == canonicalize_wires(seq)
+
+    speedup = seq_time / fused_time
+    record = {
+        "depth": DEPTH,
+        "stored_gates": stored,
+        "rules": len(RULES),
+        "sequential_s": round(seq_time, 6),
+        "fused_s": round(fused_time, 6),
+        "speedup": round(speedup, 3),
+    }
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+    else:  # first run records the baseline; later runs only compare
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps(record, indent=2) + "\n")
+        baseline = None
+
+    report(
+        "fused vs sequential transformer (3 rules, deep boxed circuit)",
+        [
+            ("stored gates", "-", stored),
+            ("sequential 3 passes (s)", "-", f"{seq_time:.4f}"),
+            ("fused single pass (s)", "-", f"{fused_time:.4f}"),
+            ("speedup", ">= 1", f"{speedup:.2f}x"),
+            (
+                "recorded baseline speedup",
+                "-",
+                baseline["speedup"] if baseline else "recorded now",
+            ),
+        ],
+    )
+    # The fused pipeline must do strictly less work than k passes; a 10%
+    # scheduling-noise allowance keeps CI machines from flaking.
+    assert fused_time <= seq_time * 1.1, record

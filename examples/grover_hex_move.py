@@ -7,7 +7,7 @@ for the game of Hex" (paper Section 1).
 Run:  python examples/grover_hex_move.py
 """
 
-from repro import build, get_backend
+from repro import Program
 from repro.backends import marginal_counts
 from repro.core.qdata import qdata_leaves
 from repro.algorithms.bf import (
@@ -42,11 +42,11 @@ def main() -> None:
         )
         return register
 
-    # One circuit, one backend run: 30 shots of the Grover register.
-    bc, register = build(circuit)
-    wires = [q.wire_id for q in qdata_leaves(register)]
-    result = get_backend("statevector").run(bc, shots=30, seed=0)
-    outcomes = marginal_counts(result, bc, wires)
+    # One Program, one backend run: 30 shots of the Grover register.
+    program = Program.capture(circuit, name="grover-hex")
+    wires = [q.wire_id for q in qdata_leaves(program.outputs)]
+    result = program.run(shots=30, seed=0)
+    outcomes = marginal_counts(result, program.bcircuit, wires)
 
     slots = [i for i, v in enumerate(partial) if v is None]
 

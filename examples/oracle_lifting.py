@@ -9,7 +9,7 @@ Run:  python examples/oracle_lifting.py
 
 import math
 
-from repro import build, qubit, aggregate_gate_count, total_gates
+from repro import Program, qubit
 from repro.datatypes import FPRealM, fpreal_shape
 from repro.lifting import (
     bool_xor,
@@ -17,7 +17,6 @@ from repro.lifting import (
     classical_to_reversible,
     unpack,
 )
-from repro.output import format_bcircuit
 from repro.sim import run_classical_generic
 from repro.algorithms.bf import blue_wins, make_hex_winner_template
 from repro.algorithms.qls import make_sin_template
@@ -38,13 +37,17 @@ def main() -> None:
 
     print("\n== unpack(template_f) on 4 qubits (paper's figure) ==")
     template_f = unpack(f)
-    bc, _ = build(lambda qc, qs: (qs, template_f(qc, qs)), [qubit] * 4)
-    print(format_bcircuit(bc))
+    Program.capture(
+        lambda qc, qs: (qs, template_f(qc, qs)), [qubit] * 4,
+        name="parity", on_extra="ignore",
+    ).print()
 
     print("\n== classical_to_reversible(unpack(template_f)) ==")
     rev = classical_to_reversible(template_f)
-    bc2, _ = build(lambda qc, qs, y: rev(qc, qs, y), [qubit] * 4, qubit)
-    print(format_bcircuit(bc2))
+    Program.capture(
+        lambda qc, qs, y: rev(qc, qs, y), [qubit] * 4, qubit,
+        name="parity-reversible",
+    ).print()
 
     print("\n== the Hex winner oracle (Section 4.6.1) ==")
     hex_template = make_hex_winner_template(3, 3)
@@ -68,10 +71,10 @@ def main() -> None:
         )
         print(f"  sin({x:+.2f}) = {float(y):+.5f}"
               f"   (math.sin: {math.sin(x):+.5f})")
-    counts = total_gates(aggregate_gate_count(
-        build(lambda qc, a: (a, unpack(sin_template)(qc, a)),
-              fpreal_shape(ib, fb))[0]
-    ))
+    counts = Program.capture(
+        lambda qc, a: (a, unpack(sin_template)(qc, a)),
+        fpreal_shape(ib, fb), name="sin-oracle", on_extra="ignore",
+    ).total_gates()
     print(f"  sin oracle at {ib}+{fb} bits: {counts:,} gates"
           " (3,273,010 at 32+32 in the paper)")
 

@@ -1,22 +1,15 @@
 """Quickstart: the paper's Section 4.4 examples, in Python.
 
-Builds the paper's ``mycirc`` family, prints circuits, applies block
-structure, reverses a subroutine mid-circuit, decomposes to the binary
-gate base, and runs a Bell-pair simulation.
+Builds the paper's ``mycirc`` family as fluent ``Program`` pipelines:
+prints circuits, applies block structure, reverses a subroutine
+mid-circuit, decomposes to the binary gate base in one fused transformer
+pass, and runs a Bell-pair simulation -- one definition per circuit,
+every consumer a method.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    BINARY,
-    build,
-    decompose_generic,
-    get_backend,
-    qubit,
-    run_generic,
-)
-from repro.io import dumps, loads
-from repro.output import format_bcircuit, format_gatecount
+from repro import BINARY, Program, main, qubit
 
 
 # -- a quantum function: gates applied one at a time (Section 4.4.1) -----
@@ -58,52 +51,49 @@ def timestep(qc, a, b, c):
     return a, b, c
 
 
-def main() -> None:
+# -- the program entry point: the decorated function IS a Program --------
+
+@main(qubit, qubit)
+def bell(qc, a, b):
+    qc.hadamard(a)
+    qc.qnot(b, controls=a)
+    return qc.measure((a, b))
+
+
+def demo() -> None:
     print("== mycirc ==")
-    bc, _ = build(mycirc, qubit, qubit)
-    print(format_bcircuit(bc))
+    Program.capture(mycirc, qubit, qubit).print()
 
     print("\n== mycirc2 (with_controls) ==")
-    bc2, _ = build(mycirc2, qubit, qubit, qubit)
-    print(format_bcircuit(bc2))
+    Program.capture(mycirc2, qubit, qubit, qubit).print()
 
     print("\n== mycirc3 (with_ancilla) ==")
-    bc3, _ = build(mycirc3, qubit, qubit, qubit)
-    print(format_bcircuit(bc3))
+    Program.capture(mycirc3, qubit, qubit, qubit).print()
 
     print("\n== timestep (mid-circuit reversal) ==")
-    bc4, _ = build(timestep, qubit, qubit, qubit)
-    print(format_bcircuit(bc4))
+    step = Program.capture(timestep, qubit, qubit, qubit)
+    step.print()
 
-    print("\n== timestep2 = decompose_generic(Binary, timestep) ==")
-    bc5 = decompose_generic(BINARY, bc4)
-    print(format_bcircuit(bc5))
+    print("\n== timestep2 = timestep.transform('binary'), one fused pass ==")
+    step2 = step.transform(BINARY)
+    step2.print()
     print()
-    print(format_gatecount(bc5))
+    print(step2.gatecount())
 
-    print("\n== sampling a Bell pair through the backend registry ==")
-
-    def bell(qc, a, b):
-        qc.hadamard(a)
-        qc.qnot(b, controls=a)
-        return qc.measure((a, b))
-
-    result = run_generic(bell, qubit, qubit, shots=1024, seed=7)
+    print("\n== one Bell-pair Program, every backend a method call ==")
+    result = bell.run(shots=1024, seed=7)
     print("  1024 shots on", result.backend, "->", result.counts)
-
-    clifford = get_backend("clifford")
-    bell_bc, _ = build(bell, qubit, qubit)
     print("  64 shots on clifford   ->",
-          clifford.run(bell_bc, shots=64, seed=7).counts)
+          bell.run("clifford", shots=64, seed=7).counts)
     print("  static resources       ->",
-          get_backend("resources").run(bell_bc).resources["total_gates"],
-          "gates")
+          bell.resources()["total_gates"], "gates")
 
-    print("\n== round-tripping a circuit through Quipper-ASCII text ==")
-    text = dumps(bc4)
+    print("\n== round-tripping a Program through Quipper-ASCII text ==")
+    text = step.dumps()
     print(f"  serialized timestep: {len(text)} chars,",
-          "round-trip equal:", loads(text) == bc4)
+          "round-trip equal:",
+          Program.loads(text).bcircuit == step.bcircuit)
 
 
 if __name__ == "__main__":
-    main()
+    demo()

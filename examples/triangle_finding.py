@@ -10,9 +10,8 @@ Run:  python examples/triangle_finding.py
 
 import time
 
-from repro import TOFFOLI, aggregate_gate_count, decompose_generic, total_gates
-from repro.output import format_gatecount
-from repro.algorithms.tf.main import build_part
+from repro import TOFFOLI
+from repro.algorithms.tf.main import part_program
 from repro.algorithms.tf.simulate import run_all
 
 
@@ -23,19 +22,18 @@ def main() -> None:
 
     print("\n== o4_POW17 gate count at l=4, n=3, r=2 "
           "(paper: 9632 gates, 71 qubits) ==")
-    bc = decompose_generic(TOFFOLI, build_part("pow17", 4, 3, 2, "orthodox"))
-    print(format_gatecount(bc))
+    pow17 = part_program("pow17", 4, 3, 2, "orthodox").transform(TOFFOLI)
+    print(pow17.gatecount())
 
     print("\n== full algorithm at l=15, n=8, r=4 ==")
     start = time.time()
-    bc = build_part("full", 15, 8, 4, "orthodox",
-                    grover_iterations=256, walk_steps=4096)
-    counts = aggregate_gate_count(bc)
-    total = total_gates(counts)
+    program = part_program("full", 15, 8, 4, "orthodox",
+                           grover_iterations=256, walk_steps=4096)
+    total = program.total_gates()
     elapsed = time.time() - start
     print(f"  total gates: {total:,}")
-    print(f"  stored gates (hierarchical representation): {len(bc):,}")
-    print(f"  qubits: {bc.check()}")
+    print(f"  stored gates (hierarchical representation): {len(program):,}")
+    print(f"  qubits: {program.width()}")
     print(f"  wall time: {elapsed:.1f}s")
     print("  (the paper's l=31, n=15, r=6 instance counts 30+ trillion;")
     print("   run `pytest benchmarks/test_t3_full_tf_gatecount.py` for it)")

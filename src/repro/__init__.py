@@ -12,7 +12,7 @@ implementations of the paper's evaluation (BWT, BF, CL, GSE, QLS, USV, TF).
 
 Quickstart::
 
-    from repro import build, qubit, run_generic
+    from repro import Program, qubit
 
     def mycirc(qc, a, b):
         qc.hadamard(a)
@@ -20,21 +20,30 @@ Quickstart::
         qc.controlled_not(a, b)
         return a, b
 
-    result = run_generic(mycirc, qubit, qubit, shots=1024, seed=7)
+    prog = Program.capture(mycirc, qubit, qubit)
+    result = prog.run(shots=1024, seed=7)
     print(result.counts)            # e.g. {'00': 270, '01': 243, ...}
 
-Execution is pluggable: every consumer of a generated circuit -- dense
-statevector simulation, stabilizer simulation, boolean evaluation,
-resource estimation -- is a named backend behind
-:func:`~repro.backends.get_backend`::
+One definition is *the* program, consumed interchangeably by every
+pipeline stage and consumer (:mod:`repro.program`)::
 
-    from repro import build, get_backend, qubit
+    prog.print()                          # ASCII rendering
+    prog.count()                          # hierarchical gate count
+    prog.transform("binary").depth()      # decompose (one fused pass), then estimate
+    prog.run("resources").resources       # static cost report
+    prog.dumps()                          # Quipper-ASCII interchange text
 
-    bc, _ = build(mycirc, qubit, qubit)
-    get_backend("statevector").run(bc, shots=1024)   # sampled counts
-    get_backend("resources").run(bc).resources       # gate counts, depth
+``prog.transform(r1, ..., rk)`` fuses the rule chain into a single
+traversal of the box hierarchy -- the legacy ``transform_bcircuit`` cost
+one full rewrite per rule.
 
-Circuits serialize to Quipper-ASCII text and back without inlining
+The historical free functions (``build``, ``print_generic``,
+``run_generic``, ``gatecount_generic``, ``transform_bcircuit``) remain as
+thin shims over the same machinery.  Execution stays pluggable: every
+consumer of a generated circuit -- dense statevector simulation,
+stabilizer simulation, boolean evaluation, resource estimation -- is a
+named backend behind :func:`~repro.backends.get_backend`.  Circuits
+serialize to Quipper-ASCII text and back without inlining
 (:func:`repro.io.dumps` / :func:`repro.io.loads`), and export to OpenQASM
 2.0 (:func:`repro.io.bcircuit_to_qasm`).
 """
@@ -69,9 +78,11 @@ from .transform import (
     reverse_bcircuit,
     total_gates,
     total_logical_gates,
+    transform_bcircuit_fused,
 )
+from .program import Program, main, subroutine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def run_generic(
@@ -85,25 +96,27 @@ def run_generic(
 ) -> RunResult:
     """Generate the circuit of *fn* and execute it on a named backend.
 
-    The execution analogue of :func:`repro.output.print_generic`: the
-    circuit is built once from the given shapes and handed to
-    ``get_backend(backend, **options)``.  With ``shots`` the result
-    carries a counts dictionary over the circuit's output wires; without,
-    each backend returns its natural deterministic result (statevector,
-    bits, or resources).
+    Deprecation shim: the fluent equivalent is
+    ``Program.capture(fn, *shape_args).run(backend, shots=..., seed=...)``,
+    which additionally caches the generated circuit for reuse by other
+    consumers.  With ``shots`` the result carries a counts dictionary over
+    the circuit's output wires; without, each backend returns its natural
+    deterministic result (statevector, bits, or resources).
 
     This entry point covers *static* circuits.  Circuits that need
     dynamic lifting (measurement outcomes steering generation) cannot be
     built ahead of execution -- use :func:`repro.sim.run_generic`, which
     interleaves the two phases, for those.
     """
-    bc, _ = build(fn, *shape_args)
-    return get_backend(backend, **options).run(
-        bc, shots=shots, in_values=in_values, seed=seed
+    return Program.capture(fn, *shape_args).run(
+        backend, shots=shots, in_values=in_values, seed=seed, **options
     )
 
 
 __all__ = [
+    "Program",
+    "main",
+    "subroutine",
     "Circ",
     "build",
     "qubit",
@@ -128,6 +141,7 @@ __all__ = [
     "decompose_generic",
     "inline",
     "reverse_bcircuit",
+    "transform_bcircuit_fused",
     "TOFFOLI",
     "BINARY",
     "__version__",

@@ -4,32 +4,38 @@ from __future__ import annotations
 
 import argparse
 
-from ...backends import get_backend
-from ...core.builder import build
 from ...core.qdata import qubit
 from ...lifting.template import unpack
-from ...transform import aggregate_gate_count, total_gates
+from ...program import Program
 from ..runner import add_execution_arguments, emit
 from .flood_fill import make_hex_winner_template
 from .hex_board import blue_wins, random_final_position
 
 
-def hex_oracle_circuit(rows: int, cols: int, share: bool = False):
-    """Build the lifted Hex-winner oracle circuit for an R x C board."""
+def hex_oracle_program(rows: int, cols: int, share: bool = False) -> Program:
+    """The lifted Hex-winner oracle for an R x C board, as a Program."""
     template = make_hex_winner_template(rows, cols, share=share)
     circuit_fn = unpack(template)
 
     def circ(qc, board):
         return board, circuit_fn(qc, board)
 
-    return build(circ, [qubit] * (rows * cols))[0]
+    # The unshared template leaves its scratch wires live on purpose; they
+    # are part of the oracle's output, so silence the dangling-wire report.
+    return Program.capture(
+        circ, [qubit] * (rows * cols),
+        name=f"hex-oracle({rows}x{cols})", on_extra="ignore",
+    )
+
+
+def hex_oracle_circuit(rows: int, cols: int, share: bool = False):
+    """The Hex oracle as a bare BCircuit (legacy shim)."""
+    return hex_oracle_program(rows, cols, share=share).bcircuit
 
 
 def hex_oracle_gatecount(rows: int, cols: int, share: bool = False) -> int:
     """Total gates of the Hex flood-fill oracle (paper: 2.8M at spec size)."""
-    return total_gates(
-        aggregate_gate_count(hex_oracle_circuit(rows, cols, share=share))
-    )
+    return hex_oracle_program(rows, cols, share=share).total_gates()
 
 
 def check_oracle(rows: int, cols: int, seed: int,
@@ -42,12 +48,13 @@ def check_oracle(rows: int, cols: int, seed: int,
     ``(board, oracle_says, reference)``.
     """
     board = random_final_position(rows, cols, seed)
-    bc = hex_oracle_circuit(rows, cols, share=share)
+    program = hex_oracle_program(rows, cols, share=share)
+    bc = program.bcircuit
     in_values = {
         wire: value
         for (wire, _), value in zip(bc.circuit.inputs, board)
     }
-    result = get_backend("classical").run(bc, in_values=in_values)
+    result = program.run("classical", in_values=in_values)
     # The oracle's answer wire is the last circuit output (after the
     # pass-through board register).
     answer_wire = bc.circuit.outputs[-1][0]
@@ -76,8 +83,8 @@ def main(argv: list[str] | None = None) -> int:
         print("oracle says blue wins:", oracle_says)
         print("reference blue wins:  ", reference)
         return 0 if oracle_says == reference else 1
-    bc = hex_oracle_circuit(args.rows, args.cols, share=args.share)
-    return emit(bc, args)
+    program = hex_oracle_program(args.rows, args.cols, share=args.share)
+    return emit(program, args)
 
 
 if __name__ == "__main__":

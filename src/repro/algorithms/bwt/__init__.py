@@ -10,7 +10,7 @@ from .graph import (
     register_size,
     unpack_label,
 )
-from .main import bwt_circuit, qrwbwt, timestep
+from .main import bwt_circuit, bwt_program, qrwbwt, timestep
 from .orthodox import bwt_oracle
 from .template import bwt_oracle_template, make_neighbor_template
 
@@ -29,4 +29,5 @@ __all__ = [
     "timestep",
     "qrwbwt",
     "bwt_circuit",
+    "bwt_program",
 ]

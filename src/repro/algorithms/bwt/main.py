@@ -19,10 +19,14 @@ from __future__ import annotations
 import argparse
 
 from ...core.builder import Circ, build, neg
-from ...core.qdata import qubit
 from ...core.wires import Qubit
-from ...transform import BINARY, TOFFOLI, decompose_generic
-from ..runner import add_execution_arguments, emit
+from ...program import Program
+from ..runner import (
+    add_execution_arguments,
+    add_gate_base_argument,
+    apply_gate_base,
+    emit,
+)
 from .graph import entrance_label, register_size
 from .orthodox import bwt_oracle
 from .template import bwt_oracle_template
@@ -86,9 +90,18 @@ def qrwbwt(qc: Circ, n: int, s: int, t: float,
     return qc.measure(a)
 
 
+def bwt_program(n: int, s: int, t: float,
+                oracle_kind: str = "orthodox") -> Program:
+    """The complete BWT walk as a lazy, pipeline-ready Program."""
+    return Program.capture(
+        lambda qc: qrwbwt(qc, n, s, t, oracle_kind),
+        name=f"bwt(n={n},s={s})",
+    )
+
+
 def bwt_circuit(n: int, s: int, t: float, oracle_kind: str = "orthodox"):
-    """Generate the complete BWT circuit as a BCircuit."""
-    return build(lambda qc: qrwbwt(qc, n, s, t, oracle_kind))[0]
+    """Generate the complete BWT circuit as a BCircuit (legacy shim)."""
+    return bwt_program(n, s, t, oracle_kind).bcircuit
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,17 +114,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="evolution time per step")
     parser.add_argument("-o", dest="oracle", default="orthodox",
                         choices=("orthodox", "template"))
-    parser.add_argument("-g", dest="gate_base", default="toffoli",
-                        choices=("none", "toffoli", "binary"))
+    add_gate_base_argument(parser, default="toffoli")
     add_execution_arguments(parser, default_format="gatecount")
     args = parser.parse_args(argv)
 
-    bc = bwt_circuit(args.n, args.s, args.t, args.oracle)
-    if args.gate_base == "toffoli":
-        bc = decompose_generic(TOFFOLI, bc)
-    elif args.gate_base == "binary":
-        bc = decompose_generic(BINARY, bc)
-    return emit(bc, args)
+    program = apply_gate_base(
+        bwt_program(args.n, args.s, args.t, args.oracle), args.gate_base
+    )
+    return emit(program, args)
 
 
 if __name__ == "__main__":

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import argparse
 
-from ...core.builder import build
+from ...program import Program
 from ..runner import add_execution_arguments, emit
 from .number_field import (
     continued_fraction_sqrt,
@@ -36,10 +36,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.fmt != "estimate":
         # The default grid spacing of estimate_regulator (R/5) puts five
         # grid cells in one period, whatever the discriminant.
-        bc = build(
-            lambda qc: period_finding_circuit(qc, 5, args.width)
-        )[0]
-        return emit(bc, args)
+        program = Program.capture(
+            lambda qc: period_finding_circuit(qc, 5, args.width),
+            name=f"cl(width={args.width})",
+        )
+        return emit(program, args)
     x, y = pell_fundamental_solution(args.d)
     print(f"Q(sqrt({args.d})): continued fraction",
           continued_fraction_sqrt(args.d))

@@ -12,11 +12,12 @@ from __future__ import annotations
 import argparse
 import math
 
-from ...backends import get_backend, marginal_counts
-from ...core.builder import Circ, build
+from ...backends import marginal_counts
+from ...core.builder import Circ
 from ...core.qdata import qdata_leaves
 from ...lib.phase_estimation import phase_estimation
 from ...lib.simulation import Hamiltonian, trotterized_evolution
+from ...program import Program
 from ..runner import add_execution_arguments, emit
 from .hamiltonian import H2_HAMILTONIAN, exact_ground_energy
 
@@ -47,6 +48,18 @@ def gse_circuit(qc: Circ, hamiltonian: Hamiltonian, n_qubits: int,
     return estimate, qubits
 
 
+def gse_program(precision: int, t: float, trotter_steps: int,
+                reference_state: int = 0b10) -> Program:
+    """The H2 GSE circuit as a lazy, pipeline-ready Program."""
+    return Program.capture(
+        lambda qc: gse_circuit(
+            qc, H2_HAMILTONIAN, 2, precision, t, trotter_steps,
+            reference_state,
+        ),
+        name=f"gse(precision={precision})",
+    )
+
+
 def energy_from_phase(phase_int: int, precision: int, t: float) -> float:
     """Convert a measured phase register value back to an energy.
 
@@ -69,16 +82,13 @@ def estimate_ground_energy(precision: int = 6, t: float = 0.8,
     one simulation); the phase register is decoded out of each counts
     outcome and the median energy returned.
     """
-    bc, (estimate, _) = build(
-        lambda qc: gse_circuit(
-            qc, H2_HAMILTONIAN, 2, precision, t, trotter_steps,
-            reference_state=0b10,
-        )
-    )
-    result = get_backend("statevector").run(bc, shots=samples, seed=seed)
+    program = gse_program(precision, t, trotter_steps)
+    estimate, _ = program.outputs
+    result = program.run(shots=samples, seed=seed)
     estimate_wires = [q.wire_id for q in qdata_leaves(estimate)]  # MSB first
     outcomes = []
-    for value, count in marginal_counts(result, bc, estimate_wires).items():
+    counts = marginal_counts(result, program.bcircuit, estimate_wires)
+    for value, count in counts.items():
         outcomes.extend([energy_from_phase(value, precision, t)] * count)
     outcomes.sort()
     return outcomes[len(outcomes) // 2]
@@ -103,13 +113,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.gatecount:
         args.fmt = "gatecount"
     if args.fmt != "estimate":
-        bc, _ = build(
-            lambda qc: gse_circuit(
-                qc, H2_HAMILTONIAN, 2, args.precision, args.time,
-                args.trotter_steps, 0b10,
-            )
+        return emit(
+            gse_program(args.precision, args.time, args.trotter_steps),
+            args,
         )
-        return emit(bc, args)
     energy = estimate_ground_energy(
         args.precision, args.time, args.trotter_steps
     )

@@ -7,12 +7,10 @@ import math
 
 import numpy as np
 
-from ...backends import get_backend
-from ...core.builder import build
 from ...core.qdata import qdata_leaves
 from ...datatypes.fpreal import fpreal_shape
 from ...lifting.template import unpack
-from ...transform import aggregate_gate_count, total_gates
+from ...program import Program
 from ..runner import format_counts
 from .hhl import classical_solution, hhl_circuit
 from .oracle import make_sin_template
@@ -39,9 +37,9 @@ def solve_demo(matrix=None, b=None, precision: int = 2,
         )
         return system, ancilla
 
-    bc, outs = build(circuit)
-    sim = get_backend("statevector").run(bc).metadata["state"]
-    system, ancilla = outs
+    program = Program.capture(circuit, name="hhl")
+    sim = program.run().metadata["state"]
+    system, ancilla = program.outputs
     system_wires = [q.wire_id for q in qdata_leaves(system)]
     probs = sim.basis_probabilities(system_wires + [ancilla.wire_id])
     dim = len(b)
@@ -74,8 +72,11 @@ def sin_oracle_gatecount(integer_bits: int, fraction_bits: int,
     def circ(qc, x):
         return x, circuit_fn(qc, x)
 
-    bc, _ = build(circ, fpreal_shape(integer_bits, fraction_bits))
-    return total_gates(aggregate_gate_count(bc))
+    # Lifted oracle scratch wires stay live by design (share=False).
+    return Program.capture(
+        circ, fpreal_shape(integer_bits, fraction_bits),
+        name="sin-oracle", on_extra="ignore",
+    ).total_gates()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -99,13 +100,14 @@ def main(argv: list[str] | None = None) -> int:
               sin_oracle_gatecount(ib, fb), "gates")
         return 0
     if args.shots:
-        bc, _ = build(
+        program = Program.capture(
             lambda qc: hhl_circuit(
                 qc, DEMO_MATRIX, DEMO_B, args.precision, math.pi / 2, 1.0
-            )
+            ),
+            name="hhl",
         )
-        result = get_backend(args.backend).run(
-            bc, shots=args.shots, seed=args.seed
+        result = program.run(
+            args.backend, shots=args.shots, seed=args.seed
         )
         print("system register + success ancilla (last bit):")
         print(format_counts(result.counts))

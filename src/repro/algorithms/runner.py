@@ -1,23 +1,24 @@
-"""Shared CLI plumbing: one circuit, many execution targets.
+"""Shared CLI plumbing: one Program, many execution targets.
 
 The paper's ``tf`` executable lets the user "select different output
 formats" from one circuit generator (Section 5.2).  This module gives all
-seven algorithm CLIs that surface uniformly, routed through the backend
-registry: an ``-f/--format`` choice covering the printers (``ascii``,
-``gatecount``), the interchange formats (``quipper``, ``qasm``), the
-``resources`` backend report, and ``run`` -- shot-based sampling on a
-named simulation backend (``--backend``, ``--shots``, ``--seed``).
+seven algorithm CLIs that surface uniformly, routed through the fluent
+:class:`~repro.program.Program` pipeline: an ``-f/--format`` choice
+covering the printers (``ascii``, ``gatecount``), the interchange formats
+(``quipper``, ``qasm``), the ``resources`` backend report, and ``run`` --
+shot-based sampling on a named simulation backend (``--backend``,
+``--shots``, ``--seed``).  The optional shared ``-g/--gate-base`` flag
+maps onto ``program.transform(...)``, so a decomposition plus a count is
+one fused traversal, not two rewrites.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from ..backends import format_resource_report, get_backend
+from ..backends import format_resource_report
 from ..core.circuit import BCircuit
-from ..io import bcircuit_to_qasm, dumps
-from ..output.ascii import format_bcircuit
-from ..output.gatecount import format_gatecount
+from ..program import Program
 
 #: All formats `emit` understands.
 FORMATS = ("ascii", "gatecount", "resources", "quipper", "qasm", "run")
@@ -47,6 +48,24 @@ def add_execution_arguments(
     )
 
 
+def add_gate_base_argument(
+    parser: argparse.ArgumentParser, default: str | None = None
+) -> None:
+    """Add the shared ``-g/--gate-base`` decomposition flag."""
+    parser.add_argument(
+        "-g", dest="gate_base", default=default,
+        choices=("none", "toffoli", "binary"),
+        help="decompose into a gate base first (fused transformer pass)",
+    )
+
+
+def apply_gate_base(program: Program, gate_base: str | None) -> Program:
+    """Chain the selected gate-base decomposition onto *program*."""
+    if gate_base in (None, "none"):
+        return program
+    return program.transform(gate_base)
+
+
 def format_counts(counts: dict[str, int]) -> str:
     """Render a counts dictionary, most frequent outcome first."""
     total = sum(counts.values())
@@ -56,21 +75,27 @@ def format_counts(counts: dict[str, int]) -> str:
     return "\n".join(lines)
 
 
-def emit(bc: BCircuit, args: argparse.Namespace) -> int:
-    """Render or execute *bc* according to the parsed uniform flags."""
+def emit(program: Program | BCircuit, args: argparse.Namespace) -> int:
+    """Render or execute a Program according to the parsed uniform flags.
+
+    Accepts a bare :class:`~repro.core.circuit.BCircuit` for backward
+    compatibility and wraps it on the spot.
+    """
+    if isinstance(program, BCircuit):
+        program = Program.from_bcircuit(program)
     if args.fmt == "ascii":
-        print(format_bcircuit(bc))
+        print(program.ascii())
     elif args.fmt == "gatecount":
-        print(format_gatecount(bc))
+        print(program.gatecount())
     elif args.fmt == "resources":
-        print(format_resource_report(get_backend("resources").run(bc)))
+        print(format_resource_report(program.run(backend="resources")))
     elif args.fmt == "quipper":
-        print(dumps(bc), end="")
+        print(program.dumps(), end="")
     elif args.fmt == "qasm":
-        print(bcircuit_to_qasm(bc), end="")
+        print(program.qasm(), end="")
     elif args.fmt == "run":
-        result = get_backend(args.backend).run(
-            bc, shots=args.shots, seed=args.seed
+        result = program.run(
+            backend=args.backend, shots=args.shots, seed=args.seed
         )
         if result.counts is None:
             print(

@@ -16,11 +16,15 @@ from __future__ import annotations
 
 import argparse
 
-from ...core.builder import build
 from ...core.qdata import qubit
 from ...datatypes.qinttf import qinttf_shape
-from ...transform import BINARY, TOFFOLI, decompose_generic
-from ..runner import add_execution_arguments, emit
+from ...program import Program
+from ..runner import (
+    add_execution_arguments,
+    add_gate_base_argument,
+    apply_gate_base,
+    emit,
+)
 from .definitions import QWTFPSpec, qnode_shape
 from .oracle import o4_POW17, o8_MUL, orthodox_oracle, simple_oracle
 from .qwtfp import a1_QWTFP, a6_QWSH
@@ -28,17 +32,20 @@ from .qwtfp import a1_QWTFP, a6_QWSH
 _SUBROUTINES = ("pow17", "mul", "qwsh", "oracle", "full")
 
 
-def build_part(part: str, l: int, n: int, r: int, oracle_name: str,
-               grover_iterations=None, walk_steps=None):
-    """Generate the circuit for one part of the algorithm."""
+def part_program(part: str, l: int, n: int, r: int, oracle_name: str,
+                 grover_iterations=None, walk_steps=None) -> Program:
+    """One part of the algorithm as a lazy, pipeline-ready Program."""
     if part == "pow17":
-        return build(lambda qc, x: o4_POW17(qc, x), qinttf_shape(l))[0]
+        return Program.capture(
+            lambda qc, x: o4_POW17(qc, x), qinttf_shape(l), name="pow17"
+        )
     if part == "mul":
-        return build(
+        return Program.capture(
             lambda qc, x, y: o8_MUL(qc, x, y),
             qinttf_shape(l),
             qinttf_shape(l),
-        )[0]
+            name="mul",
+        )
     oracle = _oracle(oracle_name, l)
     spec = QWTFPSpec(n=n, r=r, l=l, edge_oracle=oracle)
     if part == "oracle":
@@ -46,9 +53,10 @@ def build_part(part: str, l: int, n: int, r: int, oracle_name: str,
             oracle(qc, u, v, t)
             return u, v, t
 
-        return build(
-            oracle_circuit, qnode_shape(n), qnode_shape(n), qubit
-        )[0]
+        return Program.capture(
+            oracle_circuit, qnode_shape(n), qnode_shape(n), qubit,
+            name="oracle",
+        )
     if part == "qwsh":
         from .definitions import edge_table_shape
         from ...datatypes.qdint import qdint_shape
@@ -57,18 +65,28 @@ def build_part(part: str, l: int, n: int, r: int, oracle_name: str,
             return a6_QWSH(qc, spec, tt, i, v, ee)
 
         tt_shape = {j: qnode_shape(n) for j in range(spec.tuple_size)}
-        return build(
+        return Program.capture(
             step, tt_shape, qdint_shape(r), qnode_shape(n),
-            edge_table_shape(spec.tuple_size),
-        )[0]
+            edge_table_shape(spec.tuple_size), name="qwsh",
+        )
     if part == "full":
-        return build(
+        return Program.capture(
             lambda qc: a1_QWTFP(
                 qc, spec, grover_iterations=grover_iterations,
                 walk_steps=walk_steps,
-            )
-        )[0]
+            ),
+            name="qwtfp",
+        )
     raise ValueError(f"unknown part {part!r}; choose from {_SUBROUTINES}")
+
+
+def build_part(part: str, l: int, n: int, r: int, oracle_name: str,
+               grover_iterations=None, walk_steps=None):
+    """Generate the circuit for one part of the algorithm (legacy shim)."""
+    return part_program(
+        part, l, n, r, oracle_name,
+        grover_iterations=grover_iterations, walk_steps=walk_steps,
+    ).bcircuit
 
 
 def _oracle(name: str, l: int):
@@ -98,24 +116,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-O", dest="oracle_only", action="store_true",
                         help="shorthand for -s oracle")
     add_execution_arguments(parser, default_format="ascii")
-    parser.add_argument("-g", dest="gate_base", default=None,
-                        choices=("toffoli", "binary"),
-                        help="decompose into a gate base first")
+    add_gate_base_argument(parser)
     parser.add_argument("--grover-iterations", type=int, default=None)
     parser.add_argument("--walk-steps", type=int, default=None)
     args = parser.parse_args(argv)
 
     part = "oracle" if args.oracle_only else args.part
-    bc = build_part(
+    program = part_program(
         part, args.l, args.n, args.r, args.oracle,
         grover_iterations=args.grover_iterations,
         walk_steps=args.walk_steps,
     )
-    if args.gate_base == "toffoli":
-        bc = decompose_generic(TOFFOLI, bc)
-    elif args.gate_base == "binary":
-        bc = decompose_generic(BINARY, bc)
-    return emit(bc, args)
+    return emit(apply_gate_base(program, args.gate_base), args)
 
 
 if __name__ == "__main__":

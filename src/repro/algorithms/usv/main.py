@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 
+from ...program import Program
 from ..runner import add_execution_arguments, emit
 from .lattice import (
     parity_kernel_matrix,
@@ -56,7 +57,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.fmt != "solve":
         basis, parity = planted_instance(args.dimension, args.seed)
         kernel = parity_kernel_matrix(parity, seed=args.seed)
-        return emit(coset_sampling_circuit(kernel), args)
+        program = Program.from_bcircuit(
+            coset_sampling_circuit(kernel), name="usv-coset-sampling"
+        )
+        return emit(program, args)
 
     report = solve_usv(args.dimension, args.seed)
     print("basis:\n", report["basis"])

@@ -30,6 +30,7 @@ wire within one gate, or type-mismatched wires all raise immediately.
 from __future__ import annotations
 
 import math
+import warnings
 from contextlib import contextmanager
 from typing import Callable, Iterable
 
@@ -37,6 +38,8 @@ from .circuit import BCircuit, Circuit, Subroutine
 from .errors import (
     BoxError,
     CloningError,
+    DanglingWiresError,
+    DanglingWiresWarning,
     DeadWireError,
     DynamicLiftingError,
     QuipperError,
@@ -175,8 +178,13 @@ class Circ:
                     f"found {self._live[wire]}"
                 )
 
-    def _emit_raw(self, gate: Gate) -> None:
-        """Emit a gate verbatim (no block controls added)."""
+    def _track(self, gate: Gate) -> None:
+        """Validate a gate against the live-wire map and apply its effects.
+
+        This is the bookkeeping half of :meth:`_emit_raw`: the fused
+        transformer pipeline (:mod:`repro.transform.pipeline`) uses it to
+        thread liveness through a stage without re-emitting the gate.
+        """
         self._check_ins(gate)
         ins = gate.wires_in()
         outs = gate.wires_out()
@@ -198,6 +206,10 @@ class Circ:
                 raise CloningError(f"gate {gate} re-creates live wire {wire}")
             self._live[wire] = wtype
         self._max_live = max(self._max_live, len(self._live))
+
+    def _emit_raw(self, gate: Gate) -> None:
+        """Emit a gate verbatim (no block controls added)."""
+        self._track(gate)
         self.gates.append(gate)
 
     def _emit(self, gate: Gate) -> None:
@@ -755,12 +767,25 @@ class Circ:
 
     # -- finishing ---------------------------------------------------------
 
-    def finish(self, outputs=None) -> tuple[BCircuit, object]:
+    def finish(self, outputs=None, on_extra: str = "warn",
+               _stacklevel: int = 2) -> tuple[BCircuit, object]:
         """Close the builder, producing a checked BCircuit.
 
         *outputs* is the structured data to expose as circuit outputs; any
-        live wires not contained in it are appended in wire-id order.
+        live wires not contained in it are appended in wire-id order,
+        repackaging the result as ``(outputs, extra)``.  Because that
+        silently changes the declared output shape, *on_extra* selects how
+        leftover wires are reported:
+
+        * ``"warn"`` (default) -- append them, but emit a structured
+          :class:`~repro.core.errors.DanglingWiresWarning` carrying the
+          appended ``(wire_id, wire_type)`` pairs;
+        * ``"error"`` -- raise :class:`~repro.core.errors.DanglingWiresError`
+          instead of repackaging;
+        * ``"ignore"`` -- the historical silent repackaging.
         """
+        if on_extra not in ("warn", "error", "ignore"):
+            raise ValueError(f"unknown on_extra mode {on_extra!r}")
         if outputs is None:
             out_struct: object = tuple(
                 Qubit(w) if t == QUANTUM else Bit(w)
@@ -773,6 +798,23 @@ class Circ:
                 for w, t in self.live_wires()
                 if w not in out_leaves
             )
+            if extra:
+                extra_wires = tuple(
+                    (w.wire_id, w.wire_type) for w in extra
+                )
+                message = (
+                    f"{len(extra)} live wire(s) beyond the declared "
+                    f"outputs were appended, changing the output shape "
+                    f"to (outputs, extra): wires "
+                    f"{[w for w, _ in extra_wires]}"
+                )
+                if on_extra == "error":
+                    raise DanglingWiresError(message, extra_wires)
+                if on_extra == "warn":
+                    warnings.warn(
+                        DanglingWiresWarning(message, extra_wires),
+                        stacklevel=_stacklevel,
+                    )
             out_struct = outputs if not extra else (outputs, extra)
         leaves = qdata_leaves(out_struct)
         circuit = Circuit(
@@ -808,21 +850,28 @@ def _label_leaves(data, label: str, entries: list[tuple[int, str, str]]) -> None
             )
 
 
-def build(fn: Callable, *shape_args) -> tuple[BCircuit, object]:
+def build(fn: Callable, *shape_args, on_extra: str = "warn") -> tuple[BCircuit, object]:
     """Generate the circuit of *fn* applied to inputs of the given shapes.
 
     This is the generation-time entry point shared by ``print_generic``,
     ``run_generic`` and the gate counters: it allocates free input wires
     matching the shape specimens, runs ``fn(qc, *inputs)``, and packages the
-    result as a checked :class:`~repro.core.circuit.BCircuit`.
+    result as a checked :class:`~repro.core.circuit.BCircuit`.  *on_extra*
+    selects how live wires beyond the returned outputs are reported (see
+    :meth:`Circ.finish`).
 
     Returns ``(bcircuit, output_structure)``.
+
+    The fluent equivalent is :meth:`repro.program.Program.capture`, which
+    wraps the same generation step in a lazily-built, cacheable pipeline
+    object.
     """
     qc = Circ()
     args = [qc.fresh_like(shape) for shape in shape_args]
     qc.snapshot_inputs()
     outs = fn(qc, *args)
-    return qc.finish(outs)
+    # _stacklevel=3 attributes a dangling-wire warning to build's caller.
+    return qc.finish(outs, on_extra=on_extra, _stacklevel=3)
 
 
 __all__ = [

@@ -49,6 +49,31 @@ class BoxError(QuipperError):
     """A boxed subcircuit was defined or invoked inconsistently."""
 
 
+class DanglingWiresError(QuipperError):
+    """Live wires were left over at ``finish`` beyond the declared outputs.
+
+    Raised only in ``on_extra="error"`` mode; carries the offending wires
+    as ``(wire_id, wire_type)`` pairs in :attr:`wires`.
+    """
+
+    def __init__(self, message: str, wires: tuple = ()):
+        super().__init__(message)
+        self.wires = wires
+
+
+class DanglingWiresWarning(UserWarning):
+    """Live wires left over at ``finish`` were appended to the outputs.
+
+    The structured counterpart of the historical silent repackaging of
+    leftover wires as ``(outputs, extra)``: the warning object carries the
+    appended wires as ``(wire_id, wire_type)`` pairs in :attr:`wires`.
+    """
+
+    def __init__(self, message: str, wires: tuple = ()):
+        super().__init__(message)
+        self.wires = wires
+
+
 class SimulationError(QuipperError):
     """The simulator was given a circuit it cannot execute."""
 

@@ -14,7 +14,6 @@ paper's "boxed subcircuits ... with a separate definition on the side".
 
 from __future__ import annotations
 
-from ..core.builder import build
 from ..core.circuit import BCircuit, Circuit
 from ..core.gates import (
     BoxCall,
@@ -123,7 +122,10 @@ def print_generic(fn, *shape_args, file=None) -> BCircuit:
 
     This is the text-format analogue of Quipper's ``print_generic``.
     Returns the generated circuit so callers can inspect it further.
+
+    Deprecation shim: the fluent equivalent is
+    ``Program.capture(fn, *shape_args).print(file=file)``.
     """
-    bc, _ = build(fn, *shape_args)
-    print(format_bcircuit(bc), file=file)
-    return bc
+    from ..program import Program
+
+    return Program.capture(fn, *shape_args).print(file=file)

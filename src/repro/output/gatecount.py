@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-from ..core.builder import build
 from ..core.circuit import BCircuit
 from ..transform.count import (
     aggregate_gate_count,
@@ -67,13 +66,24 @@ def _format_counts(counts: Counter) -> list[str]:
 
 
 def gatecount_generic(fn, *shape_args) -> Counter:
-    """Generate the circuit of *fn* and return its aggregated gate count."""
-    bc, _ = build(fn, *shape_args)
-    return aggregate_gate_count(bc)
+    """Generate the circuit of *fn* and return its aggregated gate count.
+
+    Deprecation shim: the fluent equivalent is
+    ``Program.capture(fn, *shape_args).count()``.
+    """
+    from ..program import Program
+
+    return Program.capture(fn, *shape_args).count()
 
 
 def print_gatecount(fn, *shape_args, per_subroutine: bool = False) -> BCircuit:
-    """Generate the circuit of *fn*, print its gate-count report."""
-    bc, _ = build(fn, *shape_args)
-    print(format_gatecount(bc, per_subroutine=per_subroutine))
-    return bc
+    """Generate the circuit of *fn*, print its gate-count report.
+
+    Deprecation shim: the fluent equivalent is
+    ``print(Program.capture(fn, *shape_args).gatecount())``.
+    """
+    from ..program import Program
+
+    program = Program.capture(fn, *shape_args)
+    print(program.gatecount(per_subroutine=per_subroutine))
+    return program.bcircuit

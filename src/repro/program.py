@@ -1,0 +1,429 @@
+"""The fluent ``Program`` pipeline: one definition, every consumer.
+
+The headline design of the paper (Sections 1 and 4) is that a single
+circuit-producing function *is* the program, consumed interchangeably by
+printers, gate counters, transformers, and simulators.  The follow-up
+resource-estimation work ("Concrete Resource Estimation in Quantum
+Algorithms") shows the workflow this module makes first-class: define the
+program once, then chain gate-set transformations and resource counts over
+it.
+
+A :class:`Program` wraps a circuit-producing function together with its
+shape arguments.  Circuit generation is lazy and cached -- nothing is
+built until a consumer asks -- and every consumer of the historical free
+functions is a method::
+
+    from repro import Program, qubit
+
+    prog = Program.capture(mycirc, qubit, qubit)
+    prog.print()                          # was print_generic(mycirc, ...)
+    prog.count()                          # was gatecount_generic(...)
+    prog.run(shots=1024, seed=7)          # was run_generic(...)
+    prog.transform("binary").depth()      # decompose, then estimate
+
+:meth:`Program.transform` fuses its rules into a **single traversal** of
+the box hierarchy (see :mod:`repro.transform.pipeline`): each gate flows
+through the rule chain once, so ``prog.transform(r1, r2, r3)`` costs one
+pass where three ``transform_bcircuit`` calls cost three.
+
+The :func:`subroutine` / :func:`main` decorators declare box structure
+declaratively::
+
+    @subroutine
+    def adder(qc, a, b): ...              # every call is a boxed BoxCall
+
+    @main(qubit, qubit)
+    def bell(qc, a, b): ...               # `bell` IS a Program
+
+A decorated ``@main`` program remains callable as an ordinary circuit
+function, so programs compose: ``bell(qc, a, b)`` inside another circuit
+emits the same gates inline.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import Counter
+from typing import Callable
+
+from .backends import RunResult, get_backend
+from .core.builder import Circ, build
+from .core.circuit import BCircuit, Circuit
+from .core.gates import (
+    BoxCall,
+    CGate,
+    CInit,
+    CNot,
+    Comment,
+    Control,
+    CTerm,
+    Init,
+    NamedGate,
+    Term,
+    with_extra_controls,
+)
+from .core.wires import QUANTUM, Qubit
+from .transform import (
+    BINARY,
+    TOFFOLI,
+    aggregate_gate_count,
+    circuit_depth,
+    inline as _inline_bcircuit,
+    reverse_bcircuit,
+    t_depth as _t_depth,
+    to_binary,
+    to_toffoli,
+    total_gates,
+    total_logical_gates,
+    transform_bcircuit_fused,
+)
+from .transform.inline import _max_wire_id
+from .transform.transformer import Rule
+
+
+def _resolve_rules(specs: tuple) -> tuple[Rule, ...]:
+    """Expand transform specs (callables or gate-base names) into rules.
+
+    The string constants :data:`~repro.transform.TOFFOLI` and
+    :data:`~repro.transform.BINARY` expand to the standard decomposition
+    rules (``BINARY`` implies the Toffoli stage first, exactly like
+    ``decompose_generic``); any callable is used as a transformer rule
+    directly.
+    """
+    rules: list[Rule] = []
+    for spec in specs:
+        if spec == TOFFOLI:
+            rules.append(to_toffoli)
+        elif spec == BINARY:
+            rules.extend((to_toffoli, to_binary))
+        elif callable(spec):
+            rules.append(spec)
+        else:
+            raise ValueError(
+                f"not a transformer rule or gate base name: {spec!r}"
+            )
+    return tuple(rules)
+
+
+class Program:
+    """A quantum program: a lazily-generated, transformable circuit.
+
+    Immutable and fluent: every pipeline operation (:meth:`transform`,
+    :meth:`inverse`, :meth:`controlled`, :meth:`inline`) returns a new
+    ``Program`` whose circuit is generated -- and cached -- only when a
+    consumer (:meth:`count`, :meth:`run`, :meth:`ascii`, ...) first needs
+    it.
+    """
+
+    __slots__ = ("name", "_thunk", "_fn", "_shapes", "_cache")
+
+    def __init__(self, thunk: Callable[[], tuple[BCircuit, object]], *,
+                 name: str | None = None, fn: Callable | None = None,
+                 shapes: tuple = ()):
+        self.name = name or "program"
+        self._thunk = thunk
+        self._fn = fn
+        self._shapes = shapes
+        self._cache: tuple[BCircuit, object] | None = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def capture(cls, fn: Callable, *shapes, name: str | None = None,
+                on_extra: str = "warn") -> "Program":
+        """Wrap a circuit-producing function and its input shapes.
+
+        ``Program.capture(fn, *shapes)`` is the lazy, reusable analogue of
+        ``build(fn, *shapes)``: the circuit is generated on first use and
+        cached on the Program.  *on_extra* is forwarded to
+        :meth:`repro.core.builder.Circ.finish`.
+
+        Capturing a ``Program`` again is allowed: with no further
+        arguments it is the identity; with shapes (re-shaping a ``@main``
+        program, say) the underlying circuit function is re-captured,
+        which requires the Program to wrap one.
+        """
+        if isinstance(fn, Program):
+            if not shapes and name is None:
+                return fn
+            if fn._fn is None:
+                raise TypeError(
+                    f"Program {fn.name!r} does not wrap a circuit "
+                    "function and cannot be re-captured with new shapes"
+                )
+            return cls.capture(
+                fn._fn, *(shapes or fn._shapes),
+                name=name or fn.name, on_extra=on_extra,
+            )
+        return cls(
+            lambda: build(fn, *shapes, on_extra=on_extra),
+            name=name or getattr(fn, "__name__", None),
+            fn=fn,
+            shapes=shapes,
+        )
+
+    @classmethod
+    def from_bcircuit(cls, bc: BCircuit, outputs: object = None,
+                      name: str | None = None) -> "Program":
+        """Wrap an already-generated hierarchical circuit."""
+        return cls(lambda: (bc, outputs), name=name)
+
+    @classmethod
+    def loads(cls, text: str, name: str | None = None) -> "Program":
+        """A Program backed by serialized Quipper-ASCII text (lazy parse)."""
+        from .io import loads as _loads
+
+        return cls(lambda: (_loads(text), None), name=name)
+
+    # -- generation ---------------------------------------------------------
+
+    def _built(self) -> tuple[BCircuit, object]:
+        if self._cache is None:
+            self._cache = self._thunk()
+            # Release the thunk: derived stages close over their parent
+            # Programs, and dropping the closure lets fully-built
+            # intermediate stages (and their cached circuits) be freed.
+            self._thunk = None
+        return self._cache
+
+    @property
+    def bcircuit(self) -> BCircuit:
+        """The generated circuit hierarchy (built once, then cached)."""
+        return self._built()[0]
+
+    @property
+    def outputs(self) -> object:
+        """The structured output data returned by the captured function."""
+        return self._built()[1]
+
+    def __call__(self, qc: Circ, *args):
+        """Run the captured function inline inside another circuit.
+
+        Keeps decorated ``@main`` programs composable as ordinary circuit
+        functions.
+        """
+        if self._fn is None:
+            raise TypeError(
+                f"Program {self.name!r} does not wrap a circuit function "
+                "and cannot be called inline"
+            )
+        return self._fn(qc, *args)
+
+    def _derived(self, suffix: str,
+                 make: Callable[[], tuple[BCircuit, object]]) -> "Program":
+        return Program(make, name=f"{self.name}.{suffix}")
+
+    # -- pipeline stages ----------------------------------------------------
+
+    def transform(self, *rules) -> "Program":
+        """Chain transformer rules, fused into one traversal.
+
+        Each rule is a transformer callable (``rule(qc, gate) -> handled``)
+        or a gate-base name (:data:`~repro.transform.TOFFOLI`,
+        :data:`~repro.transform.BINARY`).  However many rules are chained,
+        every subroutine body is traversed exactly once, each gate flowing
+        through the whole chain (see
+        :func:`repro.transform.pipeline.transform_bcircuit_fused`), where
+        the legacy ``transform_bcircuit`` cost one full hierarchy rewrite
+        per rule.
+        """
+        resolved = _resolve_rules(rules)
+        label = ",".join(getattr(r, "__name__", "rule") for r in resolved)
+        return self._derived(
+            f"transform({label})",
+            lambda: (
+                transform_bcircuit_fused(self.bcircuit, *resolved),
+                self.outputs,
+            ),
+        )
+
+    def inline(self) -> "Program":
+        """Expand every boxed subroutine call into a flat circuit."""
+        return self._derived(
+            "inline", lambda: (_inline_bcircuit(self.bcircuit), self.outputs)
+        )
+
+    def inverse(self) -> "Program":
+        """The reverse program (Section 4.2.2); boxes stay shared."""
+        return self._derived(
+            "inverse", lambda: (reverse_bcircuit(self.bcircuit), None)
+        )
+
+    def controlled(self, n: int = 1) -> "Program":
+        """Control the whole program on *n* fresh qubits.
+
+        The control wires are appended as extra circuit inputs/outputs and
+        attached to every gate of the main circuit (box calls carry them
+        down the hierarchy at inline/execution time).  Init/Term gates pass
+        beneath the controls unchanged, per Quipper's "nocontrol"
+        convention; measurements and discards cannot be controlled and
+        raise :class:`~repro.core.errors.ScopeError`.
+        """
+        if n < 1:
+            raise ValueError("controlled() requires n >= 1")
+
+        def make() -> tuple[BCircuit, object]:
+            from .core.errors import ScopeError
+
+            bc = self.bcircuit
+            base = _max_wire_id(bc.circuit) + 1
+            controls = tuple(
+                Control(base + i, True, QUANTUM) for i in range(n)
+            )
+            gates = []
+            for gate in bc.circuit.gates:
+                if isinstance(gate, (Init, Term, CInit, CTerm, Comment)):
+                    gates.append(gate)  # "nocontrol" gates
+                elif isinstance(gate, (NamedGate, CNot, BoxCall)):
+                    gates.append(with_extra_controls(gate, controls))
+                elif isinstance(gate, CGate):
+                    gates.append(gate)  # classical computation is free
+                else:
+                    raise ScopeError(
+                        f"{type(gate).__name__} cannot appear in a "
+                        "controlled program"
+                    )
+            ctl_wires = tuple((c.wire, QUANTUM) for c in controls)
+            circuit = Circuit(
+                inputs=bc.circuit.inputs + ctl_wires,
+                gates=gates,
+                outputs=bc.circuit.outputs + ctl_wires,
+            )
+            ctl_struct = tuple(Qubit(c.wire) for c in controls)
+            return BCircuit(circuit, bc.namespace), (self.outputs, ctl_struct)
+
+        return self._derived(f"controlled({n})", make)
+
+    # -- consumers: counting and estimation ---------------------------------
+
+    def count(self) -> Counter:
+        """Aggregated hierarchical gate count (never inlines)."""
+        return aggregate_gate_count(self.bcircuit)
+
+    def total_gates(self) -> int:
+        """Total gate count, including Init/Term/Meas."""
+        return total_gates(self.count())
+
+    def logical_gates(self) -> int:
+        """Gate count excluding initialization/termination/measurement."""
+        return total_logical_gates(self.count())
+
+    def depth(self) -> int:
+        """Critical-path depth over the hierarchy (no inlining)."""
+        return circuit_depth(self.bcircuit)
+
+    def t_depth(self) -> int:
+        """Critical-path depth counting only T gates."""
+        return _t_depth(self.bcircuit)
+
+    def width(self) -> int:
+        """Peak number of simultaneously live wires (validates wiring)."""
+        return self.bcircuit.check()
+
+    def resources(self) -> dict:
+        """The ``resources`` backend's static cost report as a dict."""
+        return self.run(backend="resources").resources
+
+    # -- consumers: execution -----------------------------------------------
+
+    def run(self, backend: str = "statevector", *, shots: int | None = None,
+            in_values: dict[int, bool] | None = None,
+            seed: int | None = None, **options) -> RunResult:
+        """Execute on a named backend (the method form of ``run_generic``)."""
+        return get_backend(backend, **options).run(
+            self.bcircuit, shots=shots, in_values=in_values, seed=seed
+        )
+
+    # -- consumers: rendering and interchange -------------------------------
+
+    def ascii(self) -> str:
+        """The circuit as Quipper-style ASCII text."""
+        from .output.ascii import format_bcircuit
+
+        return format_bcircuit(self.bcircuit)
+
+    def print(self, file=None) -> BCircuit:
+        """Print the ASCII rendering; returns the circuit (print_generic)."""
+        print(self.ascii(), file=file)
+        return self.bcircuit
+
+    def gatecount(self, per_subroutine: bool = False) -> str:
+        """The paper's ``-f gatecount`` report as a string."""
+        from .output.gatecount import format_gatecount
+
+        return format_gatecount(self.bcircuit, per_subroutine=per_subroutine)
+
+    def dumps(self) -> str:
+        """Serialize to Quipper-ASCII interchange text (round-trips)."""
+        from .io import dumps as _dumps
+
+        return _dumps(self.bcircuit)
+
+    def qasm(self) -> str:
+        """Export to flat OpenQASM 2.0 (inlines the hierarchy)."""
+        from .io import bcircuit_to_qasm
+
+        return bcircuit_to_qasm(self.bcircuit)
+
+    # -- misc ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Stored gates across the hierarchy (not the inlined count)."""
+        return len(self.bcircuit)
+
+    def __repr__(self) -> str:
+        state = "built" if self._cache is not None else "lazy"
+        return f"<Program {self.name!r} ({state})>"
+
+
+def subroutine(fn: Callable | None = None, *, name: str | None = None):
+    """Declare a circuit function as a boxed subcircuit (Section 4.4.4).
+
+    Every call of the decorated function emits a single ``BoxCall`` gate;
+    the body is generated once per argument shape.  Declarative equivalent
+    of calling ``qc.box(name, fn, *args)`` by hand::
+
+        @subroutine
+        def adder(qc, a, b): ...
+
+        adder(qc, x, y)       # emits BoxCall["adder"]
+    """
+
+    def decorate(f: Callable):
+        box_name = name or f.__name__
+
+        @functools.wraps(f)
+        def wrapper(qc: Circ, *args):
+            return qc.box(box_name, f, *args)
+
+        wrapper.box_name = box_name  # type: ignore[attr-defined]
+        wrapper.__wrapped__ = f
+        return wrapper
+
+    return decorate(fn) if fn is not None else decorate
+
+
+def main(*shapes, name: str | None = None, on_extra: str = "warn"):
+    """Declare a program entry point: the decorated function IS a Program.
+
+    ::
+
+        @main(qubit, qubit)
+        def bell(qc, a, b):
+            qc.hadamard(a)
+            qc.qnot(b, controls=a)
+            return qc.measure((a, b))
+
+        bell.run(shots=100)        # a Program, pipeline-ready
+        bell(qc, a, b)             # still callable inline
+
+    The shapes are the specimens ``build`` would receive.
+    """
+
+    def decorate(f: Callable) -> Program:
+        return Program.capture(f, *shapes, name=name, on_extra=on_extra)
+
+    return decorate
+
+
+__all__ = ["Program", "main", "subroutine"]

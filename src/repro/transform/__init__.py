@@ -18,6 +18,13 @@ from .reverse import reverse_bcircuit, reverse_circuit
 from .toffoli import decompose_toffoli
 from .binary import decompose_binary
 from .transformer import transform_bcircuit
+from .pipeline import (
+    canonicalize_wires,
+    fixpoint_rule,
+    to_binary,
+    to_toffoli,
+    transform_bcircuit_fused,
+)
 
 TOFFOLI = "toffoli"
 BINARY = "binary"
@@ -53,6 +60,11 @@ __all__ = [
     "decompose_toffoli",
     "decompose_binary",
     "transform_bcircuit",
+    "transform_bcircuit_fused",
+    "canonicalize_wires",
+    "fixpoint_rule",
+    "to_toffoli",
+    "to_binary",
     "TOFFOLI",
     "BINARY",
 ]

@@ -40,13 +40,13 @@ def _rewrite_circuit(
     )
 
 
-def transform_bcircuit(bc: BCircuit, rule: Rule) -> BCircuit:
-    """Apply a transformer rule to a whole circuit hierarchy.
+def _legacy_transform_bcircuit(bc: BCircuit, rule: Rule) -> BCircuit:
+    """The pre-pipeline transformer: one full hierarchy rewrite per rule.
 
-    Every subroutine body and the main circuit are rewritten gate by gate.
-    The rule may allocate ancillas and emit multiple gates per input gate;
-    wire ids of the original circuit are preserved, and new wires are
-    allocated above the existing range.
+    Kept as the reference semantics for the fused pipeline's equivalence
+    tests and as the sequential baseline of the fused-vs-sequential
+    benchmark.  Rewrites *every* subroutine body and allocates a fresh
+    namespace even when the rule touches nothing.
     """
     new_namespace: dict[str, Subroutine] = {}
     for name, sub in bc.namespace.items():
@@ -69,3 +69,26 @@ def transform_bcircuit(bc: BCircuit, rule: Rule) -> BCircuit:
     for new_sub in new_namespace.values():
         new_sub._width = None
     return BCircuit(main, new_namespace)
+
+
+def transform_bcircuit(bc: BCircuit, rule: Rule) -> BCircuit:
+    """Apply a transformer rule to a whole circuit hierarchy.
+
+    Every subroutine body and the main circuit are rewritten gate by gate.
+    The rule may allocate ancillas and emit multiple gates per input gate;
+    wire ids of the original circuit are preserved, and new wires are
+    allocated above the existing range.
+
+    A subroutine body that the rule leaves untouched is detected (the
+    rewritten gate stream compares equal to the original) and the original
+    :class:`~repro.core.circuit.Subroutine` is reused, cached width and
+    all, instead of allocating a fresh namespace entry.
+
+    This is the single-rule case of the fused pipeline
+    (:func:`repro.transform.pipeline.transform_bcircuit_fused`); to apply
+    several rules, fuse them into one traversal rather than calling this
+    k times.
+    """
+    from .pipeline import transform_bcircuit_fused
+
+    return transform_bcircuit_fused(bc, rule)

@@ -1,0 +1,278 @@
+"""Fused transformer pipeline tests.
+
+The contract under test: ``transform_bcircuit_fused(bc, r1, ..., rk)``
+produces the same circuit as folding the legacy one-rule-per-pass
+transformer over the rules (up to ancilla numbering), while traversing
+every subroutine body exactly once, reusing untouched subroutine objects,
+and reporting dangling wires at ``finish``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build, qubit
+from repro.core.builder import Circ
+from repro.core.errors import DanglingWiresError, DanglingWiresWarning
+from repro.core.gates import Gate, NamedGate
+from repro.transform import (
+    BINARY,
+    aggregate_gate_count,
+    canonicalize_wires,
+    decompose_generic,
+    fixpoint_rule,
+    to_binary,
+    to_toffoli,
+    transform_bcircuit,
+    transform_bcircuit_fused,
+)
+from repro.transform.transformer import _legacy_transform_bcircuit
+
+from test_io import random_bcircuit
+
+
+# ---------------------------------------------------------------------------
+# Rules used throughout: total on arbitrary gate streams (never raise).
+# ---------------------------------------------------------------------------
+
+
+def s_to_tt(qc: Circ, gate: Gate):
+    """Rewrite S into T;T (and S* into T*;T*)."""
+    if isinstance(gate, NamedGate) and gate.name == "S":
+        half = NamedGate(
+            "T", gate.targets, gate.controls, inverted=gate.inverted
+        )
+        qc._emit_raw(half)
+        qc._emit_raw(half)
+        return True
+    return False
+
+
+def h_to_xyx(qc: Circ, gate: Gate):
+    """Rewrite H into X;Y;X (not unitarily meaningful; stresses fusion)."""
+    if isinstance(gate, NamedGate) and gate.name == "H":
+        for name in ("X", "Y", "X"):
+            qc._emit_raw(NamedGate(name, gate.targets, gate.controls))
+        return True
+    return False
+
+
+def _sequential(bc, *rules):
+    for rule in rules:
+        bc = _legacy_transform_bcircuit(bc, rule)
+    return bc
+
+
+class TestFusedEquivalence:
+    """Satellite: randomized fused-vs-sequential equivalence."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_fused_matches_sequential_on_random_circuits(self, seed):
+        """.transform(r1, r2) == sequential transform o transform, across
+        the gate-constructor generators of test_io."""
+        bc = random_bcircuit(seed)
+        rules = (to_toffoli, s_to_tt)
+        seq = _sequential(bc, *rules)
+        fused = transform_bcircuit_fused(bc, *rules)
+        assert canonicalize_wires(fused) == canonicalize_wires(seq)
+        assert aggregate_gate_count(fused) == aggregate_gate_count(seq)
+        fused.check()
+
+    @pytest.mark.parametrize("seed", range(0, 25, 5))
+    def test_three_rule_chain(self, seed):
+        bc = random_bcircuit(seed)
+        rules = (to_toffoli, h_to_xyx, s_to_tt)
+        seq = _sequential(bc, *rules)
+        fused = transform_bcircuit_fused(bc, *rules)
+        assert canonicalize_wires(fused) == canonicalize_wires(seq)
+
+    def test_single_rule_is_gate_for_gate_identical(self):
+        """One fused stage reproduces the legacy pass exactly (same ids)."""
+        bc = random_bcircuit(7)
+        assert transform_bcircuit_fused(bc, to_toffoli) == (
+            _legacy_transform_bcircuit(bc, to_toffoli)
+        )
+
+    def test_empty_chain_is_identity(self):
+        bc = random_bcircuit(3)
+        assert transform_bcircuit_fused(bc) is bc
+
+
+def _boxed_circuit():
+    """Two nested boxes: outer calls inner, main calls outer twice."""
+
+    def inner(qc, a, b):
+        qc.gate_S(a)
+        qc.qnot(b, controls=a)
+        return a, b
+
+    def outer(qc, a, b, c):
+        a, b = qc.box("inner", inner, a, b)
+        qc.hadamard(c, controls=(a, b))  # 2 controls: toffoli rule fires
+        return a, b, c
+
+    def main_fn(qc, a, b, c):
+        a, b, c = qc.box("outer", outer, a, b, c)
+        a, b, c = qc.box("outer", outer, a, b, c)
+        return a, b, c
+
+    return build(main_fn, qubit, qubit, qubit)[0]
+
+
+class TestSingleTraversal:
+    """Acceptance: each subroutine body is traversed exactly once."""
+
+    @staticmethod
+    def _counting_rule(log: list, tag: str):
+        def rule(qc: Circ, gate: Gate):
+            log.append((tag, id(gate)))
+            return False
+
+        rule.__name__ = f"count_{tag}"
+        return rule
+
+    def test_each_body_traversed_once_by_each_stage(self):
+        bc = _boxed_circuit()
+        log: list = []
+        rules = tuple(
+            self._counting_rule(log, tag) for tag in ("r1", "r2", "r3")
+        )
+        transform_bcircuit_fused(bc, *rules)
+        stored = [
+            id(g) for g in bc.circuit.gates
+        ] + [
+            id(g)
+            for sub in bc.namespace.values()
+            for g in sub.circuit.gates
+        ]
+        # Every stored gate flowed through every rule exactly once: 3 rules
+        # x 1 traversal, never 3 rules x 3 traversals.
+        for tag in ("r1", "r2", "r3"):
+            seen = [g for t, g in log if t == tag]
+            assert sorted(seen) == sorted(stored)
+            assert len(seen) == len(set(seen))
+        assert len(log) == 3 * len(stored)
+
+    def test_sequential_passes_traverse_k_times(self):
+        """The cost model the fusion removes: k passes = k traversals."""
+        bc = _boxed_circuit()
+        log: list = []
+        rule = self._counting_rule(log, "r")
+        _sequential(bc, rule, rule, rule)
+        stored = len(bc.circuit.gates) + sum(
+            len(s.circuit.gates) for s in bc.namespace.values()
+        )
+        assert len(log) == 3 * stored  # same totals, but 3 full rewrites
+
+
+class TestIdentityReuse:
+    """Satellite bugfix: untouched subroutine bodies are reused."""
+
+    def test_noop_rule_reuses_subroutines_and_width(self):
+        bc = _boxed_circuit()
+        bc.check()  # populate width caches
+        inner = bc.namespace["inner"]
+        assert inner._width is not None
+        out = transform_bcircuit(bc, lambda qc, gate: False)
+        assert out.namespace["inner"] is inner
+        assert out.namespace["outer"] is bc.namespace["outer"]
+        assert out.namespace["inner"]._width is not None  # cache preserved
+        assert out == bc
+
+    def test_changed_callee_invalidates_cached_width_of_reused_caller(self):
+        bc = _boxed_circuit()
+        bc.check()
+
+        def touch_s(qc, gate):
+            # Rewrites only the S gate, which lives in "inner": "outer"
+            # is untouched and must be reused, but its transient width
+            # depends on inner's, so the cache has to drop.
+            if isinstance(gate, NamedGate) and gate.name == "S":
+                with qc.ancilla():
+                    qc._emit_raw(gate)
+                return True
+            return False
+
+        original_width = bc.namespace["outer"]._width
+        out = transform_bcircuit(bc, touch_s)
+        assert out.namespace["inner"] is not bc.namespace["inner"]
+        assert out.namespace["outer"] is bc.namespace["outer"]
+        # The stale cache was dropped; if anything recomputed it in the
+        # meantime it reflects the rewritten callee, never the
+        # pre-transform namespace.
+        cached = out.namespace["outer"]._width
+        assert cached is None or cached == (
+            out.namespace["outer"].circuit.check(out.namespace)
+        )
+        assert out.check() == original_width + 1  # ancilla widened the peak
+
+    def test_rule_touching_only_main_reuses_all_subroutines(self):
+        bc = _boxed_circuit()
+        out = transform_bcircuit(bc, to_toffoli)  # 2-control H is in outer
+        assert out.namespace["inner"] is bc.namespace["inner"]
+        assert out.namespace["outer"] is not bc.namespace["outer"]
+
+
+class TestFusedGateBases:
+    """The fused toffoli+binary chain matches decompose_generic."""
+
+    def test_binary_chain_matches_legacy_fixpoint(self):
+        bc = _boxed_circuit()
+        legacy = decompose_generic(BINARY, bc)
+        fused = transform_bcircuit_fused(bc, to_toffoli, to_binary)
+        assert aggregate_gate_count(fused) == aggregate_gate_count(legacy)
+        assert canonicalize_wires(fused) == canonicalize_wires(legacy)
+
+    def test_fixpoint_marker_round_trip(self):
+        assert getattr(to_binary, "_fused_fixpoint", False)
+        assert not getattr(to_toffoli, "_fused_fixpoint", False)
+        rewrapped = fixpoint_rule(s_to_tt)
+        assert getattr(rewrapped, "_fused_fixpoint", False)
+
+
+class TestFinishDanglingWires:
+    """Satellite bugfix: finish(outputs) reports leftover live wires."""
+
+    @staticmethod
+    def _leaky(qc, a, b):
+        qc.hadamard(a)
+        qc.hadamard(b)
+        return a  # b stays live and undeclared
+
+    def test_warn_mode_emits_structured_warning(self):
+        with pytest.warns(DanglingWiresWarning) as record:
+            bc, outs = build(self._leaky, qubit, qubit)
+        assert record[0].category is DanglingWiresWarning
+        warning = record[0].message
+        assert warning.wires == ((1, "Q"),)
+        # Back-compatible repackaging still happens.
+        assert bc.circuit.out_arity == 2
+        assert isinstance(outs, tuple) and len(outs) == 2
+
+    def test_error_mode_raises(self):
+        with pytest.raises(DanglingWiresError) as excinfo:
+            build(self._leaky, qubit, qubit, on_extra="error")
+        assert excinfo.value.wires == ((1, "Q"),)
+
+    def test_ignore_mode_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            bc, _ = build(self._leaky, qubit, qubit, on_extra="ignore")
+        assert bc.circuit.out_arity == 2
+
+    def test_clean_finish_never_warns(self):
+        import warnings
+
+        def clean(qc, a, b):
+            qc.hadamard(a)
+            return a, b
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build(clean, qubit, qubit)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build(self._leaky, qubit, qubit, on_extra="explode")
