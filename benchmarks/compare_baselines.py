@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Print current benchmark results against the committed baseline JSONs.
+
+Each benchmark under ``benchmarks/`` records its committed numbers once in
+``benchmarks/baselines/<name>.json`` and drops the numbers of every fresh
+run in ``benchmarks/.latest/<name>.json`` (gitignored).  This script lines
+the two up::
+
+    PYTHONPATH=src python -m pytest benchmarks -q     # produce .latest/
+    python benchmarks/compare_baselines.py            # diff vs baselines/
+
+With no fresh run available it still prints the recorded baselines, so it
+always answers "what speedups does this tree claim?".  Exits non-zero if
+a fresh run regressed more than 20% below its recorded baseline speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+BASELINES = HERE / "baselines"
+LATEST = HERE / ".latest"
+
+#: Fractional slack before a lower-than-baseline speedup counts as a
+#: regression (benchmark machines are noisy).
+SLACK = 0.20
+
+
+def _load(path: pathlib.Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def main() -> int:
+    baselines = sorted(BASELINES.glob("*.json"))
+    if not baselines:
+        print("no committed baselines found under", BASELINES)
+        return 1
+    width = max(len(p.stem) for p in baselines)
+    print(f"{'benchmark':<{width}} {'baseline':>10} {'latest':>10} "
+          f"{'ratio':>8}  detail")
+    regressed = []
+    for path in baselines:
+        baseline = _load(path)
+        base_speed = baseline.get("speedup")
+        latest_path = LATEST / path.name
+        latest = _load(latest_path) if latest_path.exists() else None
+        late_speed = latest.get("speedup") if latest else None
+        if base_speed and late_speed:
+            ratio = late_speed / base_speed
+            if ratio < 1.0 - SLACK:
+                regressed.append(path.stem)
+            ratio_text = f"{ratio:.2f}"
+        else:
+            ratio_text = "-"
+        detail = ", ".join(
+            f"{k}={v}" for k, v in baseline.items() if k != "speedup"
+        )
+        print(
+            f"{path.stem:<{width}} "
+            f"{base_speed if base_speed is not None else '-':>10} "
+            f"{late_speed if late_speed is not None else '-':>10} "
+            f"{ratio_text:>8}  {detail}"
+        )
+    if not LATEST.exists():
+        print("\n(no fresh run found -- run "
+              "`PYTHONPATH=src python -m pytest benchmarks -q` first to "
+              "compare against the baselines)")
+    if regressed:
+        print(f"\nREGRESSED >{SLACK:.0%} below baseline: "
+              f"{', '.join(regressed)}")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

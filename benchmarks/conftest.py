@@ -8,6 +8,40 @@ comparison for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+
+_HERE = pathlib.Path(__file__).parent
+BASELINES = _HERE / "baselines"
+LATEST = _HERE / ".latest"
+
+
+def quick_mode() -> bool:
+    """Whether benchmarks run in CI smoke mode (1 round, no perf asserts)."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def record_benchmark(name: str, record: dict) -> dict | None:
+    """Persist one benchmark record; return the committed baseline if any.
+
+    The baseline JSON under ``baselines/`` is written only if absent, so
+    runs never dirty the committed numbers.  The fresh record always lands
+    in ``.latest/`` (gitignored) for ``compare_baselines.py`` to diff
+    against the baseline.  Quick-mode records are not persisted at all --
+    a 1-round smoke measurement is not a baseline.
+    """
+    if quick_mode():
+        return None
+    LATEST.mkdir(parents=True, exist_ok=True)
+    (LATEST / f"{name}.json").write_text(json.dumps(record, indent=2) + "\n")
+    baseline_path = BASELINES / f"{name}.json"
+    if baseline_path.exists():
+        return json.loads(baseline_path.read_text())
+    BASELINES.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(json.dumps(record, indent=2) + "\n")
+    return None
+
 
 def report(title: str, rows: list[tuple[str, object, object]]) -> None:
     """Print a paper-vs-measured table to the benchmark log."""

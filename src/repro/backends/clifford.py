@@ -14,7 +14,7 @@ from ..core.circuit import BCircuit
 from ..core.gates import Gate, Init
 from ..core.wires import QUANTUM
 from ..sim.clifford import CliffordState
-from ..transform.inline import iter_flat_gates
+from ..transform.inline import compile_flat
 from .base import Backend, BackendError, RunResult, outcome_key
 from .registry import register_backend
 
@@ -51,7 +51,10 @@ class CliffordBackend(Backend):
     ) -> RunResult:
         in_values = in_values or {}
         rng = np.random.default_rng(seed)
-        gates = list(iter_flat_gates(bc))
+        # One inline per circuit: the compiled stream is memoized on the
+        # BCircuit, so repeated runs and per-shot replays never re-walk
+        # the box hierarchy.
+        gates = compile_flat(bc).gates
         wires = _wire_plan(bc, gates)
         if shots is None:
             state = self._run_once(bc, gates, wires, in_values, rng)

@@ -1,13 +1,20 @@
-"""Dense statevector backend with batched shot sampling.
+"""Dense statevector backend with batched and prefix-forked shot sampling.
 
 Wraps :mod:`repro.sim.state` as the registry's ``"statevector"`` backend.
-Shot sampling has a fast path: when the flattened circuit contains no
-*mid-circuit* ``Measure``/``Discard`` gate, the final state is prepared
-once and all shots are drawn from the joint output distribution with one
-multinomial draw -- the cost of 1024 shots is the cost of one simulation.
-Trailing measurements commute with basis-state sampling and are stripped,
-so "run then measure everything" circuits batch too.  Circuits with
-genuine mid-circuit measurement are stochastic and re-simulate per shot.
+The hierarchy is inlined exactly once per circuit through
+:func:`~repro.transform.inline.compile_flat` (memoized on the BCircuit),
+and shot sampling has two fast paths:
+
+* When the flattened circuit contains no *mid-circuit*
+  ``Measure``/``Discard`` gate, the final state is prepared once and all
+  shots are drawn from the joint output distribution with one multinomial
+  draw -- the cost of 1024 shots is the cost of one simulation.  Trailing
+  measurements commute with basis-state sampling and are stripped, so
+  "run then measure everything" circuits batch too.
+* Circuits with genuine mid-circuit measurement are stochastic, but their
+  *deterministic prefix* (every gate before the first measurement) is not:
+  it is simulated once and the state is forked per shot, so only the
+  stochastic suffix is replayed ``shots`` times.
 """
 
 from __future__ import annotations
@@ -15,10 +22,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.circuit import BCircuit
-from ..core.gates import Comment, Discard, Gate, Measure
+from ..core.gates import Gate, Measure
 from ..core.wires import QUANTUM
 from ..sim.state import StateVector
-from ..transform.inline import iter_flat_gates
+from ..transform.inline import compile_flat, iter_flat_gates
 from .base import Backend, BackendError, RunResult, outcome_key
 from .registry import register_backend
 
@@ -62,22 +69,27 @@ class StatevectorBackend(Backend):
         in_values = in_values or {}
         rng = np.random.default_rng(seed)
         if shots is None:
-            return self._run_state(bc, in_values, rng)
+            # Single pass: stream the hierarchy lazily (no materialized
+            # gate list, so arbitrarily deep/repeated hierarchies work).
+            return self._run_state(bc, iter_flat_gates(bc), in_values, rng)
         if shots <= 0:
             raise BackendError(f"shots must be positive, got {shots}")
-        gates = list(iter_flat_gates(bc))
+        # Sampling replays gates (per shot, or prefix + suffix), so it
+        # consumes the compiled stream -- inlined once, memoized on bc.
+        compiled = compile_flat(bc)
+        gates = compiled.gates
         # Trailing measurements commute with basis-state sampling: drop
         # them and draw their wires from the joint output distribution
         # instead, so final-measurement circuits still take the one-
         # simulation fast path.
         tail = len(gates)
-        while tail and isinstance(gates[tail - 1], (Measure, Comment)):
+        while tail and isinstance(gates[tail - 1], Measure):
             tail -= 1
-        measured = frozenset(
-            g.wire for g in gates[tail:] if isinstance(g, Measure)
-        )
-        if any(isinstance(g, (Measure, Discard)) for g in gates[:tail]):
-            counts = self._sample_repeated(bc, gates, in_values, shots, rng)
+        measured = frozenset(g.wire for g in gates[tail:])
+        if compiled.prefix_len < tail:
+            counts = self._sample_forked(
+                bc, gates, compiled.prefix_len, in_values, shots, rng
+            )
             batched = False
         else:
             counts = self._sample_batched(
@@ -93,10 +105,10 @@ class StatevectorBackend(Backend):
 
     # -- shots=None: expose the final state --------------------------------
 
-    def _run_state(self, bc, in_values, rng) -> RunResult:
+    def _run_state(self, bc, gates, in_values, rng) -> RunResult:
         sim = StateVector(rng=rng)
         _load_inputs(sim, bc, in_values)
-        for gate in iter_flat_gates(bc):
+        for gate in gates:
             sim.execute(gate)
         wires = sorted(sim.axes, key=lambda w: sim.axes[w])
         return RunResult(
@@ -148,16 +160,28 @@ class StatevectorBackend(Backend):
             counts[key] = counts.get(key, 0) + int(n)
         return counts
 
-    # -- stochastic circuits: re-simulate per shot --------------------------
+    # -- stochastic circuits: fork the state at the first measurement -------
 
-    def _sample_repeated(self, bc, gates: list[Gate], in_values,
-                         shots: int, rng) -> dict[str, int]:
+    def _sample_forked(self, bc, gates: list[Gate], split: int,
+                       in_values, shots: int, rng) -> dict[str, int]:
+        """Per-shot sampling with the deterministic prefix simulated once.
+
+        ``gates[:split]`` contains no ``Measure``/``Discard`` and therefore
+        consumes no randomness: its final state is shared by every shot.
+        Each shot forks that state (sharing the rng stream, so seeded
+        counts are identical to full per-shot replays) and runs only the
+        stochastic suffix.
+        """
+        base = StateVector(rng=rng)
+        _load_inputs(base, bc, in_values)
+        for gate in gates[:split]:
+            base.execute(gate)
+        suffix = gates[split:]
         outputs = bc.circuit.outputs
         counts: dict[str, int] = {}
         for _ in range(shots):
-            sim = StateVector(rng=rng)
-            _load_inputs(sim, bc, in_values)
-            for gate in gates:
+            sim = base.copy()
+            for gate in suffix:
                 sim.execute(gate)
             key = outcome_key(
                 [

@@ -326,10 +326,29 @@ class Program:
 
     # -- consumers: execution -----------------------------------------------
 
+    def compiled(self):
+        """The fully-inlined execution stream (compiled once, then cached).
+
+        Returns the :class:`~repro.transform.inline.CompiledCircuit` the
+        simulation backends replay: the flat gate list with its
+        deterministic-prefix split.  The stream is memoized on the
+        generated circuit (which this Program caches), so every
+        :meth:`run` of a simulation backend -- however many shots, however
+        many calls -- reuses one inline of the hierarchy.
+        """
+        from .transform.inline import compile_flat
+
+        return compile_flat(self.bcircuit)
+
     def run(self, backend: str = "statevector", *, shots: int | None = None,
             in_values: dict[int, bool] | None = None,
             seed: int | None = None, **options) -> RunResult:
-        """Execute on a named backend (the method form of ``run_generic``)."""
+        """Execute on a named backend (the method form of ``run_generic``).
+
+        The simulation backends (statevector, clifford) consume the
+        compiled gate stream of :meth:`compiled`; the counting backends
+        never inline, so any-size hierarchies stay cheap to estimate.
+        """
         return get_backend(backend, **options).run(
             self.bcircuit, shots=shots, in_values=in_values, seed=seed
         )

@@ -33,6 +33,7 @@ from ..core.gates import (
     Term,
 )
 from ..core.wires import QUANTUM
+from .matrices import clifford_classification
 
 
 class Tableau:
@@ -211,7 +212,13 @@ class CliffordState:
         ]
         if any(self.bits[c.wire] != c.positive for c in classical_controls):
             return
-        name = gate.name
+        # Classification goes through the cached gate-matrix lookup
+        # (matching up to global phase), so e.g. Rz(pi/2) runs as S and
+        # R(2pi/2) as Z; each (name, param, inverted) key classifies once.
+        classified = clifford_classification(
+            gate.name, gate.param, gate.inverted
+        )
+        tag, phase = classified if classified else (None, 0j)
         targets = [self.index[t] for t in gate.targets]
         if quantum_controls:
             ctl = quantum_controls[0]
@@ -221,39 +228,42 @@ class CliffordState:
                     "to the Toffoli base will not help -- this simulator "
                     "handles only Clifford circuits"
                 )
+            # A global phase on the base gate becomes a *relative* phase
+            # under a control (C-iX != CNOT), so only exact matches may
+            # dispatch here.
+            exact = abs(phase - 1.0) < 1e-9
             a = self.index[ctl.wire]
             if not ctl.positive:
                 tab.x_gate(a)
-            if name in ("not", "X"):
+            if tag == "X" and exact:
                 tab.cnot(a, targets[0])
-            elif name == "Z":
+            elif tag == "Z" and exact:
                 tab.cz(a, targets[0])
             else:
                 raise SimulationError(
-                    f"controlled {name!r} is not a Clifford gate"
+                    f"controlled {gate.name!r} is not a Clifford gate"
                 )
             if not ctl.positive:
                 tab.x_gate(a)
             return
-        if name in ("not", "X"):
+        if tag == "X":
             tab.x_gate(targets[0])
-        elif name == "Y":
+        elif tag == "Y":
             tab.y_gate(targets[0])
-        elif name == "Z":
+        elif tag == "Z":
             tab.z_gate(targets[0])
-        elif name == "H":
+        elif tag == "H":
             tab.hadamard(targets[0])
-        elif name == "S":
-            if gate.inverted:
-                tab.s_dagger(targets[0])
-            else:
-                tab.s_gate(targets[0])
-        elif name == "swap":
+        elif tag == "S":
+            tab.s_gate(targets[0])
+        elif tag == "S*":
+            tab.s_dagger(targets[0])
+        elif tag == "swap":
             tab.swap(targets[0], targets[1])
-        elif name == "phase":
+        elif tag in ("phase", "I"):
             return
         else:
-            raise SimulationError(f"{name!r} is not a Clifford gate")
+            raise SimulationError(f"{gate.name!r} is not a Clifford gate")
 
 
 def run_clifford(bc: BCircuit, in_values: dict[int, bool] | None = None,
@@ -262,10 +272,10 @@ def run_clifford(bc: BCircuit, in_values: dict[int, bool] | None = None,
 
     Input wires are initialized to basis states from ``in_values``.
     """
-    from ..transform.inline import iter_flat_gates
+    from ..transform.inline import compile_flat
 
     in_values = in_values or {}
-    gates = list(iter_flat_gates(bc))
+    gates = compile_flat(bc).gates
     wires = []
     seen = set()
     for wire, wtype in bc.circuit.inputs:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import cmath
 import math
+from functools import lru_cache
 
 import numpy as np
 
@@ -66,16 +67,31 @@ def gate_matrix(gate: NamedGate) -> np.ndarray:
 
     Raises :class:`~repro.core.errors.SimulationError` for unknown names;
     user-defined named gates have no intrinsic semantics and must be
-    transformed away before simulation.
+    transformed away before simulation.  The returned array is a shared,
+    read-only cache entry -- copy before mutating.
     """
-    matrix = _named_matrix(gate)
-    if gate.inverted:
+    return gate_matrix_cached(gate.name, gate.param, gate.inverted)
+
+
+@lru_cache(maxsize=4096)
+def gate_matrix_cached(
+    name: str, param: float | None, inverted: bool
+) -> np.ndarray:
+    """LRU-cached :func:`gate_matrix`, keyed on ``(name, param, inverted)``.
+
+    Parametrised and inverted matrices are built once per distinct key; the
+    returned array is marked read-only so cache entries cannot be corrupted
+    by in-place arithmetic in a simulator kernel.
+    """
+    matrix = _named_matrix(name, param)
+    if inverted:
         matrix = matrix.conj().T
+    matrix = np.ascontiguousarray(matrix)
+    matrix.setflags(write=False)
     return matrix
 
 
-def _named_matrix(gate: NamedGate) -> np.ndarray:
-    name, param = gate.name, gate.param
+def _named_matrix(name: str, param: float | None) -> np.ndarray:
     fixed = _FIXED.get(name)
     if fixed is not None:
         return fixed
@@ -106,3 +122,64 @@ def _named_matrix(gate: NamedGate) -> np.ndarray:
     if name == "phase":
         return np.array([[cmath.exp(1j * float(param))]], dtype=complex)
     raise SimulationError(f"no matrix known for gate {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Clifford classification (shared with the stabilizer simulator)
+# ---------------------------------------------------------------------------
+
+#: Canonical tableau operations and their matrices.  A gate whose cached
+#: matrix equals one of these up to global phase is simulated on the CHP
+#: tableau under that tag (e.g. ``Rz(pi/2)`` classifies as ``"S"``).
+_CLIFFORD_CANON: tuple[tuple[str, np.ndarray], ...] = (
+    ("I", np.eye(2, dtype=complex)),
+    ("X", _X),
+    ("Y", _Y),
+    ("Z", _Z),
+    ("H", _H),
+    ("S", _S),
+    ("S*", _S.conj().T),
+    ("swap", _SWAP),
+)
+
+
+@lru_cache(maxsize=4096)
+def clifford_classification(
+    name: str, param: float | None, inverted: bool
+) -> tuple[str, complex] | None:
+    """Classify a named gate as a canonical tableau operation, or None.
+
+    Goes through :func:`gate_matrix_cached`, so each ``(name, param,
+    inverted)`` key is matrix-built and classified exactly once.  Returns
+    ``(tag, phase)`` where *tag* is one of ``"I"``, ``"X"``, ``"Y"``,
+    ``"Z"``, ``"H"``, ``"S"``, ``"S*"``, ``"swap"``, or ``"phase"`` for
+    arity-0 scalar gates, and *phase* is the global-phase ratio between
+    the gate's matrix and the canonical one.  The phase is unobservable
+    for an *uncontrolled* gate, but becomes a relative phase under a
+    quantum control -- controlled dispatch must demand ``phase == 1``.
+    Returns None for gates with no single-tableau-op equivalent.
+    """
+    try:
+        matrix = gate_matrix_cached(name, param, inverted)
+    except SimulationError:
+        return None
+    if matrix.shape == (1, 1):
+        return ("phase", complex(matrix[0, 0]))
+    for tag, canonical in _CLIFFORD_CANON:
+        if canonical.shape != matrix.shape:
+            continue
+        anchor = np.argmax(np.abs(canonical))
+        ratio = complex(matrix.flat[anchor] / canonical.flat[anchor])
+        if abs(abs(ratio) - 1.0) < 1e-9 and np.allclose(
+            matrix, ratio * canonical, atol=1e-9
+        ):
+            return (tag, ratio)
+    return None
+
+
+def clifford_gate_tag(
+    name: str, param: float | None, inverted: bool
+) -> str | None:
+    """The tableau-operation tag of a gate up to global phase, or None."""
+    classified = clifford_classification(name, param, inverted)
+    return classified[0] if classified else None

@@ -7,10 +7,20 @@ extended circuit model: dynamic qubit allocation (Init grows the state,
 Term shrinks it *and checks the programmer's assertion*), measurement,
 classical wires, and classically-controlled gates.
 
-The state is a complex ndarray of shape ``(2,) * n`` with one axis per live
-qubit; classical wires live in a plain dict.  Qubit count is limited by
-memory (about 24 qubits in a few GB), which is ample for the library's
-tests -- the paper's large circuits are *counted*, never simulated.
+The state is ONE flat contiguous complex vector of length ``2**n``;
+``reshape((2,) * n)`` of it is a free view with one axis per live qubit,
+and gates mutate strided sub-views of the buffer in place through the
+specialized kernels of :mod:`repro.sim.kernels` -- diagonal gates touch
+half the state with a single elementwise multiply, bit flips are slice
+exchanges, and only the residual dense cases combine slices per a matrix.
+Classical wires live in a plain dict.  Qubit count is limited by memory
+(about 24 qubits in a few GB), which is ample for the library's tests --
+the paper's large circuits are *counted*, never simulated.
+
+:class:`LegacyStateVector` preserves the original moveaxis + reshape +
+matmul engine verbatim as the reference implementation: the randomized
+equivalence suite pins every kernel against it, and the throughput
+benchmarks measure the flat engine's speedup over it.
 """
 
 from __future__ import annotations
@@ -41,6 +51,13 @@ from ..core.gates import (
     Term,
 )
 from ..core.wires import QUANTUM
+from .kernels import (
+    _apply_dense,
+    _pattern_bits,
+    _subindex,
+    apply_kernel,
+    gate_kernel,
+)
 from .matrices import gate_matrix
 
 _TOLERANCE = 1e-9
@@ -55,15 +72,275 @@ _CLASSICAL_FUNCTIONS = {
 
 
 class StateVector:
-    """A resizable statevector with named qubit axes and a classical store."""
+    """A resizable flat statevector with named qubit axes and a classical
+    store.
+
+    The public surface is unchanged from the legacy engine -- ``state``
+    still reads as a ``(2,) * n`` array with ``axes`` mapping wire ids to
+    axis indices -- but the amplitudes live in one contiguous buffer
+    (``data``) that the kernels of :mod:`repro.sim.kernels` mutate in
+    place.
+    """
+
+    __slots__ = ("data", "axes", "bits", "rng")
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self.data = np.ones(1, dtype=complex)  # zero qubits: amplitude 1
+        self.axes: dict[int, int] = {}  # wire id -> axis index
+        self.bits: dict[int, bool] = {}
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # -- qubit bookkeeping ---------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.axes)
+
+    @property
+    def state(self) -> np.ndarray:
+        """The legacy ``(2,) * n`` tensor layout (a free view of ``data``)."""
+        return self.data.reshape((2,) * self.num_qubits)
+
+    def _view(self) -> np.ndarray:
+        return self.data.reshape((2,) * len(self.axes))
+
+    def copy(self) -> "StateVector":
+        """An independent fork of the simulated state.
+
+        Amplitudes and classical bits are copied; the random generator is
+        *shared*, so a sequence of forks consumes one random stream exactly
+        as repeated fresh simulations would (shot sampling relies on this).
+        """
+        clone = StateVector.__new__(StateVector)
+        clone.data = self.data.copy()
+        clone.axes = dict(self.axes)
+        clone.bits = dict(self.bits)
+        clone.rng = self.rng
+        return clone
+
+    def add_qubit(self, wire: int, value: bool) -> None:
+        if wire in self.axes:
+            raise SimulationError(f"qubit {wire} already allocated")
+        # Appending an axis in C order interleaves: new[2*i + bit] = old[i].
+        grown = np.zeros(self.data.size * 2, dtype=complex)
+        grown[int(value)::2] = self.data
+        self.data = grown
+        self.axes[wire] = len(self.axes)
+
+    def _remove_axis(self, wire: int, keep_index: int) -> None:
+        axis = self.axes.pop(wire)
+        view = self.data.reshape((2,) * (len(self.axes) + 1))
+        kept = view[_subindex(view.ndim, ((axis, keep_index),))]
+        self.data = np.ascontiguousarray(kept).reshape(-1)
+        for other, other_axis in self.axes.items():
+            if other_axis > axis:
+                self.axes[other] = other_axis - 1
+
+    def _axis_weight(self, wire: int, value: int) -> float:
+        """Squared amplitude mass of the subspace where *wire* is *value*."""
+        half = self._view()[_subindex(len(self.axes), ((self.axes[wire], value),))]
+        return float(np.sum(np.abs(half) ** 2))
+
+    def remove_qubit_asserted(self, wire: int, value: bool) -> None:
+        """Project onto |value> after checking the assertion holds."""
+        if math.sqrt(self._axis_weight(wire, 1 - int(value))) > 1e-6:
+            raise AssertionFailedError(
+                f"qubit {wire} terminated with assertion |{int(value)}> "
+                "but has nonzero amplitude in the other basis state"
+            )
+        self._remove_axis(wire, int(value))
+        self._renormalize()
+
+    def measure_qubit(self, wire: int) -> bool:
+        p_one = self._axis_weight(wire, 1)
+        total = float(np.sum(np.abs(self.data) ** 2))
+        outcome = bool(self.rng.random() < p_one / total)
+        self._remove_axis(wire, int(outcome))
+        self._renormalize()
+        return outcome
+
+    def _renormalize(self) -> None:
+        norm = math.sqrt(float(np.sum(np.abs(self.data) ** 2)))
+        if norm < _TOLERANCE:
+            raise SimulationError("state collapsed to zero norm")
+        self.data /= norm
+
+    # -- gate application ------------------------------------------------
+
+    def _split_controls(
+        self, controls: tuple[Control, ...]
+    ) -> tuple[tuple[int, int], ...] | None:
+        """Quantum controls as (axis, required bit) masks.
+
+        Returns None if a classical control is unsatisfied (gate skipped).
+        """
+        quantum = []
+        for ctl in controls:
+            if ctl.wire_type == QUANTUM:
+                quantum.append((self.axes[ctl.wire], 1 if ctl.positive else 0))
+            elif self.bits[ctl.wire] != ctl.positive:
+                return None
+        return tuple(quantum)
+
+    def apply_unitary(
+        self,
+        matrix: np.ndarray,
+        targets: tuple[int, ...],
+        controls: tuple[Control, ...] = (),
+    ) -> None:
+        """Apply an explicit matrix (the uncached general entry point)."""
+        ctrl = self._split_controls(controls)
+        if ctrl is None:
+            return
+        view = self._view()
+        if not targets:  # global phase on the control subspace
+            view[_subindex(view.ndim, ctrl)] *= matrix[0, 0]
+            return
+        target_axes = tuple(self.axes[t] for t in targets)
+        slots = [
+            _subindex(
+                view.ndim,
+                ctrl + tuple(zip(target_axes, _pattern_bits(j, len(targets)))),
+            )
+            for j in range(1 << len(targets))
+        ]
+        _apply_dense(view, slots, matrix)
+
+    # -- gate dispatch -----------------------------------------------------
+
+    def execute(self, gate: Gate) -> None:
+        """Execute one (box-free) gate via the type-dispatch table."""
+        handler = _DISPATCH.get(type(gate))
+        if handler is None:
+            raise SimulationError(f"cannot simulate gate {gate!r}")
+        handler(self, gate)
+
+    def _exec_named(self, gate: NamedGate) -> None:
+        ctrl = self._split_controls(gate.controls)
+        if ctrl is None:
+            return
+        kernel = gate_kernel(gate.name, gate.param, gate.inverted)
+        if kernel.arity != len(gate.targets):
+            raise SimulationError(
+                f"gate {gate.name!r} expects {kernel.arity} target(s), "
+                f"got {len(gate.targets)}"
+            )
+        apply_kernel(
+            self._view(),
+            kernel,
+            tuple(self.axes[t] for t in gate.targets),
+            ctrl,
+        )
+
+    def _exec_comment(self, gate: Comment) -> None:
+        return
+
+    def _exec_init(self, gate: Init) -> None:
+        self.add_qubit(gate.wire, gate.value)
+
+    def _exec_term(self, gate: Term) -> None:
+        self.remove_qubit_asserted(gate.wire, gate.value)
+
+    def _exec_discard(self, gate: Discard) -> None:
+        self.measure_qubit(gate.wire)  # trace out by sampling
+
+    def _exec_measure(self, gate: Measure) -> None:
+        self.bits[gate.wire] = self.measure_qubit(gate.wire)
+
+    def _exec_cinit(self, gate: CInit) -> None:
+        self.bits[gate.wire] = gate.value
+
+    def _exec_cterm(self, gate: CTerm) -> None:
+        if self.bits.pop(gate.wire) != gate.value:
+            raise AssertionFailedError(
+                f"classical wire {gate.wire} terminated with wrong value"
+            )
+
+    def _exec_cdiscard(self, gate: CDiscard) -> None:
+        self.bits.pop(gate.wire)
+
+    def _exec_cgate(self, gate: CGate) -> None:
+        inputs = [self.bits[w] for w in gate.inputs]
+        value = _CLASSICAL_FUNCTIONS[gate.name](inputs)
+        if gate.uncompute:
+            if self.bits.pop(gate.target) != value:
+                raise AssertionFailedError(
+                    f"CGate* uncompute mismatch on wire {gate.target}"
+                )
+        else:
+            self.bits[gate.target] = value
+
+    def _exec_cnot(self, gate: CNot) -> None:
+        satisfied = all(
+            (
+                self.bits[c.wire] == c.positive
+                if c.wire_type != QUANTUM
+                else self._classical_control_on_qubit(c)
+            )
+            for c in gate.controls
+        )
+        if satisfied:
+            self.bits[gate.wire] = not self.bits[gate.wire]
+
+    def _exec_boxcall(self, gate: BoxCall) -> None:
+        raise SimulationError(
+            "BoxCall reached the simulator; inline the circuit first"
+        )
+
+    def _classical_control_on_qubit(self, ctl: Control) -> bool:
+        raise SimulationError(
+            "a classical NOT cannot be controlled by a qubit (measurement "
+            "would be required); restructure the circuit"
+        )
+
+    def basis_probabilities(self, wires: list[int]) -> dict[tuple[int, ...], float]:
+        """Probability of each computational-basis outcome on *wires*."""
+        state = self.state
+        order = [self.axes[w] for w in wires]
+        probs = np.abs(state) ** 2
+        other = [a for a in range(state.ndim) if a not in order]
+        marginal = probs.sum(axis=tuple(other)) if other else probs
+        marginal = np.moveaxis(
+            marginal, [sorted(order).index(a) for a in order], range(len(order))
+        )
+        result: dict[tuple[int, ...], float] = {}
+        for idx in np.ndindex(*([2] * len(wires))):
+            p = float(marginal[idx])
+            if p > 1e-12:
+                result[idx] = p
+        return result
+
+
+#: Precomputed type-dispatch table replacing the per-gate isinstance chain.
+_DISPATCH: dict[type, object] = {
+    NamedGate: StateVector._exec_named,
+    Comment: StateVector._exec_comment,
+    Init: StateVector._exec_init,
+    Term: StateVector._exec_term,
+    Discard: StateVector._exec_discard,
+    Measure: StateVector._exec_measure,
+    CInit: StateVector._exec_cinit,
+    CTerm: StateVector._exec_cterm,
+    CDiscard: StateVector._exec_cdiscard,
+    CGate: StateVector._exec_cgate,
+    CNot: StateVector._exec_cnot,
+    BoxCall: StateVector._exec_boxcall,
+}
+
+
+class LegacyStateVector:
+    """The original ``(2,)*n`` moveaxis + matmul engine, kept verbatim.
+
+    This is the reference implementation the flat kernel engine is pinned
+    against (tests/test_kernels.py) and benchmarked over
+    (benchmarks/test_kernel_throughput.py).  Do not optimize it.
+    """
 
     def __init__(self, rng: np.random.Generator | None = None):
         self.state = np.ones((), dtype=complex)  # zero qubits: amplitude 1
         self.axes: dict[int, int] = {}  # wire id -> axis index
         self.bits: dict[int, bool] = {}
         self.rng = rng if rng is not None else np.random.default_rng()
-
-    # -- qubit bookkeeping ---------------------------------------------------
 
     @property
     def num_qubits(self) -> int:
@@ -85,7 +362,6 @@ class StateVector:
                 self.axes[other] = other_axis - 1
 
     def remove_qubit_asserted(self, wire: int, value: bool) -> None:
-        """Project onto |value> after checking the assertion holds."""
         axis = self.axes[wire]
         wrong = np.take(self.state, 1 - int(value), axis=axis)
         if math.sqrt(float(np.sum(np.abs(wrong) ** 2))) > 1e-6:
@@ -112,15 +388,9 @@ class StateVector:
             raise SimulationError("state collapsed to zero norm")
         self.state = self.state / norm
 
-    # -- gate application ------------------------------------------------
-
     def _control_slice(
         self, controls: tuple[Control, ...]
     ) -> tuple | None:
-        """Build an index restricting to the control-satisfied subspace.
-
-        Returns None if a classical control is unsatisfied (gate skipped).
-        """
         index: list = [slice(None)] * self.state.ndim
         for ctl in controls:
             if ctl.wire_type == QUANTUM:
@@ -160,10 +430,8 @@ class StateVector:
         result = (matrix @ flat).reshape((2,) * k + tail)
         self.state[index] = np.moveaxis(result, range(k), view_axes)
 
-    # -- gate dispatch -----------------------------------------------------
-
     def execute(self, gate: Gate) -> None:
-        """Execute one (box-free) gate."""
+        """Execute one (box-free) gate (the original isinstance chain)."""
         if isinstance(gate, Comment):
             return
         if isinstance(gate, NamedGate):
@@ -228,21 +496,7 @@ class StateVector:
             "would be required); restructure the circuit"
         )
 
-    def basis_probabilities(self, wires: list[int]) -> dict[tuple[int, ...], float]:
-        """Probability of each computational-basis outcome on *wires*."""
-        order = [self.axes[w] for w in wires]
-        probs = np.abs(self.state) ** 2
-        other = [a for a in range(self.state.ndim) if a not in order]
-        marginal = probs.sum(axis=tuple(other)) if other else probs
-        marginal = np.moveaxis(
-            marginal, [sorted(order).index(a) for a in order], range(len(order))
-        )
-        result: dict[tuple[int, ...], float] = {}
-        for idx in np.ndindex(*([2] * len(wires))):
-            p = float(marginal[idx])
-            if p > 1e-12:
-                result[idx] = p
-        return result
+    basis_probabilities = StateVector.basis_probabilities
 
 
 def simulate(bc: BCircuit, in_values: dict[int, bool] | None = None,
@@ -251,6 +505,12 @@ def simulate(bc: BCircuit, in_values: dict[int, bool] | None = None,
 
     ``in_values`` maps input wire ids to initial basis values (default all
     False).  Returns the final :class:`StateVector` (outputs unmeasured).
+
+    This is a single pass, so the hierarchy is *streamed* lazily -- a
+    circuit whose inlined gate list would not fit in memory still
+    simulates (the backends' shot samplers, which replay gates, go
+    through the materialized :func:`~repro.transform.inline.compile_flat`
+    stream instead).
     """
     from ..transform.inline import iter_flat_gates
 

@@ -13,7 +13,7 @@ from .count import (
     total_gates,
     total_logical_gates,
 )
-from .inline import inline
+from .inline import CompiledCircuit, compile_flat, inline
 from .reverse import reverse_bcircuit, reverse_circuit
 from .toffoli import decompose_toffoli
 from .binary import decompose_binary
@@ -54,6 +54,8 @@ __all__ = [
     "circuit_depth",
     "t_depth",
     "inline",
+    "compile_flat",
+    "CompiledCircuit",
     "reverse_bcircuit",
     "reverse_circuit",
     "decompose_generic",

@@ -104,8 +104,8 @@ def _invert_key(key: GateCountKey) -> GateCountKey:
         return key
     if info is not None and info.get("rot"):
         return key  # parameter negation does not change the count key
-    if name.startswith("CGate:"):
-        return (name + "*", pos, neg)
+    # Everything else -- named gates and CGate:<fn> keys alike -- inverts
+    # by gaining the dagger suffix (the suffixed form was handled above).
     return (name + "*", pos, neg)
 
 

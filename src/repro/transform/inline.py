@@ -124,6 +124,78 @@ def iter_flat_gates_from(
         yield from _expand(gate, (), namespace, source)
 
 
+class CompiledCircuit:
+    """A fully inlined, execution-ready gate stream.
+
+    ``gates`` is the flat, box-free, comment-free gate list of the whole
+    hierarchy; simulators replay it directly instead of re-walking the box
+    tree.  ``prefix_len`` is the length of the longest deterministic prefix
+    -- the gates before the first ``Measure``/``Discard`` -- which is what
+    lets shot samplers simulate that prefix once and fork the state per
+    shot instead of replaying it.
+
+    Compiling materializes the whole inlined stream, so it is for
+    *replayed* execution (shot sampling, repeated runs); single-pass
+    consumers of hierarchies too large to materialize should stream
+    through :func:`iter_flat_gates` instead.
+    """
+
+    __slots__ = ("gates", "prefix_len")
+
+    def __init__(self, gates: list[Gate]):
+        self.gates = gates
+        self.prefix_len = len(gates)
+        for i, gate in enumerate(gates):
+            if isinstance(gate, (Measure, Discard)):
+                self.prefix_len = i
+                break
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+def _bc_signature(bc: BCircuit) -> tuple:
+    """A staleness snapshot for the per-circuit compile cache.
+
+    Holds the stored gate objects themselves (cheap: one reference each).
+    Gates are frozen dataclasses, so any in-place hierarchy edit -- a gate
+    replaced, appended, or a subroutine body swapped, even count-
+    preservingly -- changes an element and fails the ``==`` comparison
+    (identical elements short-circuit on identity, so the common unmutated
+    case is a pointer sweep).
+    """
+    return (
+        tuple(bc.circuit.gates),
+        tuple(
+            (name, tuple(sub.circuit.gates))
+            for name, sub in bc.namespace.items()
+        ),
+    )
+
+
+def compile_flat(bc: BCircuit) -> CompiledCircuit:
+    """Inline *bc* once into a reusable :class:`CompiledCircuit` (cached).
+
+    The result is memoized on the BCircuit instance (guarded by a snapshot
+    of the stored gate lists, so a mutated hierarchy recompiles), which is
+    what lets ``Program.run`` and the simulation backends execute the same
+    circuit repeatedly -- per-shot replays, repeated ``.run`` calls --
+    without ever re-walking the box hierarchy.  Comments are dropped: they
+    are no-ops to every executor.
+    """
+    signature = _bc_signature(bc)
+    cached = getattr(bc, "_compiled_flat", None)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
+    gates = [
+        gate for gate in iter_flat_gates(bc)
+        if not isinstance(gate, Comment)
+    ]
+    compiled = CompiledCircuit(gates)
+    bc._compiled_flat = (signature, compiled)
+    return compiled
+
+
 def inline(bc: BCircuit) -> BCircuit:
     """Fully expand every BoxCall, returning a flat, box-free circuit.
 

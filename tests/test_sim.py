@@ -253,6 +253,53 @@ class TestCliffordSim:
         outcomes = {run_clifford_generic(bell, seed=s) for s in range(30)}
         assert outcomes == {(False, False), (True, True)}
 
+    def test_matrix_classified_clifford_aliases(self):
+        # Gates that equal a tableau op up to global phase now run on the
+        # tableau via the cached-matrix classification: Rz(pi/2) ~ S,
+        # R(2pi/2) ~ Z, and iX ~ X (the phase is unobservable uncontrolled).
+        def circ(qc):
+            a = qc.qinit_qubit(False)
+            qc.hadamard(a)
+            qc.rotZ(math.pi / 2, a)    # ~ S
+            qc.rotZ(math.pi / 2, a)    # ~ S  (S S = Z)
+            qc.rGate(1, a)             # ~ Z  (back to |+> overall phase)
+            qc.hadamard(a)
+            b = qc.qinit_qubit(False)
+            qc.named_gate("iX", b)     # ~ X
+            return a, b
+
+        for seed in range(5):
+            assert run_clifford_generic(circ, seed=seed) == (False, True)
+
+    def test_phase_aliased_gates_rejected_under_control(self):
+        # iX == i*X: a *global* phase uncontrolled, but a *relative* phase
+        # under a control -- C-iX is NOT a CNOT and must be rejected, not
+        # silently simulated as one (statevector: (C-iX)^2 == Z on the
+        # control; a tableau CNOT pair would give identity).
+        def circ(qc):
+            c = qc.qinit_qubit(False)
+            t = qc.qinit_qubit(False)
+            qc.hadamard(c)
+            qc.named_gate("iX", t, controls=c)
+            qc.named_gate("iX", t, controls=c)
+            qc.hadamard(c)
+            return c, t
+
+        assert run_generic(circ, seed=0) == (True, False)  # Z kicked back
+        with pytest.raises(SimulationError):
+            run_clifford_generic(circ, seed=0)
+
+    def test_controlled_rz_pi_rejected(self):
+        # Rz(pi) = -i Z; controlled it differs from CZ by a relative phase.
+        def circ(qc):
+            c = qc.qinit_qubit(False)
+            t = qc.qinit_qubit(False)
+            qc.rotZ(math.pi, t, controls=c)
+            return c, t
+
+        with pytest.raises(SimulationError):
+            run_clifford_generic(circ, seed=0)
+
 
 class TestDynamicLifting:
     def test_measured_value_matches_lifted(self):

@@ -140,6 +140,46 @@ class TestCounting:
         bc, _ = build(circ, qubit, qubit, qubit)
         assert aggregate_gate_count(bc)[("Not", 1, 1)] == 1
 
+    def test_cgate_keys_invert_round_trip(self):
+        # Regression for the duplicated CGate branch in _invert_key: the
+        # compute key must gain the dagger suffix and the uncompute key
+        # must lose it, round-tripping exactly.
+        from repro.transform.count import _invert_key
+
+        for fn in ("and", "or", "xor", "not", "eq"):
+            compute = (f"CGate:{fn}", 0, 0)
+            uncompute = (f"CGate:{fn}*", 0, 0)
+            assert _invert_key(compute) == uncompute
+            assert _invert_key(uncompute) == compute
+            assert _invert_key(_invert_key(compute)) == compute
+
+    def test_inverted_box_cgate_counts(self):
+        # An inverted BoxCall over a body with classical logic must count
+        # the body's CGates as uncomputations and vice versa.
+        def body(qc, b1, b2):
+            carry = qc.cgate_and(b1, b2)
+            out = qc.cgate_xor(b1, b2)
+            return b1, b2, carry, out
+
+        from repro import bit
+
+        def circ(qc, b1, b2):
+            b1, b2, carry, out = qc.box("half-add", body, b1, b2)
+            return b1, b2, carry, out
+
+        bc, _ = build(circ, bit, bit)
+        counts = aggregate_gate_count(bc)
+        assert counts[("CGate:and", 0, 0)] == 1
+        assert counts[("CGate:xor", 0, 0)] == 1
+
+        rev = reverse_bcircuit(bc)
+        rev_counts = aggregate_gate_count(rev)
+        assert rev_counts[("CGate:and*", 0, 0)] == 1
+        assert rev_counts[("CGate:xor*", 0, 0)] == 1
+        # Reversing again restores the original keys.
+        back = aggregate_gate_count(reverse_bcircuit(rev))
+        assert back == counts
+
 
 class TestInline:
     def test_inline_removes_boxes(self):
