@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Print current benchmark results against the committed baseline JSONs.
+"""Diff current benchmark results against the committed baseline JSONs.
 
 Each benchmark under ``benchmarks/`` records its committed numbers once in
 ``benchmarks/baselines/<name>.json`` and drops the numbers of every fresh
@@ -9,13 +9,20 @@ the two up::
     PYTHONPATH=src python -m pytest benchmarks -q     # produce .latest/
     python benchmarks/compare_baselines.py            # diff vs baselines/
 
+Quick-mode runs (``REPRO_BENCH_QUICK=1``) record to the parallel
+``quick/`` subtrees at reduced sizes; compare those with ``--quick``
+(what CI's PR bench-regression job does).
+
 With no fresh run available it still prints the recorded baselines, so it
 always answers "what speedups does this tree claim?".  Exits non-zero if
-a fresh run regressed more than 20% below its recorded baseline speedup.
+a fresh run regressed more than ``--slack`` (default 20%) below its
+recorded baseline speedup; CI passes ``--slack 0.30``.  ``--summary``
+appends a Markdown table to the given file (``$GITHUB_STEP_SUMMARY``).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import sys
@@ -24,8 +31,8 @@ HERE = pathlib.Path(__file__).parent
 BASELINES = HERE / "baselines"
 LATEST = HERE / ".latest"
 
-#: Fractional slack before a lower-than-baseline speedup counts as a
-#: regression (benchmark machines are noisy).
+#: Default fractional slack before a lower-than-baseline speedup counts
+#: as a regression (benchmark machines are noisy).
 SLACK = 0.20
 
 
@@ -33,46 +40,103 @@ def _load(path: pathlib.Path) -> dict:
     return json.loads(path.read_text())
 
 
-def main() -> int:
-    baselines = sorted(BASELINES.glob("*.json"))
+def compare(slack: float = SLACK, quick: bool = False,
+            summary_path: str | None = None) -> int:
+    baselines_dir = BASELINES / "quick" if quick else BASELINES
+    latest_dir = LATEST / "quick" if quick else LATEST
+    baselines = sorted(baselines_dir.glob("*.json"))
     if not baselines:
-        print("no committed baselines found under", BASELINES)
+        print("no committed baselines found under", baselines_dir)
         return 1
     width = max(len(p.stem) for p in baselines)
     print(f"{'benchmark':<{width}} {'baseline':>10} {'latest':>10} "
           f"{'ratio':>8}  detail")
     regressed = []
+    rows = []
     for path in baselines:
         baseline = _load(path)
         base_speed = baseline.get("speedup")
-        latest_path = LATEST / path.name
+        latest_path = latest_dir / path.name
         latest = _load(latest_path) if latest_path.exists() else None
         late_speed = latest.get("speedup") if latest else None
         if base_speed and late_speed:
             ratio = late_speed / base_speed
-            if ratio < 1.0 - SLACK:
+            if ratio < 1.0 - slack:
                 regressed.append(path.stem)
             ratio_text = f"{ratio:.2f}"
         else:
             ratio_text = "-"
         detail = ", ".join(
-            f"{k}={v}" for k, v in baseline.items() if k != "speedup"
+            f"{k}={v}" for k, v in baseline.items()
+            if k not in ("speedup", "quick")
         )
+        rows.append((path.stem, base_speed, late_speed, ratio_text, detail))
         print(
             f"{path.stem:<{width}} "
             f"{base_speed if base_speed is not None else '-':>10} "
             f"{late_speed if late_speed is not None else '-':>10} "
             f"{ratio_text:>8}  {detail}"
         )
-    if not LATEST.exists():
+    if not latest_dir.exists():
         print("\n(no fresh run found -- run "
               "`PYTHONPATH=src python -m pytest benchmarks -q` first to "
               "compare against the baselines)")
+    if summary_path:
+        _write_summary(summary_path, rows, regressed, slack, quick)
     if regressed:
-        print(f"\nREGRESSED >{SLACK:.0%} below baseline: "
+        print(f"\nREGRESSED >{slack:.0%} below baseline: "
               f"{', '.join(regressed)}")
         return 2
     return 0
+
+
+def _write_summary(path: str, rows, regressed, slack: float,
+                   quick: bool) -> None:
+    mode = "quick (CI smoke)" if quick else "full-size"
+    lines = [
+        f"### Benchmark speedups vs recorded baselines ({mode})",
+        "",
+        "| benchmark | baseline | latest | ratio | detail |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for stem, base, late, ratio, detail in rows:
+        lines.append(
+            f"| {stem} | {base if base is not None else '-'} "
+            f"| {late if late is not None else '-'} | {ratio} "
+            f"| {detail} |"
+        )
+    lines.append("")
+    if regressed:
+        lines.append(
+            f"**REGRESSED** more than {slack:.0%} below baseline: "
+            + ", ".join(regressed)
+        )
+    else:
+        lines.append(f"No regression beyond the {slack:.0%} tolerance band.")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--slack", type=float, default=SLACK,
+        help="fractional tolerance band before a lower speedup fails "
+             f"(default {SLACK})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="compare the quick-mode (reduced-size) baseline tree",
+    )
+    parser.add_argument(
+        "--summary", default=None, metavar="PATH",
+        help="append a Markdown summary table to PATH "
+             "(e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    args = parser.parse_args(argv)
+    return compare(
+        slack=args.slack, quick=args.quick, summary_path=args.summary
+    )
 
 
 if __name__ == "__main__":

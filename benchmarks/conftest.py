@@ -28,17 +28,27 @@ def record_benchmark(name: str, record: dict) -> dict | None:
     The baseline JSON under ``baselines/`` is written only if absent, so
     runs never dirty the committed numbers.  The fresh record always lands
     in ``.latest/`` (gitignored) for ``compare_baselines.py`` to diff
-    against the baseline.  Quick-mode records are not persisted at all --
-    a 1-round smoke measurement is not a baseline.
+    against the baseline.
+
+    Quick-mode (CI smoke) runs measure reduced sizes, so their numbers
+    are not comparable to the full baselines; they get their own parallel
+    trees -- ``baselines/quick/`` (committed, apples-to-apples reference
+    for the PR bench-regression job) and ``.latest/quick/`` (uploaded as
+    a CI artifact) -- with a ``"quick": true`` marker in every record.
     """
     if quick_mode():
-        return None
-    LATEST.mkdir(parents=True, exist_ok=True)
-    (LATEST / f"{name}.json").write_text(json.dumps(record, indent=2) + "\n")
-    baseline_path = BASELINES / f"{name}.json"
+        record = dict(record, quick=True)
+        latest_dir, baselines_dir = LATEST / "quick", BASELINES / "quick"
+    else:
+        latest_dir, baselines_dir = LATEST, BASELINES
+    latest_dir.mkdir(parents=True, exist_ok=True)
+    (latest_dir / f"{name}.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    baseline_path = baselines_dir / f"{name}.json"
     if baseline_path.exists():
         return json.loads(baseline_path.read_text())
-    BASELINES.mkdir(parents=True, exist_ok=True)
+    baselines_dir.mkdir(parents=True, exist_ok=True)
     baseline_path.write_text(json.dumps(record, indent=2) + "\n")
     return None
 

@@ -81,8 +81,9 @@ from .transform import (
     transform_bcircuit_fused,
 )
 from .program import Program, main, subroutine
+from .streaming import GateStream
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def run_generic(
@@ -115,6 +116,7 @@ def run_generic(
 
 __all__ = [
     "Program",
+    "GateStream",
     "main",
     "subroutine",
     "Circ",

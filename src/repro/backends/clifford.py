@@ -12,6 +12,7 @@ import numpy as np
 
 from ..core.circuit import BCircuit
 from ..core.gates import Gate, Init
+from ..core.stream import StreamConsumer
 from ..core.wires import QUANTUM
 from ..sim.clifford import CliffordState
 from ..transform.inline import compile_flat
@@ -92,3 +93,50 @@ class CliffordBackend(Backend):
         for gate in gates:
             state.execute(gate)
         return state
+
+
+class CliffordFeed(StreamConsumer):
+    """Run a gate stream on a dynamically-growing stabilizer tableau.
+
+    The batch backend pre-scans the flat gate list to size its tableau;
+    a stream has no list to scan, so this feed uses
+    :class:`~repro.sim.clifford.StreamingCliffordState`, which allocates
+    a tableau column the first time each wire appears.  Boxed calls are
+    expanded on the fly through the lazy inliner.
+    """
+
+    name = "clifford"
+
+    def __init__(self, rng, in_values: dict[int, bool] | None = None):
+        self.rng = rng
+        self.in_values = in_values or {}
+
+    def begin(self, inputs, namespace) -> None:
+        from ..sim.clifford import StreamingCliffordState
+        from ..transform.inline import StreamExpander
+
+        self._expander = StreamExpander(namespace)
+        self.state = StreamingCliffordState(rng=self.rng)
+        for wire, wtype in inputs:
+            if wtype == QUANTUM:
+                self.state.ensure_wire(wire)
+                if self.in_values.get(wire, False):
+                    self.state.tableau.x_gate(self.state.index[wire])
+            else:
+                self.state.bits[wire] = self.in_values.get(wire, False)
+
+    def gate(self, gate: Gate) -> None:
+        from ..core.gates import Comment
+
+        if isinstance(gate, Comment):
+            return
+        for flat in self._expander.expand(gate):
+            self.state.execute(flat)
+
+    def finish(self, end) -> RunResult:
+        self.outputs = end.outputs
+        return RunResult(
+            backend=self.name,
+            bits=dict(self.state.bits),
+            metadata={"state": self.state},
+        )

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.circuit import BCircuit
 from ..core.gates import Gate, Measure
+from ..core.stream import StreamConsumer
 from ..core.wires import QUANTUM
 from ..sim.state import StateVector
 from ..transform.inline import compile_flat, iter_flat_gates
@@ -129,36 +130,7 @@ class StatevectorBackend(Backend):
         _load_inputs(sim, bc, in_values)
         for gate in gates:
             sim.execute(gate)
-        outputs = bc.circuit.outputs
-        # *measured* wires were quantum until a stripped trailing Measure;
-        # they are still qubit axes of the final state and get sampled.
-        qwires = [w for w, t in outputs if t == QUANTUM or w in measured]
-        cbits = {
-            w: sim.bits[w]
-            for w, t in outputs
-            if t != QUANTUM and w not in measured
-        }
-        if not qwires:
-            key = outcome_key([cbits[w] for w, _ in outputs])
-            return {key: shots}
-        dist = sim.basis_probabilities(qwires)
-        outcomes = list(dist)
-        probs = np.array([dist[o] for o in outcomes])
-        probs = probs / probs.sum()
-        draws = rng.multinomial(shots, probs)
-        counts: dict[str, int] = {}
-        for outcome, n in zip(outcomes, draws):
-            if n == 0:
-                continue
-            qvalue = dict(zip(qwires, outcome))
-            key = outcome_key(
-                [
-                    bool(qvalue[w]) if w in qvalue else cbits[w]
-                    for w, _ in outputs
-                ]
-            )
-            counts[key] = counts.get(key, 0) + int(n)
-        return counts
+        return draw_counts(sim, bc.circuit.outputs, shots, rng, measured)
 
     # -- stochastic circuits: fork the state at the first measurement -------
 
@@ -191,3 +163,116 @@ class StatevectorBackend(Backend):
             )
             counts[key] = counts.get(key, 0) + 1
         return counts
+
+
+def draw_counts(sim: StateVector, outputs, shots: int, rng,
+                measured: frozenset[int] = frozenset()) -> dict[str, int]:
+    """Sample *shots* outcomes from a final state in one multinomial draw.
+
+    *measured* wires were quantum until a stripped trailing ``Measure``;
+    they are still qubit axes of the final state and get sampled.  Shared
+    by the batched backend path and the streaming feed, so streamed and
+    materialized sampling of measurement-free circuits are seed-exact.
+    """
+    qwires = [w for w, t in outputs if t == QUANTUM or w in measured]
+    cbits = {
+        w: sim.bits[w]
+        for w, t in outputs
+        if t != QUANTUM and w not in measured
+    }
+    if not qwires:
+        key = outcome_key([cbits[w] for w, _ in outputs])
+        return {key: shots}
+    dist = sim.basis_probabilities(qwires)
+    outcomes = list(dist)
+    probs = np.array([dist[o] for o in outcomes])
+    probs = probs / probs.sum()
+    draws = rng.multinomial(shots, probs)
+    counts: dict[str, int] = {}
+    for outcome, n in zip(outcomes, draws):
+        if n == 0:
+            continue
+        qvalue = dict(zip(qwires, outcome))
+        key = outcome_key(
+            [
+                bool(qvalue[w]) if w in qvalue else cbits[w]
+                for w, _ in outputs
+            ]
+        )
+        counts[key] = counts.get(key, 0) + int(n)
+    return counts
+
+
+class StatevectorFeed(StreamConsumer):
+    """Simulate a gate stream directly on the dense statevector kernels.
+
+    The streaming analogue of the backend's ``shots=None`` path: every
+    emitted gate is executed the moment it arrives (boxed calls expanded
+    on the fly through the lazy inliner), so circuits are simulated while
+    they are being *generated*, without a gate list or a BCircuit ever
+    existing.  ``stochastic`` records whether any ``Measure``/``Discard``
+    consumed randomness -- :meth:`repro.streaming.GateStream.run` uses it
+    to decide between one-draw batched sampling and per-shot replay.
+    """
+
+    name = "statevector"
+
+    def __init__(self, rng, in_values: dict[int, bool] | None = None,
+                 max_width: int = 26):
+        self.rng = rng
+        self.in_values = in_values or {}
+        self.max_width = max_width
+        self.stochastic = False
+
+    def begin(self, inputs, namespace) -> None:
+        from ..transform.inline import StreamExpander
+
+        self._expander = StreamExpander(namespace)
+        self.sim = StateVector(rng=self.rng)
+        quantum = [w for w, t in inputs if t == QUANTUM]
+        if len(quantum) > self.max_width:
+            raise BackendError(
+                f"{len(quantum)} input qubits exceed the statevector "
+                f"limit ({self.max_width}); use .resources() to size "
+                "the circuit first"
+            )
+        for wire, wtype in inputs:
+            if wtype == QUANTUM:
+                self.sim.add_qubit(wire, self.in_values.get(wire, False))
+            else:
+                self.sim.bits[wire] = self.in_values.get(wire, False)
+
+    def gate(self, gate: Gate) -> None:
+        from ..core.gates import Comment
+
+        if isinstance(gate, Comment):
+            return
+        for flat in self._expander.expand(gate):
+            self._exec(flat)
+
+    def _exec(self, gate: Gate) -> None:
+        from ..core.gates import Discard, Init
+
+        if isinstance(gate, (Measure, Discard)):
+            self.stochastic = True
+        # Guard growth BEFORE allocating: one qubit past the cap would
+        # double the state into gigabytes before any check could fire.
+        if isinstance(gate, Init) and self.sim.num_qubits >= self.max_width:
+            raise BackendError(
+                f"stream width exceeded the statevector limit "
+                f"({self.max_width} qubits); use .resources() to size "
+                "the circuit first"
+            )
+        self.sim.execute(gate)
+
+    def finish(self, end) -> RunResult:
+        sim = self.sim
+        wires = sorted(sim.axes, key=lambda w: sim.axes[w])
+        self.outputs = end.outputs
+        return RunResult(
+            backend=self.name,
+            statevector=sim.state,
+            statevector_wires=tuple(wires),
+            bits=dict(sim.bits),
+            metadata={"state": sim, "stochastic": self.stochastic},
+        )

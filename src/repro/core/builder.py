@@ -784,6 +784,26 @@ class Circ:
           instead of repackaging;
         * ``"ignore"`` -- the historical silent repackaging.
         """
+        out_struct = self._resolve_outputs(
+            outputs, on_extra=on_extra, _stacklevel=_stacklevel + 1
+        )
+        leaves = qdata_leaves(out_struct)
+        circuit = Circuit(
+            inputs=self._inputs,
+            gates=self.gates,
+            outputs=tuple((l.wire_id, l.wire_type) for l in leaves),
+        )
+        return BCircuit(circuit, self.namespace), out_struct
+
+    def _resolve_outputs(self, outputs, on_extra: str = "warn",
+                         _stacklevel: int = 2):
+        """Resolve the declared outputs against the live wires.
+
+        The output-shape half of :meth:`finish`, shared with the streaming
+        builder (:mod:`repro.core.stream`), which resolves outputs without
+        materializing a circuit.  Returns the final output structure,
+        applying the *on_extra* policy to live wires beyond *outputs*.
+        """
         if on_extra not in ("warn", "error", "ignore"):
             raise ValueError(f"unknown on_extra mode {on_extra!r}")
         if outputs is None:
@@ -816,13 +836,7 @@ class Circ:
                         stacklevel=_stacklevel,
                     )
             out_struct = outputs if not extra else (outputs, extra)
-        leaves = qdata_leaves(out_struct)
-        circuit = Circuit(
-            inputs=self._inputs,
-            gates=self.gates,
-            outputs=tuple((l.wire_id, l.wire_type) for l in leaves),
-        )
-        return BCircuit(circuit, self.namespace), out_struct
+        return out_struct
 
 
 def _iter_bools(value):

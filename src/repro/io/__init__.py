@@ -32,11 +32,12 @@ import os
 from ..core.circuit import BCircuit
 from ..output.ascii import format_circuit
 from .ascii_parser import AsciiParseError, encode_shape, parse_bcircuit
-from .qasm import QasmExportError, bcircuit_to_qasm
+from .qasm import QasmExportError, QasmStreamWriter, bcircuit_to_qasm
 
 __all__ = [
     "AsciiParseError",
     "QasmExportError",
+    "QasmStreamWriter",
     "bcircuit_to_qasm",
     "dump",
     "dumps",

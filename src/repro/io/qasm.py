@@ -46,8 +46,9 @@ from ..core.gates import (
     NamedGate,
     Term,
 )
+from ..core.stream import StreamConsumer
 from ..core.wires import QUANTUM
-from ..transform.inline import iter_flat_gates
+from ..transform.inline import StreamExpander, iter_flat_gates
 
 
 class QasmExportError(QuipperError):
@@ -86,8 +87,8 @@ class _QasmWriter:
             ident = re.sub(r"\W+", "_", name).strip("_") or "gate"
             ident = f"op_{ident}"
             args = ", ".join(f"a{i}" for i in range(arity))
-            self.lines.append(f"// no qelib1 equivalent for {name!r}:")
-            self.lines.append(f"opaque {ident} {args};")
+            self.emit(f"// no qelib1 equivalent for {name!r}:")
+            self.emit(f"opaque {ident} {args};")
             self.opaques[name] = ident
         return self.opaques[name]
 
@@ -255,6 +256,67 @@ def bcircuit_to_qasm(bc: BCircuit) -> str:
     decls = [f"qreg q[{max(len(writer.qubit_index), 1)}];"]
     decls.extend(f"creg {name}[1];" for name in writer.cregs.values())
     return "\n".join(header + decls + writer.lines) + "\n"
+
+
+class QasmStreamWriter(StreamConsumer):
+    """Incremental OpenQASM 2.0 export of a gate stream.
+
+    The QASM header must declare the quantum register and every classical
+    register, which are only known once the last gate has flowed past --
+    so the body is spooled to an anonymous temporary file (O(1) memory,
+    O(circuit) disk) while declarations accumulate, and :meth:`finish`
+    writes ``header + declarations`` to the destination and copies the
+    body after them.  Boxed subroutine calls are expanded on the fly
+    through the lazy inliner, with fresh internal wires drawn from a
+    dedicated id range (:data:`STREAM_EXPANSION_BASE`) so they can never
+    collide with wires the generating builder allocates later.
+    """
+
+    def __init__(self, fp):
+        self.fp = fp
+
+    def begin(self, inputs, namespace) -> None:
+        import tempfile
+
+        self._expander = StreamExpander(namespace)
+        self._body = tempfile.TemporaryFile(
+            "w+", encoding="utf-8", prefix="repro-qasm-"
+        )
+        body = self._body
+
+        class _SpoolingWriter(_QasmWriter):
+            def emit(self, line: str) -> None:
+                body.write(line + "\n")
+
+        self.writer = _SpoolingWriter()
+        for wire, wtype in inputs:
+            if wtype == QUANTUM:
+                self.writer.qubit(wire)
+            else:
+                raise QasmExportError(
+                    "OpenQASM 2 cannot accept classical input wires; "
+                    f"bind wire {wire} to a value first"
+                )
+
+    def gate(self, gate) -> None:
+        for flat in self._expander.expand(gate):
+            _emit_gate(self.writer, flat)
+
+    def finish(self, end):
+        import shutil
+
+        try:
+            header = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+            decls = [f"qreg q[{max(len(self.writer.qubit_index), 1)}];"]
+            decls.extend(
+                f"creg {name}[1];" for name in self.writer.cregs.values()
+            )
+            self.fp.write("\n".join(header + decls) + "\n")
+            self._body.seek(0)
+            shutil.copyfileobj(self._body, self.fp)
+        finally:
+            self._body.close()
+        return self.fp
 
 
 def _emit_gate(writer: _QasmWriter, gate) -> None:

@@ -31,6 +31,7 @@ from ..core.gates import (
     NamedGate,
     Term,
 )
+from ..core.stream import StreamConsumer
 from ..core.wires import QUANTUM
 
 
@@ -115,6 +116,46 @@ def format_bcircuit(bc: BCircuit) -> str:
         parts.append(f"\nSubroutine: \"{name}\"")
         parts.append(format_circuit(sub.circuit))
     return "\n".join(parts)
+
+
+class AsciiStreamWriter(StreamConsumer):
+    """Write the ASCII rendering of a gate stream incrementally to *fp*.
+
+    One line per gate, written the moment the gate is emitted, so the
+    text of circuits too large to hold in memory lands on disk in O(1)
+    memory.  The boxed subroutine definitions (small by construction) are
+    appended after the main circuit, exactly like
+    :func:`format_bcircuit`; with ``interchange`` a ``Shape:`` line is
+    added per subroutine, matching :func:`repro.io.dumps` so the file
+    round-trips through :func:`repro.io.loads`.
+    """
+
+    def __init__(self, fp, interchange: bool = False):
+        self.fp = fp
+        self.interchange = interchange
+
+    def begin(self, inputs, namespace) -> None:
+        self.namespace = namespace
+        self.fp.write(f"Inputs: {_fmt_endpoint(inputs)}\n")
+
+    def gate(self, gate: Gate) -> None:
+        self.fp.write(format_gate(gate) + "\n")
+
+    def finish(self, end):
+        fp = self.fp
+        fp.write(f"Outputs: {_fmt_endpoint(end.outputs)}\n")
+        for name in sorted(self.namespace):
+            sub = self.namespace[name]
+            fp.write(f'\nSubroutine: "{name}"\n')
+            if self.interchange:
+                from ..io.ascii_parser import encode_shape
+
+                fp.write(
+                    f"Shape: {encode_shape(sub.in_shape)} -> "
+                    f"{encode_shape(sub.out_shape)}\n"
+                )
+            fp.write(format_circuit(sub.circuit) + "\n")
+        return fp
 
 
 def print_generic(fn, *shape_args, file=None) -> BCircuit:

@@ -115,15 +115,16 @@ class Program:
     it.
     """
 
-    __slots__ = ("name", "_thunk", "_fn", "_shapes", "_cache")
+    __slots__ = ("name", "_thunk", "_fn", "_shapes", "_cache", "_on_extra")
 
     def __init__(self, thunk: Callable[[], tuple[BCircuit, object]], *,
                  name: str | None = None, fn: Callable | None = None,
-                 shapes: tuple = ()):
+                 shapes: tuple = (), on_extra: str = "warn"):
         self.name = name or "program"
         self._thunk = thunk
         self._fn = fn
         self._shapes = shapes
+        self._on_extra = on_extra
         self._cache: tuple[BCircuit, object] | None = None
 
     # -- construction -------------------------------------------------------
@@ -160,6 +161,7 @@ class Program:
             name=name or getattr(fn, "__name__", None),
             fn=fn,
             shapes=shapes,
+            on_extra=on_extra,
         )
 
     @classmethod
@@ -294,10 +296,60 @@ class Program:
 
         return self._derived(f"controlled({n})", make)
 
+    # -- streaming ----------------------------------------------------------
+
+    def stream(self, *rules) -> "GateStream":
+        """A lazy gate stream over this program -- nothing materialized.
+
+        For a captured (not-yet-built) program the stream re-runs the
+        circuit function once per consumer, pushing each gate to the
+        consumer as it is emitted -- the program's circuit is **never
+        built**, so streams of any gate count run in O(live wires +
+        boxed bodies) memory.  For an already-built (or loaded, or
+        derived) program the stored hierarchy is replayed instead.
+
+        *rules* are transformer rules (or gate-base names, as in
+        :meth:`transform`) fused into the stream: each emitted gate flows
+        through the whole chain on its way to the consumer, with boxed
+        bodies rewritten once, on demand.
+
+        ::
+
+            prog.stream().count()            # O(1)-memory gate count
+            prog.stream("binary").depth()    # decompose + estimate, fused
+            prog.stream().dump(fp)           # incremental interchange dump
+        """
+        from .core.stream import replay_bcircuit, stream_build
+        from .streaming import GateStream
+
+        resolved = _resolve_rules(rules)
+        if self._fn is not None and self._cache is None:
+            fn, shapes, on_extra = self._fn, self._shapes, self._on_extra
+
+            def produce(consumer):
+                return stream_build(fn, shapes, consumer, on_extra=on_extra)
+        else:
+
+            def produce(consumer):
+                bc, outs = self._built()
+                return replay_bcircuit(bc, consumer, out_struct=outs)
+
+        return GateStream(
+            produce, name=f"{self.name}.stream", rules=resolved
+        )
+
     # -- consumers: counting and estimation ---------------------------------
 
-    def count(self) -> Counter:
-        """Aggregated hierarchical gate count (never inlines)."""
+    def count(self, stream: bool = False) -> Counter:
+        """Aggregated hierarchical gate count (never inlines).
+
+        With ``stream`` the count is taken over a gate stream instead of
+        the built circuit (see :meth:`stream`): identical Counter, O(1)
+        memory per gate, and the circuit is not generated into memory if
+        it was not already.
+        """
+        if stream:
+            return self.stream().count()
         return aggregate_gate_count(self.bcircuit)
 
     def total_gates(self) -> int:
@@ -308,20 +360,26 @@ class Program:
         """Gate count excluding initialization/termination/measurement."""
         return total_logical_gates(self.count())
 
-    def depth(self) -> int:
+    def depth(self, stream: bool = False) -> int:
         """Critical-path depth over the hierarchy (no inlining)."""
+        if stream:
+            return self.stream().depth()
         return circuit_depth(self.bcircuit)
 
-    def t_depth(self) -> int:
+    def t_depth(self, stream: bool = False) -> int:
         """Critical-path depth counting only T gates."""
+        if stream:
+            return self.stream().t_depth()
         return _t_depth(self.bcircuit)
 
     def width(self) -> int:
         """Peak number of simultaneously live wires (validates wiring)."""
         return self.bcircuit.check()
 
-    def resources(self) -> dict:
+    def resources(self, stream: bool = False) -> dict:
         """The ``resources`` backend's static cost report as a dict."""
+        if stream:
+            return self.stream().resources()
         return self.run(backend="resources").resources
 
     # -- consumers: execution -----------------------------------------------
@@ -355,8 +413,16 @@ class Program:
 
     # -- consumers: rendering and interchange -------------------------------
 
-    def ascii(self) -> str:
-        """The circuit as Quipper-style ASCII text."""
+    def ascii(self, fp=None) -> str | None:
+        """The circuit as Quipper-style ASCII text.
+
+        With *fp* the text is written incrementally to the file handle
+        through a gate stream (the circuit is not materialized) and
+        ``None`` is returned.
+        """
+        if fp is not None:
+            self.stream().write_ascii(fp)
+            return None
         from .output.ascii import format_bcircuit
 
         return format_bcircuit(self.bcircuit)
@@ -372,14 +438,30 @@ class Program:
 
         return format_gatecount(self.bcircuit, per_subroutine=per_subroutine)
 
-    def dumps(self) -> str:
-        """Serialize to Quipper-ASCII interchange text (round-trips)."""
+    def dumps(self, fp=None) -> str | None:
+        """Serialize to Quipper-ASCII interchange text (round-trips).
+
+        With *fp* the text is streamed to the file handle one gate-line
+        at a time -- byte-identical to the returned string, but the
+        circuit is never materialized -- and ``None`` is returned.
+        """
+        if fp is not None:
+            self.stream().dump(fp)
+            return None
         from .io import dumps as _dumps
 
         return _dumps(self.bcircuit)
 
-    def qasm(self) -> str:
-        """Export to flat OpenQASM 2.0 (inlines the hierarchy)."""
+    def qasm(self, fp=None) -> str | None:
+        """Export to flat OpenQASM 2.0 (inlines the hierarchy).
+
+        With *fp* the export is streamed: boxed calls are expanded on
+        the fly and the body spooled through a temporary file, so
+        exports larger than RAM work.  Returns ``None`` in that case.
+        """
+        if fp is not None:
+            self.stream().write_qasm(fp)
+            return None
         from .io import bcircuit_to_qasm
 
         return bcircuit_to_qasm(self.bcircuit)

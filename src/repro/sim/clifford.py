@@ -92,6 +92,31 @@ class Tableau:
         self.cnot(b, a)
         self.cnot(a, b)
 
+    # -- growth ------------------------------------------------------------
+
+    def extend(self, k: int) -> None:
+        """Append *k* fresh qubits in |0>, preserving the current state.
+
+        The existing destabilizer/stabilizer rows keep their Pauli
+        letters on the old columns; each new qubit contributes the
+        standard |0> pair (destabilizer ``X_i``, stabilizer ``Z_i``).
+        This is what lets a *streaming* Clifford feed simulate a circuit
+        whose total wire count is unknown until the stream ends.
+        """
+        n, m = self.n, self.n + k
+        x = np.zeros((2 * m, m), dtype=bool)
+        z = np.zeros((2 * m, m), dtype=bool)
+        r = np.zeros(2 * m, dtype=bool)
+        x[:n, :n] = self.x[:n]
+        z[:n, :n] = self.z[:n]
+        r[:n] = self.r[:n]
+        x[m:m + n, :n] = self.x[n:]
+        z[m:m + n, :n] = self.z[n:]
+        r[m:m + n] = self.r[n:]
+        x[np.arange(n, m), np.arange(n, m)] = True  # destabilizers X_i
+        z[np.arange(m + n, 2 * m), np.arange(n, m)] = True  # stabilizers Z_i
+        self.x, self.z, self.r, self.n = x, z, r, m
+
     # -- measurement -------------------------------------------------------
 
     @staticmethod
@@ -264,6 +289,33 @@ class CliffordState:
             return
         else:
             raise SimulationError(f"{gate.name!r} is not a Clifford gate")
+
+
+class StreamingCliffordState(CliffordState):
+    """A CliffordState whose tableau grows as wires appear in a stream.
+
+    The batch :class:`CliffordState` pre-allocates one column per wire
+    ever used, which requires the whole gate list up front.  This variant
+    starts empty and allocates a column the first time a wire is
+    initialized (or declared as an input via :meth:`ensure_wire`),
+    growing the tableau by amortized doubling, so it can consume a gate
+    stream whose total wire count is unknown until the stream ends.
+    """
+
+    def __init__(self, rng=None):
+        super().__init__([], rng=rng)
+
+    def ensure_wire(self, wire: int) -> None:
+        if wire in self.index:
+            return
+        if len(self.index) >= self.tableau.n:
+            self.tableau.extend(max(8, self.tableau.n))
+        self.index[wire] = len(self.index)
+
+    def execute(self, gate: Gate) -> None:
+        if isinstance(gate, Init):
+            self.ensure_wire(gate.wire)
+        super().execute(gate)
 
 
 def run_clifford(bc: BCircuit, in_values: dict[int, bool] | None = None,

@@ -1,0 +1,275 @@
+"""The fluent streaming surface: one gate stream, every consumer.
+
+A :class:`GateStream` is the streaming counterpart of
+:class:`~repro.program.Program`: where a Program generates (and caches) a
+:class:`~repro.core.circuit.BCircuit` that consumers walk, a GateStream
+re-runs its producer once per consumer and pushes each gate through the
+consumer the moment it is emitted -- nothing is ever materialized, so the
+circuit's size is bounded by disk (for the writers) or by nothing at all
+(for the counters), not by RAM.
+
+::
+
+    prog = Program.capture(huge_circuit)
+    prog.stream().count()                  # O(1)-memory gate count
+    prog.stream().resources()              # counts + depth + width
+    prog.stream(to_toffoli).count()        # rules fused into the stream
+    with open("circuit.quip", "w") as fp:
+        prog.stream().dump(fp)             # incremental interchange dump
+    prog.stream().run(shots=64, seed=1)    # simulate while generating
+
+Repeated boxed-subroutine calls stay *symbolic* in the counting
+consumers (the body is costed once and multiplied through its call
+sites), which is what makes million-to-billion-gate resource estimates
+finish in seconds -- the paper's headline scalability result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .backends.base import BackendError, RunResult, outcome_key
+from .backends.clifford import CliffordFeed
+from .backends.resources import StreamingResources
+from .backends.statevector import StatevectorFeed, draw_counts
+from .core.stream import StreamConsumer
+from .core.wires import QUANTUM
+from .transform.count import StreamingCounter, total_gates, total_logical_gates
+from .transform.depth import StreamingDepth
+from .transform.pipeline import StreamTransformer
+from .transform.transformer import Rule
+
+
+class GateStream:
+    """A re-runnable gate stream with the full consumer surface.
+
+    ``produce(consumer)`` runs the underlying producer -- a generating
+    builder (:func:`~repro.core.stream.stream_build`) or a stored-circuit
+    replay (:func:`~repro.core.stream.replay_bcircuit`) -- pushing every
+    gate to *consumer* and returning its result.  Each consumer method
+    below is one fresh pass over the stream.
+    """
+
+    def __init__(self, produce: Callable[[StreamConsumer], object], *,
+                 name: str = "stream", rules: tuple[Rule, ...] = ()):
+        self._produce_raw = produce
+        self.name = name
+        self._rules = tuple(rules)
+
+    def _produce(self, consumer: StreamConsumer):
+        if self._rules:
+            consumer = StreamTransformer(self._rules, consumer)
+        return self._produce_raw(consumer)
+
+    def transform(self, *rules: Rule) -> "GateStream":
+        """Chain further transformer rules into the streaming chain."""
+        return GateStream(
+            self._produce_raw, name=self.name,
+            rules=self._rules + tuple(rules),
+        )
+
+    # -- counting and estimation --------------------------------------------
+
+    def count(self):
+        """Aggregated gate count of the stream (O(1) memory per gate)."""
+        return self._produce(StreamingCounter())
+
+    def total_gates(self) -> int:
+        return total_gates(self.count())
+
+    def logical_gates(self) -> int:
+        return total_logical_gates(self.count())
+
+    def depth(self) -> int:
+        """Critical-path depth of the stream (O(live width) memory)."""
+        return self._produce(StreamingDepth())
+
+    def t_depth(self) -> int:
+        return self._produce(StreamingDepth(t_only=True))
+
+    def resources(self) -> dict:
+        """The full resource report (counts, depth, T-depth, width)."""
+        return self._produce(StreamingResources())
+
+    # -- incremental writers -------------------------------------------------
+
+    def write_ascii(self, fp):
+        """Write the printer-style ASCII rendering incrementally to *fp*."""
+        from .output.ascii import AsciiStreamWriter
+
+        return self._produce(AsciiStreamWriter(fp))
+
+    def dump(self, fp):
+        """Write Quipper-ASCII interchange text incrementally to *fp*.
+
+        The result round-trips through :func:`repro.io.loads` and is
+        byte-identical to :func:`repro.io.dumps` of the materialized
+        circuit -- but the main circuit is never held in memory.
+        """
+        from .output.ascii import AsciiStreamWriter
+
+        return self._produce(AsciiStreamWriter(fp, interchange=True))
+
+    def write_qasm(self, fp):
+        """Export flat OpenQASM 2.0 incrementally to *fp*.
+
+        Boxed calls are expanded on the fly; the body is spooled to a
+        temporary file so the header's register declarations can be
+        written first (O(1) memory, O(circuit) disk).
+        """
+        from .io.qasm import QasmStreamWriter
+
+        return self._produce(QasmStreamWriter(fp))
+
+    # -- simulation feeds ----------------------------------------------------
+
+    def run(self, backend: str = "statevector", *, shots: int | None = None,
+            in_values: dict[int, bool] | None = None,
+            seed: int | None = None, **options) -> RunResult:
+        """Simulate the gate stream directly on a simulation backend.
+
+        With ``shots=None`` this is a single generate-and-execute pass:
+        each gate hits the statevector kernels (or the growing stabilizer
+        tableau) the moment it is emitted.  With ``shots``, circuits
+        whose stream consumed no randomness (no mid-stream measurement)
+        are sampled with one multinomial draw from the final state --
+        seed-exact with the materialized backend's batched path; streams
+        with genuine mid-circuit measurement are re-generated once per
+        shot (valid, but O(shots x gates): prefer the materialized
+        ``Program.run`` when the circuit fits in memory).
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        if shots is not None and shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        feed = self._feed(backend, rng, in_values, options)
+        result = self._produce(feed)
+        if shots is None:
+            return result
+        if backend == "statevector" and not feed.stochastic:
+            counts = draw_counts(feed.sim, feed.outputs, shots, rng)
+            return RunResult(
+                backend=backend, shots=shots, counts=counts,
+                metadata={"batched": True, "streamed": True},
+            )
+        counts: dict[str, int] = {}
+        key = self._outcome(backend, feed)
+        counts[key] = 1
+        for _ in range(shots - 1):
+            feed = self._feed(backend, rng, in_values, options)
+            self._produce(feed)
+            key = self._outcome(backend, feed)
+            counts[key] = counts.get(key, 0) + 1
+        return RunResult(
+            backend=backend, shots=shots, counts=counts,
+            metadata={"batched": False, "streamed": True, "replays": shots},
+        )
+
+    @staticmethod
+    def _feed(backend: str, rng, in_values, options) -> StreamConsumer:
+        if backend == "statevector":
+            return StatevectorFeed(rng, in_values, **options)
+        if backend == "clifford":
+            return CliffordFeed(rng, in_values, **options)
+        raise BackendError(
+            f"backend {backend!r} has no streaming feed; streaming "
+            "supports 'statevector' and 'clifford' (for cost reports "
+            "use .resources())"
+        )
+
+    @staticmethod
+    def _outcome(backend: str, feed) -> str:
+        if backend == "statevector":
+            sim = feed.sim
+            return outcome_key([
+                sim.measure_qubit(w) if t == QUANTUM else sim.bits[w]
+                for w, t in feed.outputs
+            ])
+        state = feed.state
+        return outcome_key([
+            state.tableau.measure(state.index[w])
+            if t == QUANTUM
+            else state.bits[w]
+            for w, t in feed.outputs
+        ])
+
+    # -- pull-based iteration ------------------------------------------------
+
+    def gates(self):
+        """A generator over the stream's gates (bounded-buffer pull API).
+
+        The push-based producer runs on a worker thread feeding a small
+        bounded queue, so iteration is O(queue) memory however long the
+        stream; abandoning the iterator (``break`` / ``close``) unwinds
+        the producer promptly.
+        """
+        import queue
+        import threading
+
+        done = object()
+        stop = threading.Event()
+        fifo: queue.Queue = queue.Queue(maxsize=256)
+        failure: list[BaseException] = []
+
+        class _Abort(Exception):
+            pass
+
+        class _Yielder(StreamConsumer):
+            def gate(self, gate):
+                while True:
+                    if stop.is_set():
+                        raise _Abort()
+                    try:
+                        fifo.put(gate, timeout=0.05)
+                        return
+                    except queue.Full:
+                        continue
+
+        def work():
+            try:
+                self._produce(_Yielder())
+            except _Abort:
+                pass
+            except BaseException as exc:  # re-raised on the consumer side
+                failure.append(exc)
+            while True:
+                try:
+                    fifo.put(done, timeout=0.05)
+                    return
+                except queue.Full:
+                    if stop.is_set():
+                        try:
+                            fifo.get_nowait()
+                        except queue.Empty:
+                            pass
+
+        worker = threading.Thread(
+            target=work, name=f"{self.name}-producer", daemon=True
+        )
+        worker.start()
+        try:
+            while True:
+                item = fifo.get()
+                if item is done:
+                    break
+                yield item
+        finally:
+            stop.set()
+            while worker.is_alive():
+                try:
+                    fifo.get(timeout=0.05)
+                except queue.Empty:
+                    pass
+            worker.join()
+        if failure:
+            raise failure[0]
+
+    __iter__ = gates
+
+    def __repr__(self) -> str:
+        rules = f" +{len(self._rules)} rules" if self._rules else ""
+        return f"<GateStream {self.name!r}{rules}>"
+
+
+__all__ = ["GateStream"]

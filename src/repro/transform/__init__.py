@@ -5,9 +5,10 @@ These implement the paper's Section 4.4.3 operators (``reverse_simple``,
 trillion-gate counts.
 """
 
-from .depth import circuit_depth, t_depth
+from .depth import StreamingDepth, circuit_depth, t_depth
 from .count import (
     GateCountKey,
+    StreamingCounter,
     aggregate_gate_count,
     count_circuit_flat,
     total_gates,
@@ -19,6 +20,7 @@ from .toffoli import decompose_toffoli
 from .binary import decompose_binary
 from .transformer import transform_bcircuit
 from .pipeline import (
+    StreamTransformer,
     canonicalize_wires,
     fixpoint_rule,
     to_binary,
@@ -47,6 +49,9 @@ def decompose_generic(base: str, bc):
 
 __all__ = [
     "GateCountKey",
+    "StreamingCounter",
+    "StreamingDepth",
+    "StreamTransformer",
     "aggregate_gate_count",
     "count_circuit_flat",
     "total_gates",

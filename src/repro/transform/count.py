@@ -19,6 +19,7 @@ from collections import Counter
 
 from ..core.circuit import BCircuit, Circuit, Subroutine
 from ..core.errors import QuipperError
+from ..core.stream import StreamConsumer
 from ..core.gates import (
     BoxCall,
     CDiscard,
@@ -113,6 +114,54 @@ def _invert_counts(counts: Counter) -> Counter:
     return Counter({_invert_key(k): v for k, v in counts.items()})
 
 
+def make_subroutine_counter(
+    namespace: dict[str, Subroutine]
+) -> "callable":
+    """A memoized ``count_sub(name) -> Counter`` over *namespace*.
+
+    The shared engine of :func:`aggregate_gate_count` and the streaming
+    :class:`StreamingCounter`: a subroutine's aggregated count is computed
+    exactly once and multiplied through every later call site, which is
+    what makes trillion-gate resource estimates cheap.  The namespace may
+    keep growing after the counter is created (a live generating stream
+    defines boxes as it runs); every lookup sees the current entries.
+    """
+    memo: dict[str, Counter] = {}
+
+    def count_sub(name: str) -> Counter:
+        if name not in memo:
+            sub = namespace.get(name)
+            if sub is None:
+                raise QuipperError(f"undefined subroutine {name!r}")
+            memo[name] = None  # type: ignore[assignment]  # cycle guard
+            memo[name] = count_circuit(sub.circuit)
+        if memo[name] is None:
+            raise QuipperError(f"recursive subroutine {name!r}")
+        return memo[name]
+
+    def count_circuit(circuit: Circuit) -> Counter:
+        total: Counter = Counter()
+        for gate in circuit.gates:
+            add_gate(total, gate)
+        return total
+
+    def add_gate(total: Counter, gate: Gate) -> None:
+        if isinstance(gate, Comment):
+            return
+        if isinstance(gate, BoxCall):
+            sub_counts = count_sub(gate.name)
+            if gate.inverted:
+                sub_counts = _invert_counts(sub_counts)
+            reps = gate.repetitions
+            for key, value in sub_counts.items():
+                total[key] += value * reps
+        else:
+            total[classify(gate)] += 1
+
+    count_sub.add_gate = add_gate  # type: ignore[attr-defined]
+    return count_sub
+
+
 def aggregate_gate_count(bc: BCircuit) -> Counter:
     """Count every gate of the fully-inlined circuit, without inlining it.
 
@@ -120,33 +169,33 @@ def aggregate_gate_count(bc: BCircuit) -> Counter:
     (including their ``repetitions`` factors), so this is fast even for
     circuits whose inlined size is astronomically large.
     """
-    memo: dict[str, Counter] = {}
+    count_sub = make_subroutine_counter(bc.namespace)
+    total: Counter = Counter()
+    for gate in bc.circuit.gates:
+        count_sub.add_gate(total, gate)  # type: ignore[attr-defined]
+    return total
 
-    def count_sub(name: str) -> Counter:
-        if name not in memo:
-            sub = bc.namespace.get(name)
-            if sub is None:
-                raise QuipperError(f"undefined subroutine {name!r}")
-            memo[name] = _count(sub.circuit)
-        return memo[name]
 
-    def _count(circuit: Circuit) -> Counter:
-        total: Counter = Counter()
-        for gate in circuit.gates:
-            if isinstance(gate, Comment):
-                continue
-            if isinstance(gate, BoxCall):
-                sub_counts = count_sub(gate.name)
-                if gate.inverted:
-                    sub_counts = _invert_counts(sub_counts)
-                reps = gate.repetitions
-                for key, value in sub_counts.items():
-                    total[key] += value * reps
-            else:
-                total[classify(gate)] += 1
-        return total
+class StreamingCounter(StreamConsumer):
+    """Gate-count consumer for a gate stream: O(1) memory per gate.
 
-    return _count(bc.circuit)
+    Produces exactly the Counter of :func:`aggregate_gate_count` without
+    the main circuit ever existing: each streamed gate is classified and
+    dropped; a ``BoxCall`` is costed symbolically (the boxed body counted
+    once, multiplied by ``repetitions``), so a repeated-subroutine stream
+    of billions of logical gates counts in O(subroutine size) time and
+    memory.
+    """
+
+    def begin(self, inputs, namespace) -> None:
+        self.counts: Counter = Counter()
+        self._count_sub = make_subroutine_counter(namespace)
+
+    def gate(self, gate: Gate) -> None:
+        self._count_sub.add_gate(self.counts, gate)  # type: ignore[attr-defined]
+
+    def finish(self, end) -> Counter:
+        return self.counts
 
 
 def count_circuit_flat(circuit: Circuit) -> Counter:

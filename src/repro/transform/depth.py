@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from ..core.circuit import BCircuit, Circuit
 from ..core.errors import QuipperError
-from ..core.gates import BoxCall, Comment, Gate
+from ..core.gates import BoxCall, Comment, Gate, NamedGate
+from ..core.stream import StreamConsumer
 
 
 def _gate_span(gate: Gate, namespace, memo) -> tuple[list[int], int]:
@@ -71,6 +72,46 @@ def circuit_depth(bc: BCircuit) -> int:
     return _circuit_depth(bc.circuit, bc.namespace, memo)
 
 
+def _t_gate_span(gate: Gate, namespace, memo) -> tuple[list[int], int]:
+    """The wires a gate occupies and its T-step cost (T-depth model)."""
+    if isinstance(gate, BoxCall):
+        steps = _sub_t_depth(gate.name, namespace, memo) * gate.repetitions
+        wires = [w for w, _ in gate.in_wires]
+        wires += [c.wire for c in gate.controls]
+        return wires, steps
+    is_t = isinstance(gate, NamedGate) and gate.name == "T"
+    wires = [w for w, _ in gate.wires_in()]
+    wires += [w for w, _ in gate.wires_out() if w not in wires]
+    return wires, 1 if is_t else 0
+
+
+def _sub_t_depth(name: str, namespace, memo) -> int:
+    if name not in memo:
+        sub = namespace.get(name)
+        if sub is None:
+            raise QuipperError(f"undefined subroutine {name!r}")
+        memo[name] = None  # cycle guard
+        memo[name] = _circuit_t_depth(sub.circuit, namespace, memo)
+    if memo[name] is None:
+        raise QuipperError(f"recursive subroutine {name!r}")
+    return memo[name]
+
+
+def _circuit_t_depth(circuit: Circuit, namespace, memo) -> int:
+    frontier: dict[int, int] = {w: 0 for w, _ in circuit.inputs}
+    total = 0
+    for gate in circuit.gates:
+        if isinstance(gate, Comment):
+            continue
+        wires, steps = _t_gate_span(gate, namespace, memo)
+        start = max((frontier.get(w, 0) for w in wires), default=0)
+        finish = start + steps
+        for wire in wires:
+            frontier[wire] = finish
+        total = max(total, finish)
+    return total
+
+
 def t_depth(bc: BCircuit) -> int:
     """Depth counting only T/T* gates (fault-tolerance cost model).
 
@@ -78,40 +119,45 @@ def t_depth(bc: BCircuit) -> int:
     step.  Useful after a decomposition into a Clifford+T-ish base.
     """
     memo: dict[str, int | None] = {}
+    return _circuit_t_depth(bc.circuit, bc.namespace, memo)
 
-    def sub_t_depth(name: str) -> int:
-        if name not in memo:
-            sub = bc.namespace.get(name)
-            if sub is None:
-                raise QuipperError(f"undefined subroutine {name!r}")
-            memo[name] = None
-            memo[name] = walk(sub.circuit)
-        if memo[name] is None:
-            raise QuipperError(f"recursive subroutine {name!r}")
-        return memo[name]
 
-    def walk(circuit: Circuit) -> int:
-        frontier: dict[int, int] = {w: 0 for w, _ in circuit.inputs}
-        total = 0
-        for gate in circuit.gates:
-            if isinstance(gate, Comment):
-                continue
-            if isinstance(gate, BoxCall):
-                steps = sub_t_depth(gate.name) * gate.repetitions
-                wires = [w for w, _ in gate.in_wires]
-                wires += [c.wire for c in gate.controls]
-            else:
-                from ..core.gates import NamedGate
+class StreamingDepth(StreamConsumer):
+    """Critical-path depth consumer for a gate stream.
 
-                is_t = isinstance(gate, NamedGate) and gate.name == "T"
-                steps = 1 if is_t else 0
-                wires = [w for w, _ in gate.wires_in()]
-                wires += [w for w, _ in gate.wires_out() if w not in wires]
-            start = max((frontier.get(w, 0) for w in wires), default=0)
-            finish = start + steps
-            for wire in wires:
-                frontier[wire] = finish
-            total = max(total, finish)
-        return total
+    Produces exactly :func:`circuit_depth` (or :func:`t_depth` with
+    ``t_only``) without the main circuit existing.  A boxed call costs its
+    memoized body depth on its bound wires, so repeated-subroutine streams
+    stay symbolic.  Wires that die (their gate consumes but does not
+    re-emit them) are pruned from the frontier: since the builder never
+    reuses a wire id, a dead wire's finish time can only matter through
+    the running maximum, which has already absorbed it.  Memory is
+    therefore O(live width), not O(wires ever used).
+    """
 
-    return walk(bc.circuit)
+    def __init__(self, t_only: bool = False):
+        self._span = _t_gate_span if t_only else _gate_span
+
+    def begin(self, inputs, namespace) -> None:
+        self.namespace = namespace
+        self._memo: dict[str, int | None] = {}
+        self.frontier: dict[int, int] = {w: 0 for w, _ in inputs}
+        self.total = 0
+
+    def gate(self, gate: Gate) -> None:
+        if isinstance(gate, Comment):
+            return
+        wires, steps = self._span(gate, self.namespace, self._memo)
+        frontier = self.frontier
+        start = max((frontier.get(w, 0) for w in wires), default=0)
+        finish = start + steps
+        for wire in wires:
+            frontier[wire] = finish
+        self.total = max(self.total, finish)
+        out_ids = {w for w, _ in gate.wires_out()}
+        for wire, _ in gate.wires_in():
+            if wire not in out_ids:
+                frontier.pop(wire, None)
+
+    def finish(self, end) -> int:
+        return self.total

@@ -29,6 +29,15 @@ from ..core.gates import (
 )
 
 
+#: Base of the fresh-wire id range used when a *stream* consumer expands
+#: boxed calls on the fly (QASM export, simulation feeds).  A generating
+#: stream does not know how many wires the builder will eventually
+#: allocate, so expansion ids are drawn from far above any realistic
+#: builder range; a subroutine's internal wires die before its call
+#: returns, so the two ranges never coexist ambiguously.
+STREAM_EXPANSION_BASE = 1 << 60
+
+
 def _max_wire_id(circuit: Circuit) -> int:
     top = -1
     for wire, _ in circuit.inputs:
@@ -106,6 +115,32 @@ def _expand(
                 namespace,
                 source,
             )
+
+
+class StreamExpander:
+    """Expand the boxed calls of a gate stream on the fly.
+
+    The shared lazy-inlining half of every flat-gate stream consumer
+    (QASM export, simulation feeds): non-box gates pass through, a
+    ``BoxCall`` expands recursively through :func:`_expand`, with the
+    body's fresh internal wires drawn from one monotone supply based at
+    :data:`STREAM_EXPANSION_BASE` so they can never collide with wires
+    the generating builder allocates later.  The namespace may keep
+    growing after construction (a live generating stream); every call is
+    defined before its ``BoxCall`` arrives.
+    """
+
+    __slots__ = ("namespace", "_source")
+
+    def __init__(self, namespace: dict):
+        self.namespace = namespace
+        self._source = _WireSource(STREAM_EXPANSION_BASE)
+
+    def expand(self, gate: Gate) -> Iterator[Gate]:
+        if isinstance(gate, BoxCall):
+            yield from _expand(gate, (), self.namespace, self._source)
+        else:
+            yield gate
 
 
 def iter_flat_gates(bc: BCircuit) -> Iterator[Gate]:

@@ -30,11 +30,14 @@ The pipeline is the engine behind :meth:`repro.program.Program.transform`.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable
 
 from ..core.builder import Circ
 from ..core.circuit import BCircuit, Circuit, Subroutine
+from ..core.errors import QuipperError
 from ..core.gates import BoxCall, Gate, map_gate_wires
+from ..core.stream import StreamConsumer
 from .binary import _binary_rule
 from .inline import _max_wire_id
 from .toffoli import _toffoli_rule
@@ -105,6 +108,33 @@ class _TeeGates(list):
         self.sink(gate)
 
 
+class _LastGateTee:
+    """A non-retaining tee: forwards appended gates, keeps only the last.
+
+    The streaming pipeline's replacement for :class:`_TeeGates` -- rules
+    may still inspect the gate they just emitted (``qc.gates[-1]``), but
+    nothing accumulates, so a stage's memory stays O(1) however many
+    gates flow through it.
+    """
+
+    __slots__ = ("sink", "last")
+
+    def __init__(self, sink: Callable[[Gate], None]):
+        self.sink = sink
+        self.last: Gate | None = None
+
+    def append(self, gate: Gate) -> None:
+        self.last = gate
+        self.sink(gate)
+
+    def __getitem__(self, index):
+        if index == -1 and self.last is not None:
+            return self.last
+        raise QuipperError(
+            "a streaming transform stage retains only its last emitted gate"
+        )
+
+
 class _StageCirc(Circ):
     """The builder a rule sees inside one fused-pipeline stage.
 
@@ -149,15 +179,17 @@ class _Stage:
     __slots__ = ("rule", "qc", "downstream", "fixpoint")
 
     def __init__(self, rule: Rule, qc: _StageCirc,
-                 downstream: Callable[[Gate], None]):
+                 downstream: Callable[[Gate], None], retain: bool = True):
         self.rule = rule
         self.qc = qc
         self.downstream = downstream
         self.fixpoint = bool(getattr(rule, "_fused_fixpoint", False))
         # Route the rule's emissions: a fixpoint rule's output re-enters
         # this stage (already liveness-tracked by _emit_raw), a plain
-        # rule's output flows straight to the next stage.
-        qc.gates = _TeeGates(
+        # rule's output flows straight to the next stage.  Streaming
+        # chains (*retain* False) keep only the last emitted gate.
+        tee_cls = _TeeGates if retain else _LastGateTee
+        qc.gates = tee_cls(
             self._reprocess if self.fixpoint else downstream
         )
 
@@ -193,6 +225,99 @@ def _run_chain(
 
 def _callees(circuit: Circuit) -> set[str]:
     return {g.name for g in circuit.gates if isinstance(g, BoxCall)}
+
+
+#: Base of the wire-id range streaming transform stages draw ancillas
+#: from.  A streaming chain cannot know how many wires the generating
+#: builder will eventually allocate, so stage ancillas live far above any
+#: realistic builder range (and below the lazy inliner's
+#: :data:`~repro.transform.inline.STREAM_EXPANSION_BASE`).
+STREAM_TRANSFORM_BASE = 1 << 59
+
+
+class StreamTransformer(StreamConsumer):
+    """Push a gate stream through a fused rule chain, gate by gate.
+
+    The streaming counterpart of :func:`transform_bcircuit_fused`: the
+    main circuit is never materialized -- each streamed gate enters the
+    stage chain and its rewritten output flows straight to *downstream*
+    (a counter, a writer, a simulation feed...).  Boxed subroutine bodies
+    are rewritten **once, on demand**, the first time a ``BoxCall``
+    naming them arrives (their callees first, transitively); bodies the
+    whole chain leaves untouched are reused, preserving their memoized
+    widths unless a transitive callee was rewritten -- the same
+    identity-reuse and width-staleness discipline as the materializing
+    pipeline.
+    """
+
+    def __init__(self, rules: tuple[Rule, ...], downstream: StreamConsumer):
+        self.rules = tuple(rules)
+        self.downstream = downstream
+
+    def begin(self, inputs, namespace) -> None:
+        self.src_ns = namespace
+        self.out_ns: dict[str, Subroutine] = {}
+        #: name -> transitively-changed flag (None while in progress).
+        self._state: dict[str, bool | None] = {}
+        self.downstream.begin(inputs, self.out_ns)
+        shared = _SharedWires(STREAM_TRANSFORM_BASE)
+        intake: Callable[[Gate], None] = self.downstream.gate
+        for rule in reversed(self.rules):
+            qc = _StageCirc(self.out_ns, inputs, shared)
+            intake = _Stage(rule, qc, intake, retain=False).process
+        self._intake = intake
+
+    def gate(self, gate: Gate) -> None:
+        if isinstance(gate, BoxCall):
+            self._ensure(gate.name)
+        self._intake(gate)
+
+    def _ensure(self, name: str) -> bool:
+        """Transform subroutine *name* (and its callees) into ``out_ns``.
+
+        Returns whether the body -- or any transitive callee's body --
+        was changed by the chain.
+        """
+        state = self._state
+        if name in state:
+            if state[name] is None:
+                raise QuipperError(f"recursive subroutine {name!r}")
+            return state[name]
+        sub = self.src_ns.get(name)
+        if sub is None:
+            raise QuipperError(f"undefined subroutine {name!r}")
+        state[name] = None  # cycle guard
+        kid_changed = any(
+            [self._ensure(callee) for callee in sorted(_callees(sub.circuit))]
+        )
+        new_gates = _run_chain(sub.circuit, self.rules, self.out_ns)
+        body_changed = new_gates != sub.circuit.gates
+        if body_changed:
+            shell = Subroutine(
+                name=sub.name,
+                circuit=Circuit(
+                    inputs=sub.circuit.inputs,
+                    gates=new_gates,
+                    outputs=sub.circuit.outputs,
+                ),
+                in_shape=sub.in_shape,
+                out_shape=sub.out_shape,
+            )
+            shell._signature = getattr(sub, "_signature", None)
+            self.out_ns[name] = shell
+        else:
+            self.out_ns[name] = sub
+            if kid_changed:
+                # A rewritten callee changes the caller's transient
+                # width; the reused body's cache must not survive.
+                sub.invalidate_width()
+        state[name] = body_changed or kid_changed
+        return state[name]
+
+    def finish(self, end):
+        return self.downstream.finish(
+            dataclasses.replace(end, namespace=self.out_ns)
+        )
 
 
 def transform_bcircuit_fused(bc: BCircuit, *rules: Rule) -> BCircuit:
@@ -307,6 +432,7 @@ def canonicalize_wires(bc: BCircuit) -> BCircuit:
 
 
 __all__ = [
+    "StreamTransformer",
     "canonicalize_wires",
     "fixpoint_rule",
     "to_binary",

@@ -213,6 +213,149 @@ class TestIdentityReuse:
         assert out.namespace["outer"] is not bc.namespace["outer"]
 
 
+class TestStreamedWidthCaches:
+    """Satellite bugfix: Subroutine.width caches cannot go stale through
+    the streaming consumers.
+
+    ``Subroutine._width`` is only trustworthy for the namespace state it
+    was computed against; ``BCircuit.check`` re-invalidates before every
+    materialized width computation.  The streaming resource consumer must
+    apply the same discipline -- and a boxed function *re-entered with a
+    different shape* mid-stream (which mints a new ``name#2`` namespace
+    key) must never inherit the width of the earlier shape.
+    """
+
+    @staticmethod
+    def _reentrant_program():
+        from repro import Program
+
+        def body(qc, qs):
+            with qc.ancilla() as a:
+                for q in qs:
+                    qc.qnot(a, controls=q)
+            return qs
+
+        def circ(qc, qs):
+            qc.box("f", body, qs[:2])  # narrow shape first: key "f"
+            qc.box("f", body, qs)      # re-entered wider: key "f#2"
+            return qs
+
+        return Program.capture(circ, [qubit] * 5)
+
+    def test_streamed_reentry_with_different_shape_recomputes_width(self):
+        materialized = self._reentrant_program()
+        streamed = self._reentrant_program().stream().resources()
+        assert streamed["width"] == materialized.bcircuit.check()
+        assert streamed["gate_counts"] == dict(materialized.count())
+        # Both shape variants were minted as distinct namespace entries.
+        assert streamed["subroutines"] == 2
+
+    def test_streamed_replay_drops_stale_width_caches(self):
+        """An in-place body edit after a check() must not leak the old
+        cached width into a streamed resource count (exactly as
+        BCircuit.check invalidates before recomputing)."""
+        from repro import Program
+        from repro.core.gates import Init, Term
+
+        bc = _boxed_circuit()
+        bc.check()  # populate every width cache
+        assert bc.namespace["inner"]._width is not None
+        # Widen "inner" in place: an extra ancilla alive across the body.
+        inner = bc.namespace["inner"].circuit
+        inner.gates.insert(0, Init(99, False))
+        inner.gates.append(Term(99, False))
+        streamed = Program.from_bcircuit(bc).stream().resources()["width"]
+        assert streamed == bc.check()
+
+    def test_streamed_rules_drop_stale_width_caches_of_reused_subs(self):
+        """A rule-stream reuses untouched Subroutine objects; their
+        pre-stream width caches must be re-validated, not trusted (the
+        no-rules guard alone does not see the transform's namespace)."""
+        from repro import Program
+        from repro.core.gates import Init, Term
+
+        bc = _boxed_circuit()
+        bc.check()  # populate caches
+        inner = bc.namespace["inner"].circuit
+        inner.gates.insert(0, Init(99, False))
+        inner.gates.append(Term(99, False))
+
+        def noop(qc, gate):
+            return False
+
+        streamed = Program.from_bcircuit(bc).stream(noop).resources()
+        assert streamed["width"] == bc.check()
+
+
+class TestStreamTransformer:
+    """The streaming rule chain matches the fused materializing pipeline."""
+
+    @pytest.mark.parametrize("seed", range(0, 25, 5))
+    def test_streamed_rules_match_fused(self, seed):
+        from repro import Program
+
+        bc = random_bcircuit(seed)
+        rules = (to_toffoli, s_to_tt)
+        fused = transform_bcircuit_fused(bc, *rules)
+        streamed = Program.from_bcircuit(bc).stream(*rules)
+        assert streamed.count() == aggregate_gate_count(fused)
+
+    def test_streamed_chain_reuses_untouched_subroutines(self):
+        from repro.core.stream import replay_bcircuit
+        from repro.transform.pipeline import StreamTransformer
+        from repro.core.stream import StreamConsumer
+
+        bc = _boxed_circuit()
+        bc.check()
+
+        class _Probe(StreamConsumer):
+            def finish(self, end):
+                return end.namespace
+
+        transformer = StreamTransformer((to_toffoli,), _Probe())
+        namespace = replay_bcircuit(bc, transformer)
+        # The 2-control H lives in "outer": rewritten.  "inner" is
+        # untouched and the original object (cached width intact) reused.
+        assert namespace["inner"] is bc.namespace["inner"]
+        assert namespace["inner"]._width is not None
+        assert namespace["outer"] is not bc.namespace["outer"]
+
+    def test_streamed_chain_invalidates_reused_callers_of_changed_bodies(self):
+        from repro.core.stream import StreamConsumer, replay_bcircuit
+        from repro.transform.pipeline import StreamTransformer
+
+        bc = _boxed_circuit()
+        bc.check()
+        original_outer_width = bc.namespace["outer"]._width
+
+        def touch_s(qc, gate):
+            if isinstance(gate, NamedGate) and gate.name == "S":
+                with qc.ancilla():
+                    qc._emit_raw(gate)
+                return True
+            return False
+
+        class _Probe(StreamConsumer):
+            def finish(self, end):
+                return end.namespace
+
+        namespace = replay_bcircuit(
+            bc, StreamTransformer((touch_s,), _Probe())
+        )
+        # "inner" (holds the S) was rewritten; "outer" is reused but its
+        # transient width depends on inner's, so the cache must be gone
+        # or already consistent with the rewritten callee.
+        assert namespace["inner"] is not bc.namespace["inner"]
+        assert namespace["outer"] is bc.namespace["outer"]
+        cached = namespace["outer"]._width
+        assert cached is None or cached == namespace["outer"].circuit.check(
+            namespace
+        )
+        assert namespace["outer"].circuit.check(namespace) == (
+            original_outer_width + 1
+        )
+
+
 class TestFusedGateBases:
     """The fused toffoli+binary chain matches decompose_generic."""
 
