@@ -80,6 +80,12 @@ from .transform import (
     total_logical_gates,
     transform_bcircuit_fused,
 )
+from .optimize import (
+    PeepholeOptimizer,
+    PeepholePass,
+    StreamOptimizer,
+    optimize_bcircuit,
+)
 from .program import Program, main, subroutine
 from .streaming import GateStream
 
@@ -144,6 +150,10 @@ __all__ = [
     "inline",
     "reverse_bcircuit",
     "transform_bcircuit_fused",
+    "PeepholeOptimizer",
+    "PeepholePass",
+    "StreamOptimizer",
+    "optimize_bcircuit",
     "TOFFOLI",
     "BINARY",
     "__version__",

@@ -11,7 +11,12 @@ from ...core.qdata import qdata_leaves
 from ...datatypes.fpreal import fpreal_shape
 from ...lifting.template import unpack
 from ...program import Program
-from ..runner import format_counts
+from ..runner import (
+    add_execution_arguments,
+    apply_optimize,
+    emit,
+    format_counts,
+)
 from .hhl import classical_solution, hhl_circuit
 from .oracle import make_sin_template
 
@@ -20,8 +25,20 @@ DEMO_MATRIX = np.array([[1.5, 0.5], [0.5, 1.5]])
 DEMO_B = np.array([1.0, 0.0])
 
 
+def hhl_program(matrix=None, b=None, precision: int = 2,
+                t: float = math.pi / 2, c_const: float = 1.0) -> Program:
+    """The demo HHL circuit as a lazy, pipeline-ready Program."""
+    matrix = DEMO_MATRIX if matrix is None else matrix
+    b = DEMO_B if b is None else b
+    return Program.capture(
+        lambda qc: hhl_circuit(qc, matrix, b, precision, t, c_const),
+        name="hhl",
+    )
+
+
 def solve_demo(matrix=None, b=None, precision: int = 2,
-               t: float = math.pi / 2, c_const: float = 1.0):
+               t: float = math.pi / 2, c_const: float = 1.0,
+               optimize: bool = False):
     """Run HHL by exact simulation; return (probabilities, classical).
 
     Post-selects the success ancilla analytically: the returned
@@ -30,14 +47,9 @@ def solve_demo(matrix=None, b=None, precision: int = 2,
     """
     matrix = DEMO_MATRIX if matrix is None else matrix
     b = DEMO_B if b is None else b
-
-    def circuit(qc):
-        system, ancilla = hhl_circuit(
-            qc, matrix, b, precision, t, c_const
-        )
-        return system, ancilla
-
-    program = Program.capture(circuit, name="hhl")
+    program = apply_optimize(
+        hhl_program(matrix, b, precision, t, c_const), optimize
+    )
     sim = program.run().metadata["state"]
     system, ancilla = program.outputs
     system_wires = [q.wire_id for q in qdata_leaves(system)]
@@ -61,7 +73,7 @@ def solve_demo(matrix=None, b=None, precision: int = 2,
 
 
 def sin_oracle_gatecount(integer_bits: int, fraction_bits: int,
-                         terms: int = 7) -> int:
+                         terms: int = 7, optimize: bool = False) -> int:
     """Total gates of the lifted sin(x) oracle at the given precision.
 
     The paper's datapoint is 3,273,010 gates at 32+32 bits.
@@ -73,10 +85,11 @@ def sin_oracle_gatecount(integer_bits: int, fraction_bits: int,
         return x, circuit_fn(qc, x)
 
     # Lifted oracle scratch wires stay live by design (share=False).
-    return Program.capture(
+    program = Program.capture(
         circ, fpreal_shape(integer_bits, fraction_bits),
         name="sin-oracle", on_extra="ignore",
-    ).total_gates()
+    )
+    return apply_optimize(program, optimize).total_gates()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,24 +100,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sin-bits", type=int, default=None, nargs=2,
                         metavar=("INT", "FRAC"),
                         help="count the lifted sin oracle at this size")
-    parser.add_argument("--shots", type=int, default=None,
-                        help="sample the HHL circuit on a backend instead "
-                        "of post-selecting analytically")
-    parser.add_argument("--backend", default="statevector")
-    parser.add_argument("--seed", type=int, default=None)
+    # The shared surface, with qls's legacy defaults: no -f means the
+    # analytic demo, no --shots means analytic post-selection.
+    add_execution_arguments(parser, default_format=None, default_shots=None)
     args = parser.parse_args(argv)
 
+    if args.fmt:
+        if args.shots is None:
+            args.shots = 1024
+        # `emit` applies -O itself via args.optimize.
+        return emit(hhl_program(precision=args.precision), args)
     if args.sin_bits:
         ib, fb = args.sin_bits
         print(f"sin(x) oracle at {ib}+{fb} bits:",
-              sin_oracle_gatecount(ib, fb), "gates")
+              sin_oracle_gatecount(ib, fb, optimize=args.optimize), "gates")
         return 0
     if args.shots:
-        program = Program.capture(
-            lambda qc: hhl_circuit(
-                qc, DEMO_MATRIX, DEMO_B, args.precision, math.pi / 2, 1.0
-            ),
-            name="hhl",
+        program = apply_optimize(
+            hhl_program(precision=args.precision), args.optimize
         )
         result = program.run(
             args.backend, shots=args.shots, seed=args.seed
@@ -112,7 +125,9 @@ def main(argv: list[str] | None = None) -> int:
         print("system register + success ancilla (last bit):")
         print(format_counts(result.counts))
         return 0
-    measured, expect = solve_demo(precision=args.precision)
+    measured, expect = solve_demo(
+        precision=args.precision, optimize=args.optimize
+    )
     print("HHL solution probabilities:", np.round(measured, 4))
     print("classical |A^-1 b|^2:      ", np.round(expect, 4))
     return 0

@@ -26,10 +26,16 @@ FORMATS = ("ascii", "gatecount", "resources", "quipper", "qasm", "run")
 
 def add_execution_arguments(
     parser: argparse.ArgumentParser,
-    default_format: str = "gatecount",
+    default_format: str | None = "gatecount",
     formats: tuple[str, ...] = FORMATS,
+    default_shots: int | None = 1024,
 ) -> None:
-    """Add the uniform ``-f``/``--backend``/``--shots``/``--seed`` flags."""
+    """Add the uniform ``-f``/``--backend``/``--shots``/``--seed`` flags.
+
+    A CLI with a non-circuit default action (qls's analytic demo)
+    passes ``default_format=None`` / ``default_shots=None`` and treats
+    an absent ``-f`` as its legacy behavior.
+    """
     parser.add_argument(
         "-f", "--format", dest="fmt", default=default_format,
         choices=formats, help="output format / execution mode",
@@ -39,12 +45,17 @@ def add_execution_arguments(
         help="backend name for -f run (see repro.backends)",
     )
     parser.add_argument(
-        "--shots", type=int, default=1024,
+        "--shots", type=int, default=default_shots,
         help="samples to draw with -f run",
     )
     parser.add_argument(
         "--seed", type=int, default=None,
         help="RNG seed for -f run",
+    )
+    parser.add_argument(
+        "-O", "--optimize", dest="optimize", action="store_true",
+        help="peephole-optimize the circuit before output/execution "
+             "(after any -g decomposition; see repro.optimize)",
     )
 
 
@@ -66,6 +77,11 @@ def apply_gate_base(program: Program, gate_base: str | None) -> Program:
     return program.transform(gate_base)
 
 
+def apply_optimize(program: Program, optimize: bool) -> Program:
+    """Chain the peephole optimizer onto *program* when ``-O`` was given."""
+    return program.optimize() if optimize else program
+
+
 def format_counts(counts: dict[str, int]) -> str:
     """Render a counts dictionary, most frequent outcome first."""
     total = sum(counts.values())
@@ -83,6 +99,7 @@ def emit(program: Program | BCircuit, args: argparse.Namespace) -> int:
     """
     if isinstance(program, BCircuit):
         program = Program.from_bcircuit(program)
+    program = apply_optimize(program, getattr(args, "optimize", False))
     if args.fmt == "ascii":
         print(program.ascii())
     elif args.fmt == "gatecount":

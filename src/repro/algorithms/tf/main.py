@@ -5,10 +5,12 @@ interface allows the user, for example, to plug in different oracles, show
 different parts of the circuit, select a gate base, select different
 output formats, and select parameter values for l, n and r."
 
-Usage examples (paper Section 5.3.1 / 5.4)::
+Usage examples (paper Section 5.3.1 / 5.4; the paper's ``-O`` "oracle
+only" shorthand is spelled ``--oracle-only`` here, since the shared CLI
+surface reserves ``-O`` for the peephole optimizer)::
 
     python -m repro.algorithms.tf.main -s pow17 -l 4 -n 3 -r 2
-    python -m repro.algorithms.tf.main -f gatecount -O -o orthodox -l 31 -n 15 -r 9
+    python -m repro.algorithms.tf.main -f gatecount --oracle-only -o orthodox -l 31 -n 15 -r 9
     python -m repro.algorithms.tf.main -f gatecount -o orthodox -l 31 -n 15 -r 6
 """
 
@@ -113,8 +115,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="which part of the circuit to show")
     parser.add_argument("-o", dest="oracle", default="orthodox",
                         choices=("orthodox", "simple"))
-    parser.add_argument("-O", dest="oracle_only", action="store_true",
-                        help="shorthand for -s oracle")
+    parser.add_argument("--oracle-only", dest="oracle_only",
+                        action="store_true", help="shorthand for -s oracle "
+                        "(the paper's -O; -O here is the optimizer)")
     add_execution_arguments(parser, default_format="ascii")
     add_gate_base_argument(parser)
     parser.add_argument("--grover-iterations", type=int, default=None)

@@ -14,6 +14,7 @@ mapping from ids to live wires is maintained by the builder and checked by
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import NamedTuple
 
@@ -58,30 +59,49 @@ class Gate:
 
 #: Metadata for the built-in gate vocabulary: name -> (arity, self_inverse).
 #: Parametrised gates (``rot`` True) invert by negating their parameter.
-#: Unknown names are allowed (user-defined named gates, treated as opaque).
+#: ``diagonal`` marks gates whose matrix is diagonal in the computational
+#: basis (they commute with each other and with any control on the same
+#: wire -- the commutation facts the peephole optimizer relies on).
+#: ``period`` / ``phase_period`` give, for additive rotation gates, the
+#: exact parameter period of the matrix and the (smaller) period up to
+#: global phase; e.g. ``Rz(t + 2pi) = -Rz(t)`` so Rz has period 4pi and
+#: phase period 2pi.  Unknown names are allowed (user-defined named
+#: gates, treated as opaque).
 GATE_INFO: dict[str, dict] = {
     "X": {"arity": 1, "self_inverse": True},
     "not": {"arity": 1, "self_inverse": True},
     "Y": {"arity": 1, "self_inverse": True},
-    "Z": {"arity": 1, "self_inverse": True},
+    "Z": {"arity": 1, "self_inverse": True, "diagonal": True},
     "H": {"arity": 1, "self_inverse": True},
-    "S": {"arity": 1, "self_inverse": False},
-    "T": {"arity": 1, "self_inverse": False},
+    "S": {"arity": 1, "self_inverse": False, "diagonal": True},
+    "T": {"arity": 1, "self_inverse": False, "diagonal": True},
     "V": {"arity": 1, "self_inverse": False},  # sqrt of X
     "E": {"arity": 1, "self_inverse": False},
-    "omega": {"arity": 1, "self_inverse": False},
+    "omega": {"arity": 1, "self_inverse": False, "diagonal": True},
     "swap": {"arity": 2, "self_inverse": True},
     "W": {"arity": 2, "self_inverse": True},  # BWT basis-change gate
     "iX": {"arity": 1, "self_inverse": False},
     # Parametrised gates: parameter is an angle/time; inverse negates it.
-    "exp(-i%Z)": {"arity": 1, "self_inverse": False, "rot": True},
-    "exp(-i%ZZ)": {"arity": 2, "self_inverse": False, "rot": True},
-    "R(2pi/%)": {"arity": 1, "self_inverse": False, "rot": False},
-    "rGate": {"arity": 1, "self_inverse": False, "rot": False},
-    "Rx": {"arity": 1, "self_inverse": False, "rot": True},
-    "Ry": {"arity": 1, "self_inverse": False, "rot": True},
-    "Rz": {"arity": 1, "self_inverse": False, "rot": True},
-    "phase": {"arity": 0, "self_inverse": False, "rot": True},
+    "exp(-i%Z)": {"arity": 1, "self_inverse": False, "rot": True,
+                  "diagonal": True,
+                  "period": 2 * math.pi, "phase_period": math.pi},
+    "exp(-i%ZZ)": {"arity": 2, "self_inverse": False, "rot": True,
+                   "diagonal": True,
+                   "period": 2 * math.pi, "phase_period": math.pi},
+    "R(2pi/%)": {"arity": 1, "self_inverse": False, "rot": False,
+                 "diagonal": True},
+    "rGate": {"arity": 1, "self_inverse": False, "rot": False,
+              "diagonal": True},
+    "Rx": {"arity": 1, "self_inverse": False, "rot": True,
+           "period": 4 * math.pi, "phase_period": 2 * math.pi},
+    "Ry": {"arity": 1, "self_inverse": False, "rot": True,
+           "period": 4 * math.pi, "phase_period": 2 * math.pi},
+    "Rz": {"arity": 1, "self_inverse": False, "rot": True,
+           "diagonal": True,
+           "period": 4 * math.pi, "phase_period": 2 * math.pi},
+    "phase": {"arity": 0, "self_inverse": False, "rot": True,
+              "diagonal": True,
+              "period": 2 * math.pi, "phase_period": 2 * math.pi},
 }
 
 
@@ -89,6 +109,48 @@ def gate_arity(name: str) -> int | None:
     """Arity of a built-in gate name, or None if unknown/user-defined."""
     info = GATE_INFO.get(name)
     return None if info is None else info["arity"]
+
+
+def is_diagonal_name(name: str) -> bool:
+    """Whether the named gate's matrix is diagonal (conservative: False
+    for unknown/user-defined names)."""
+    info = GATE_INFO.get(name)
+    return bool(info and info.get("diagonal"))
+
+
+def rotation_periods(name: str) -> tuple[float, float] | None:
+    """``(period, phase_period)`` of an additive rotation gate, or None.
+
+    ``period`` is the exact matrix period of the parameter;
+    ``phase_period`` the period up to an unobservable global phase (only
+    usable for *uncontrolled* gates, where global phase cannot become
+    relative).
+    """
+    info = GATE_INFO.get(name)
+    if not info or not info.get("rot") or "period" not in info:
+        return None
+    return (info["period"], info["phase_period"])
+
+
+def acts_diagonally_on(gate: Gate, wire: int) -> bool:
+    """Whether *gate* acts diagonally (in the computational basis) on *wire*.
+
+    A control is always diagonal on its wire (it is a basis projector);
+    a target wire is diagonal exactly when the gate's matrix is.  Two
+    gates that are each diagonal on every wire they share commute -- the
+    fact the peephole optimizer's commutation scan is built on.  The
+    answer is conservative: ``False`` whenever diagonality is unknown.
+    """
+    for ctl in control_wires(gate):
+        if ctl.wire == wire:
+            return True
+    if isinstance(gate, NamedGate):
+        return wire in gate.targets and is_diagonal_name(gate.name)
+    if isinstance(gate, CGate):
+        # A classical gate reads its inputs (diagonal) but creates or
+        # consumes its target wire.
+        return wire in gate.inputs and wire != gate.target
+    return False
 
 
 @dataclass(frozen=True)
@@ -132,10 +194,50 @@ class NamedGate(Gate):
             name += "*"
         return name
 
+    def __repr__(self) -> str:
+        parts = [f"targets={self.targets!r}"]
+        if self.controls:
+            parts.append(f"controls={self.controls!r}")
+        return f"NamedGate[{self.display_name()!r}]({', '.join(parts)})"
+
+
+def format_pi_multiple(value: float) -> str | None:
+    """*value* as an exact small rational multiple of pi, or None.
+
+    Returns strings like ``"pi"``, ``"-pi/2"``, ``"3pi/4"``, ``"2pi"``.
+    Exactness is bit-exact: the string is only produced when evaluating
+    ``num * math.pi / den`` (the arithmetic the Quipper-ASCII parser
+    performs) reproduces *value*, so rotation parameters round-trip
+    through :mod:`repro.io.ascii_parser` without drift.
+    """
+    if value == 0 or not math.isfinite(value):
+        return None
+    for den in (1, 2, 3, 4, 5, 6, 8, 12, 16, 32, 64):
+        num = round(value * den / math.pi)
+        if num == 0 or abs(num) > 1024:
+            continue
+        if num * math.pi / den == value:
+            # Reduce the fraction only when the reduced form evaluates
+            # to the same float: 15*pi/12 differs from 5*pi/4 by one
+            # ulp, and the parser must reproduce *value* bit-exactly.
+            shrink = math.gcd(abs(num), den)
+            if (num // shrink) * math.pi / (den // shrink) == value:
+                num //= shrink
+                den //= shrink
+            head = {1: "pi", -1: "-pi"}.get(num, f"{num}pi")
+            return head if den == 1 else f"{head}/{den}"
+    return None
+
 
 def _fmt_param(value: float) -> str:
     if value == int(value):
         return str(int(value))
+    as_pi = format_pi_multiple(value)
+    if as_pi is not None:
+        # Exact multiples of pi print in units of pi: Rz(pi/2), not
+        # Rz(1.5707963267948966).  The ASCII parser evaluates the same
+        # expression, so the float round-trips bit-exactly.
+        return as_pi
     # repr() is the shortest string that round-trips the float exactly,
     # which the Quipper-ASCII parser (repro.io) relies on.
     return repr(value)

@@ -27,6 +27,7 @@ Known lossiness of the *text* format (not of :func:`repro.io.dumps` +
 from __future__ import annotations
 
 import ast
+import math
 import re
 from dataclasses import dataclass
 
@@ -57,7 +58,12 @@ class AsciiParseError(QuipperError):
     """The text is not a well-formed Quipper-ASCII circuit."""
 
 
-_NUM = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?"
+#: A numeric parameter: a float literal, or an exact pi-multiple such as
+#: ``pi``, ``-pi/2`` or ``3pi/4`` (see ``format_pi_multiple`` in
+#: :mod:`repro.core.gates`).
+_NUM = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?|[-+]?\d*pi(?:/\d+)?"
+
+_PI_FORM = re.compile(r"^(?P<num>[-+]?\d*)pi(?:/(?P<den>\d+))?$")
 
 #: display_name() templates for parametrised names containing ``%``.
 _PARAM_TEMPLATES = (
@@ -109,6 +115,13 @@ class _PendingBox:
 
 
 def _parse_number(text: str) -> float | int:
+    pi_form = _PI_FORM.match(text)
+    if pi_form:
+        head = pi_form.group("num")
+        num = int(head) if head not in ("", "+", "-") else (1 - 2 * (head == "-"))
+        den = int(pi_form.group("den") or 1)
+        # Same expression format_pi_multiple verified, so bit-exact.
+        return num * math.pi / den
     try:
         return int(text)
     except ValueError:

@@ -1,0 +1,71 @@
+"""Peephole circuit optimization: shrink the emitted gate stream.
+
+Quipper's transformers make trillion-gate circuits *representable*; the
+follow-up resource-estimation work shows the numbers only become useful
+when decomposition is paired with optimization.  This package is a
+sliding-window peephole optimizer over both representations:
+
+* materialized hierarchies -- :func:`optimize_bcircuit` (surfaced as
+  :meth:`repro.program.Program.optimize`), bodies optimized once and
+  shared across call sites, fixpoint-iterated and idempotent;
+* gate streams -- :class:`StreamOptimizer` (surfaced as
+  :meth:`repro.streaming.GateStream.optimize`), one bounded-lookahead
+  pass in O(window) memory.
+
+The composable pass vocabulary lives in :mod:`repro.optimize.passes`:
+adjacent inverse-pair cancellation, additive rotation merging with
+modular folding, control-aware diagonal commutation, Clifford rewrites,
+and NOT-propagation through control dots.
+
+::
+
+    from repro import Program
+
+    prog.transform("binary").optimize()          # decompose, then shrink
+    prog.optimize("cancel", "merge")             # a custom pass chain
+    prog.stream().optimize().count()             # O(window) memory
+"""
+
+from .passes import (
+    DEFAULT_PASSES,
+    PASS_REGISTRY,
+    CancelInverses,
+    CliffordRewrites,
+    CommuteDiagonals,
+    ElideIdentities,
+    MergeRotations,
+    PeepholePass,
+    PushNots,
+    body_safe_passes,
+    resolve_passes,
+)
+from .peephole import (
+    DEFAULT_WINDOW,
+    PeepholeOptimizer,
+    optimize_bcircuit,
+    optimize_circuit,
+    optimize_gates,
+    optimize_gates_fixpoint,
+)
+from .stream import StreamOptimizer
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "DEFAULT_WINDOW",
+    "PASS_REGISTRY",
+    "CancelInverses",
+    "CliffordRewrites",
+    "CommuteDiagonals",
+    "ElideIdentities",
+    "MergeRotations",
+    "PeepholeOptimizer",
+    "PeepholePass",
+    "PushNots",
+    "StreamOptimizer",
+    "body_safe_passes",
+    "optimize_bcircuit",
+    "optimize_circuit",
+    "optimize_gates",
+    "optimize_gates_fixpoint",
+    "resolve_passes",
+]

@@ -1,0 +1,489 @@
+"""Composable peephole passes: local rewrites over adjacent gates.
+
+Each pass is a small, independent rewrite rule consumed by
+:class:`~repro.optimize.peephole.PeepholeOptimizer`.  A pass contributes
+two things:
+
+* :meth:`~PeepholePass.rewrite` -- offered a group of *virtually
+  adjacent* gates (the optimizer has already proven that the gates
+  between them commute out of the way), it returns the replacement gate
+  list, or ``None`` when the pattern does not match.
+* :meth:`~PeepholePass.commutes` -- extra commutation knowledge the
+  optimizer's scan uses to look *through* gates that are in the way
+  (e.g. two gates that are each diagonal on every shared wire commute).
+
+The standard passes reproduce the optimization-for-resource-estimation
+workflow of the Quipper follow-up work: adjacent inverse-pair
+cancellation, additive rotation merging with modular folding, diagonal
+commutation, Clifford rewrites (``H;Z;H -> X``), and NOT-propagation
+through control dots.
+
+Pass contract (what keeps window rewrites sound):
+
+* A pair pass may only match when both gates have the **same wire
+  footprint** (same targets + controls), unless it sets ``strict`` --
+  then the optimizer guarantees no commuting gate was skipped between
+  the group's members.
+* A replacement must commute with anything its inputs commuted with
+  (automatic for footprint-preserving rewrites whose output is diagonal
+  wherever its inputs were).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..core.errors import IrreversibleError, QuipperError
+from ..core.gates import (
+    BoxCall,
+    CNot,
+    Comment,
+    Control,
+    Gate,
+    NamedGate,
+    acts_diagonally_on,
+    control_wires,
+    rotation_periods,
+)
+
+
+def gate_footprint(gate: Gate) -> frozenset[int]:
+    """Every wire id a gate touches (inputs, outputs, and controls)."""
+    return frozenset(
+        w for w, _ in gate.wires_in() + gate.wires_out()
+    )
+
+
+def _same_controls(a: Gate, b: Gate) -> bool:
+    """Whether two gates carry the same control set (order-insensitive)."""
+    ca, cb = control_wires(a), control_wires(b)
+    return len(ca) == len(cb) and set(ca) == set(cb)
+
+
+class PeepholePass:
+    """Base class for peephole passes; subclass and override the hooks.
+
+    ``sizes`` lists the adjacent-group sizes :meth:`rewrite` understands
+    (1 = single-gate elision, 2 = pairs, 3 = triples); ``strict`` makes
+    the optimizer offer groups only when no commuting gate was skipped
+    while establishing adjacency.
+
+    ::
+
+        class DropComments(PeepholePass):
+            sizes = (1,)
+            def rewrite(self, group):
+                return [] if isinstance(group[0], Comment) else None
+    """
+
+    #: Registry / display name of the pass.
+    name = "peephole"
+    #: Adjacent-group sizes rewrite() understands.
+    sizes: tuple[int, ...] = (2,)
+    #: Whether matches require no commute-skips during the adjacency scan.
+    strict = False
+
+    def rewrite(self, group: tuple[Gate, ...]) -> list[Gate] | None:
+        """The replacement for an adjacent gate group, or None (no match)."""
+        return None
+
+    def commutes(self, earlier: Gate, later: Gate) -> bool:
+        """Extra commutation knowledge for the optimizer's scan."""
+        return False
+
+    def body_safe(self) -> "PeepholePass":
+        """The variant of this pass valid inside boxed subroutine bodies.
+
+        A body may be invoked under controls pushed down from the call
+        site, which turns a global phase into an observable *relative*
+        phase -- so a pass whose rewrites are only equivalent up to
+        global phase must return a phase-exact variant here.  The
+        default returns ``self`` (exact rewrites are body-safe as-is).
+        """
+        return self
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ElideIdentities(PeepholePass):
+    """Drop gates that are the identity: zero rotations and bare phases.
+
+    A rotation whose parameter is an exact multiple of the gate's matrix
+    period is the identity; an *uncontrolled* rotation folds modulo the
+    smaller phase period, since a global phase is unobservable.  An
+    uncontrolled ``phase`` gate touches no wires at all and is always a
+    pure global phase.
+
+    ::
+
+        Rz(0) q          ->  (nothing)
+        Rz(4pi) q        ->  (nothing)
+        phase(0.7)       ->  (nothing; uncontrolled)
+    """
+
+    name = "elide"
+    sizes = (1,)
+
+    def __init__(self, fold_global_phase: bool = True):
+        """*fold_global_phase* permits global-phase-only elisions.
+
+        Valid for a top-level circuit, where a global phase is
+        unobservable; must be False for subroutine bodies, which may be
+        invoked under controls that turn a global phase into a relative
+        one (see :meth:`PeepholePass.body_safe`).
+        """
+        self.fold_global_phase = fold_global_phase
+
+    def body_safe(self) -> "ElideIdentities":
+        """The variant safe inside (possibly controlled) boxed bodies."""
+        return ElideIdentities(fold_global_phase=False)
+
+    def rewrite(self, group: tuple[Gate, ...]) -> list[Gate] | None:
+        """Drop the gate when it is an exact identity (see class doc)."""
+        (gate,) = group
+        if not isinstance(gate, NamedGate) or gate.param is None:
+            return None
+        periods = rotation_periods(gate.name)
+        if periods is None:
+            return None
+        phase_foldable = self.fold_global_phase and not gate.controls
+        if gate.name == "phase" and phase_foldable:
+            return []
+        period, phase_period = periods
+        effective = phase_period if phase_foldable else period
+        if math.fmod(gate.param, effective) == 0.0:
+            return []
+        return None
+
+
+class CancelInverses(PeepholePass):
+    """Cancel a gate with an adjacent inverse (``H;H``, ``T;T*``, ...).
+
+    Applies to anything :meth:`~repro.core.gates.Gate.inverse` is defined
+    for and compares equal: named gates (self-inverse or daggered),
+    ``Init``/``Term`` pairs, classical gates, and whole boxed-subroutine
+    call pairs (a ``with_computed`` whose action collapsed leaves its
+    compute and uncompute calls adjacent).
+
+    ::
+
+        QGate["H"](0); QGate["H"](0)          ->  (nothing)
+        QInit0(3); QTerm0(3)                  ->  (nothing)
+        Subroutine["f"](a); Subroutine*["f"]  ->  (nothing)
+    """
+
+    name = "cancel"
+    sizes = (2,)
+
+    def rewrite(self, group: tuple[Gate, ...]) -> list[Gate] | None:
+        """Empty replacement when the pair multiplies to the identity."""
+        first, second = group
+        if isinstance(first, Comment):
+            return None
+        try:
+            inverse = first.inverse()
+        except (IrreversibleError, QuipperError):
+            return None
+        if inverse == second:
+            return []
+        if (
+            isinstance(first, NamedGate)
+            and isinstance(second, NamedGate)
+            and isinstance(inverse, NamedGate)
+            and inverse.name == second.name
+            and inverse.targets == second.targets
+            and inverse.inverted == second.inverted
+            and inverse.param == second.param
+            and set(inverse.controls) == set(second.controls)
+        ):
+            # Same controls in a different order still cancel.
+            return []
+        return None
+
+
+class MergeRotations(PeepholePass):
+    """Merge adjacent same-axis rotations: ``Rz(a);Rz(b) -> Rz(a+b)``.
+
+    Parameters add for the ``rot`` gate family (Rx/Ry/Rz, ``exp(-i%Z)``,
+    ``exp(-i%ZZ)``, ``phase``); the sum folds modulo the gate's exact
+    matrix period, and a merged rotation that lands on the identity
+    (modulo global phase, when uncontrolled) is elided outright.  A
+    daggered rotation counts with negated parameter.  Controls must
+    agree as a set.
+
+    ::
+
+        Rz(pi/4) q; Rz(pi/4) q   ->  Rz(pi/2) q
+        Rz(a) q; Rz(-a) q        ->  (nothing)
+    """
+
+    name = "merge"
+    sizes = (2,)
+
+    def __init__(self, fold_global_phase: bool = True):
+        """*fold_global_phase* permits global-phase-only elisions.
+
+        Must be False for subroutine bodies, which may be invoked under
+        controls (see :meth:`ElideIdentities.__init__`).
+        """
+        self.fold_global_phase = fold_global_phase
+
+    def body_safe(self) -> "MergeRotations":
+        """The variant safe inside (possibly controlled) boxed bodies."""
+        return MergeRotations(fold_global_phase=False)
+
+    def rewrite(self, group: tuple[Gate, ...]) -> list[Gate] | None:
+        """The single merged rotation, folded; [] when it is identity."""
+        first, second = group
+        if (
+            not isinstance(first, NamedGate)
+            or not isinstance(second, NamedGate)
+            or first.name != second.name
+            or first.targets != second.targets
+            or first.param is None
+            or second.param is None
+            or not _same_controls(first, second)
+        ):
+            return None
+        periods = rotation_periods(first.name)
+        if periods is None:
+            return None
+        period, phase_period = periods
+
+        def effective(gate: NamedGate) -> float:
+            return -gate.param if gate.inverted else gate.param
+
+        total = math.fmod(effective(first) + effective(second), period)
+        if self.fold_global_phase and not first.controls:
+            if first.name == "phase":
+                return []
+            if math.fmod(total, phase_period) == 0.0:
+                return []
+        if total == 0.0:
+            return []
+        merged = NamedGate(
+            first.name,
+            first.targets,
+            first.controls,
+            inverted=False,
+            param=total,
+        )
+        return [merged]
+
+
+class CommuteDiagonals(PeepholePass):
+    """Commutation knowledge: diagonal gates pass through each other.
+
+    Contributes no rewrites -- it widens the optimizer's adjacency scan:
+    two gates that each act diagonally (in the computational basis) on
+    every wire they share commute, so a cancellation or merge partner
+    can be found *through* them.  Control dots are always diagonal on
+    their wire, which is what lets a rotation merge across a controlled
+    gate that merely *controls* on the rotation's wire.
+
+    ::
+
+        Rz(a) q; CZ q r; Rz(b) q    ->  Rz(a+b) q; CZ q r
+        T q; QGate["not"](r) with controls=[+q]; T* q  ->  the T pair cancels
+    """
+
+    name = "commute"
+    sizes = ()
+
+    def commutes(self, earlier: Gate, later: Gate) -> bool:
+        """True when both gates act diagonally on every shared wire."""
+        shared = gate_footprint(earlier) & gate_footprint(later)
+        return all(
+            acts_diagonally_on(earlier, w) and acts_diagonally_on(later, w)
+            for w in shared
+        )
+
+
+#: Clifford pair rewrites keyed on ((name, inverted), (name, inverted)).
+_CLIFFORD_PAIRS: dict[tuple, tuple[str, bool]] = {
+    (("S", False), ("S", False)): ("Z", False),
+    (("S", True), ("S", True)): ("Z", False),
+    (("T", False), ("T", False)): ("S", False),
+    (("T", True), ("T", True)): ("S", True),
+    (("V", False), ("V", False)): ("X", False),
+    (("V", True), ("V", True)): ("X", False),
+    (("S", False), ("Z", False)): ("S", True),
+    (("Z", False), ("S", False)): ("S", True),
+    (("S", True), ("Z", False)): ("S", False),
+    (("Z", False), ("S", True)): ("S", False),
+}
+
+#: H ; P ; H -> Q conjugation rewrites (exact, no phase residue).
+_HPH = {"X": "Z", "not": "Z", "Z": "X"}
+
+
+class CliffordRewrites(PeepholePass):
+    """Strength-reduce short Clifford runs: ``S;S -> Z``, ``H;Z;H -> X``.
+
+    The pair table covers the exact (phase-free) identities over the
+    built-in vocabulary -- ``S;S=Z``, ``T;T=S``, ``V;V=X``, ``S;Z=S*``
+    -- so the rewrites stay valid under controls.  The triple form
+    rewrites an ``H;P;H`` conjugation on one wire (``P`` in {X, Z}).
+
+    ::
+
+        QGate["T"](0); QGate["T"](0)               ->  QGate["S"](0)
+        QGate["H"](0); QGate["Z"](0); QGate["H"](0) -> QGate["X"](0)
+    """
+
+    name = "clifford"
+    sizes = (2, 3)
+    strict = True
+
+    def rewrite(self, group: tuple[Gate, ...]) -> list[Gate] | None:
+        """The shorter Clifford equivalent of the run, or None."""
+        if not all(isinstance(g, NamedGate) for g in group):
+            return None
+        first = group[0]
+        if any(
+            g.targets != first.targets or not _same_controls(g, first)
+            for g in group[1:]
+        ):
+            return None
+        if len(group) == 2:
+            key = tuple((g.name, g.inverted) for g in group)
+            hit = _CLIFFORD_PAIRS.get(key)
+            if hit is None:
+                return None
+            name, inverted = hit
+            return [
+                NamedGate(name, first.targets, first.controls,
+                          inverted=inverted)
+            ]
+        outer_a, inner, outer_b = group
+        if (
+            outer_a.name == "H"
+            and outer_b.name == "H"
+            and inner.name in _HPH
+            and len(first.targets) == 1
+        ):
+            return [
+                NamedGate(_HPH[inner.name], first.targets, first.controls)
+            ]
+        return None
+
+
+class PushNots(PeepholePass):
+    """Propagate a bare NOT forward through control dots on its wire.
+
+    ``X w ; G(... controls=[+w] ...)`` equals ``G(... controls=[-w] ...)
+    ; X w`` -- the NOT hops over the gate, flipping the control's sign.
+    Pushing NOTs rightward herds them together so the cancellation pass
+    can annihilate the pairs that negative-control conjugation scatters
+    through a decomposed circuit (the binary gate base conjugates every
+    negative Toffoli control with X pairs).
+
+    ::
+
+        X q; QGate["not"](t) with controls=[+q]; X q
+            ->  QGate["not"](t) with controls=[-q]
+    """
+
+    name = "pushnot"
+    sizes = (2,)
+    # The NOT hops over gates between it and the control-carrier, so the
+    # adjacency scan must not have looked through anything that merely
+    # commutes with the carrier -- it might not commute with the NOT.
+    strict = True
+
+    def rewrite(self, group: tuple[Gate, ...]) -> list[Gate] | None:
+        """[carrier-with-flipped-control, NOT] -- the NOT hops forward."""
+        nots, gate = group
+        if (
+            not isinstance(nots, NamedGate)
+            or nots.name not in ("X", "not")
+            or nots.controls
+            or len(nots.targets) != 1
+        ):
+            return None
+        wire = nots.targets[0]
+        if not isinstance(gate, (NamedGate, CNot, BoxCall)):
+            return None
+        controls = control_wires(gate)
+        index = next(
+            (k for k, c in enumerate(controls) if c.wire == wire), None
+        )
+        if index is None:
+            return None
+        flipped = list(controls)
+        old = flipped[index]
+        flipped[index] = Control(old.wire, not old.positive, old.wire_type)
+        moved = dataclasses.replace(gate, controls=tuple(flipped))
+        return [moved, nots]
+
+
+#: The default pass chain, in application order.
+DEFAULT_PASSES: tuple[PeepholePass, ...] = (
+    ElideIdentities(),
+    CancelInverses(),
+    MergeRotations(),
+    CliffordRewrites(),
+    PushNots(),
+    CommuteDiagonals(),
+)
+
+#: Name -> pass-factory registry for string-based selection
+#: (``Program.optimize("cancel", "merge")``).
+PASS_REGISTRY: dict[str, type[PeepholePass]] = {
+    cls.name: cls
+    for cls in (
+        ElideIdentities,
+        CancelInverses,
+        MergeRotations,
+        CliffordRewrites,
+        PushNots,
+        CommuteDiagonals,
+    )
+}
+
+
+def body_safe_passes(
+    passes: tuple[PeepholePass, ...]
+) -> tuple[PeepholePass, ...]:
+    """Map a pass chain to its boxed-body-safe form (phase-exact)."""
+    return tuple(p.body_safe() for p in passes)
+
+
+def resolve_passes(specs: tuple) -> tuple[PeepholePass, ...]:
+    """Expand pass specs (instances, classes, or registry names).
+
+    With no specs the full :data:`DEFAULT_PASSES` chain is returned.
+    """
+    if not specs:
+        return DEFAULT_PASSES
+    resolved: list[PeepholePass] = []
+    for spec in specs:
+        if isinstance(spec, PeepholePass):
+            resolved.append(spec)
+        elif isinstance(spec, type) and issubclass(spec, PeepholePass):
+            resolved.append(spec())
+        elif isinstance(spec, str) and spec in PASS_REGISTRY:
+            resolved.append(PASS_REGISTRY[spec]())
+        else:
+            raise ValueError(
+                f"not a peephole pass or registered pass name: {spec!r}"
+            )
+    return tuple(resolved)
+
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "PASS_REGISTRY",
+    "CancelInverses",
+    "CliffordRewrites",
+    "CommuteDiagonals",
+    "ElideIdentities",
+    "MergeRotations",
+    "PeepholePass",
+    "PushNots",
+    "body_safe_passes",
+    "gate_footprint",
+    "resolve_passes",
+]

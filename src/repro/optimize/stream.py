@@ -1,0 +1,133 @@
+"""StreamOptimizer: the peephole optimizer as a gate-stream stage.
+
+The streaming counterpart of :func:`~repro.optimize.peephole.
+optimize_bcircuit`: gates flow through a bounded sliding window
+(:class:`~repro.optimize.peephole.PeepholeOptimizer`) on their way to
+the downstream consumer, so optimization composes with the O(1)-memory
+streaming surface -- ``prog.stream().optimize().count()`` never
+materializes the main circuit.  Memory stays O(window), independent of
+stream length, and the stage is safe under the builder's
+``with_computed`` retention: retention buffering happens inside the
+*producer* (:class:`~repro.core.stream.StreamingCirc`), strictly
+upstream of this consumer, so replayed uncompute gates arrive as
+ordinary stream elements.
+
+Boxed subroutine bodies are optimized **once, on demand**, the first
+time a ``BoxCall`` naming them arrives -- bodies the passes leave
+untouched are reused (cached width preserved unless a transitive callee
+was rewritten), the same identity-reuse discipline as
+:class:`~repro.transform.pipeline.StreamTransformer`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.circuit import Subroutine
+from ..core.errors import QuipperError
+from ..core.gates import BoxCall, Gate
+from ..core.stream import StreamConsumer
+from .passes import PeepholePass, body_safe_passes, resolve_passes
+from .peephole import (
+    DEFAULT_WINDOW,
+    PeepholeOptimizer,
+    _callees,
+    optimize_gates_fixpoint,
+    rebuilt_subroutine,
+    width_fresh_clone,
+)
+
+
+class StreamOptimizer(StreamConsumer):
+    """Push a gate stream through the peephole window, gate by gate.
+
+    Wrap any downstream :class:`~repro.core.stream.StreamConsumer`::
+
+        counter = StreamingCounter()
+        replay_bcircuit(bc, StreamOptimizer((), counter))
+
+    The main stream gets a single bounded-lookahead pass (O(window)
+    memory); subroutine bodies, which are materialized by construction,
+    are optimized to a fixpoint exactly like the materialized entry
+    point, so streamed and materialized optimization agree on the
+    namespace.
+    """
+
+    def __init__(self, passes: tuple[PeepholePass, ...] | None,
+                 downstream: StreamConsumer, *,
+                 window: int = DEFAULT_WINDOW):
+        self.passes = resolve_passes(tuple(passes or ()))
+        # Bodies may be invoked under controls: global-phase-only
+        # elisions are disabled for them (same rule as the materialized
+        # optimize_bcircuit).
+        self.body_passes = body_safe_passes(self.passes)
+        self.downstream = downstream
+        self.window = window
+
+    def begin(self, inputs, namespace) -> None:
+        """Open the window; hand the downstream the live output namespace."""
+        self.src_ns = namespace
+        self.out_ns: dict[str, Subroutine] = {}
+        #: name -> transitively-changed flag (None while in progress).
+        self._state: dict[str, bool | None] = {}
+        self.downstream.begin(inputs, self.out_ns)
+        self._optimizer = PeepholeOptimizer(
+            self.passes, window=self.window, sink=self.downstream.gate
+        )
+
+    def gate(self, gate: Gate) -> None:
+        """Feed one streamed gate through the window (bodies on demand)."""
+        if isinstance(gate, BoxCall):
+            self._ensure(gate.name)
+        self._optimizer.feed(gate)
+
+    def _ensure(self, name: str) -> bool:
+        """Optimize subroutine *name* (and its callees) into ``out_ns``.
+
+        Returns whether the body -- or any transitive callee's body --
+        was changed by the passes.
+        """
+        state = self._state
+        if name in state:
+            if state[name] is None:
+                raise QuipperError(f"recursive subroutine {name!r}")
+            return state[name]
+        sub = self.src_ns.get(name)
+        if sub is None:
+            raise QuipperError(f"undefined subroutine {name!r}")
+        state[name] = None  # cycle guard
+        kid_changed = any(
+            [self._ensure(callee) for callee in sorted(_callees(sub.circuit))]
+        )
+        new_gates = optimize_gates_fixpoint(
+            sub.circuit.gates, self.body_passes, window=self.window
+        )
+        body_changed = new_gates != sub.circuit.gates
+        if body_changed:
+            self.out_ns[name] = rebuilt_subroutine(sub, new_gates)
+        elif kid_changed:
+            # An optimized callee can shrink this reused body's
+            # transient width in the optimized namespace; clone rather
+            # than mutate, so the source hierarchy's cached width (still
+            # correct there) survives.
+            self.out_ns[name] = width_fresh_clone(sub)
+        else:
+            self.out_ns[name] = sub
+        state[name] = body_changed or kid_changed
+        return state[name]
+
+    def finish(self, end):
+        """Flush the window and finish downstream with the new namespace."""
+        self._optimizer.flush()
+        # Carry over subroutines the main stream never invoked (bodies
+        # only reachable from other bodies are pulled in by _ensure), so
+        # the downstream consumer sees the full namespace.
+        for name in end.namespace:
+            if name not in self.out_ns:
+                self._ensure(name)
+        return self.downstream.finish(
+            dataclasses.replace(end, namespace=self.out_ns)
+        )
+
+
+__all__ = ["StreamOptimizer"]

@@ -115,7 +115,8 @@ class Program:
     it.
     """
 
-    __slots__ = ("name", "_thunk", "_fn", "_shapes", "_cache", "_on_extra")
+    __slots__ = ("name", "_thunk", "_fn", "_shapes", "_cache", "_on_extra",
+                 "_phase_folded")
 
     def __init__(self, thunk: Callable[[], tuple[BCircuit, object]], *,
                  name: str | None = None, fn: Callable | None = None,
@@ -126,6 +127,10 @@ class Program:
         self._shapes = shapes
         self._on_extra = on_extra
         self._cache: tuple[BCircuit, object] | None = None
+        #: Whether an upstream optimize() stage may have elided gates
+        #: that were only a *global* phase -- unobservable for this
+        #: program as-is, but observable if it is later .controlled().
+        self._phase_folded = False
 
     # -- construction -------------------------------------------------------
 
@@ -213,7 +218,9 @@ class Program:
 
     def _derived(self, suffix: str,
                  make: Callable[[], tuple[BCircuit, object]]) -> "Program":
-        return Program(make, name=f"{self.name}.{suffix}")
+        derived = Program(make, name=f"{self.name}.{suffix}")
+        derived._phase_folded = self._phase_folded
+        return derived
 
     # -- pipeline stages ----------------------------------------------------
 
@@ -239,6 +246,53 @@ class Program:
             ),
         )
 
+    def optimize(self, *passes, window: int | None = None,
+                 fold_global_phase: bool = True) -> "Program":
+        """Peephole-optimize the circuit (see :mod:`repro.optimize`).
+
+        Runs the sliding-window peephole optimizer over every subroutine
+        body (once, shared across call sites) and the main circuit,
+        iterated to a fixpoint -- ``prog.optimize().optimize()`` equals
+        ``prog.optimize()``.  With no arguments the full default pass
+        chain applies; *passes* selects a custom chain by registry name
+        or :class:`~repro.optimize.PeepholePass` instance.  *window*
+        bounds the lookahead (gates retained for matching).
+
+        With *fold_global_phase* (the default) the top-level circuit may
+        shed gates that only contribute a global phase (``Rz(2pi)``,
+        bare ``phase`` gates) -- unobservable for this program, but a
+        *relative* phase if the optimized program is later
+        :meth:`controlled`; pass ``fold_global_phase=False`` (or control
+        first) when that composition is intended.  Boxed bodies are
+        always optimized phase-exactly, since their call sites may be
+        controlled.
+
+        ::
+
+            prog.transform("binary").optimize().count()
+            prog.optimize("cancel", "merge")
+        """
+        from .optimize import DEFAULT_WINDOW, optimize_bcircuit, resolve_passes
+        from .optimize.passes import body_safe_passes
+
+        resolved = resolve_passes(passes)
+        if not fold_global_phase:
+            resolved = body_safe_passes(resolved)
+        label = ",".join(p.name for p in resolved)
+        derived = self._derived(
+            f"optimize({label})",
+            lambda: (
+                optimize_bcircuit(
+                    self.bcircuit, resolved,
+                    window=window or DEFAULT_WINDOW,
+                ),
+                self.outputs,
+            ),
+        )
+        if fold_global_phase:
+            derived._phase_folded = True
+        return derived
+
     def inline(self) -> "Program":
         """Expand every boxed subroutine call into a flat circuit."""
         return self._derived(
@@ -260,9 +314,26 @@ class Program:
         beneath the controls unchanged, per Quipper's "nocontrol"
         convention; measurements and discards cannot be controlled and
         raise :class:`~repro.core.errors.ScopeError`.
+
+        Controlling an :meth:`optimize`-derived program emits a
+        ``RuntimeWarning``: the optimizer may have elided gates that
+        were only a global phase, which the new controls would have
+        turned into an observable relative phase.  Control first, or
+        use ``optimize(fold_global_phase=False)``.
         """
         if n < 1:
             raise ValueError("controlled() requires n >= 1")
+        if self._phase_folded:
+            import warnings
+
+            warnings.warn(
+                "controlled() on an optimize()-derived program: the "
+                "optimizer may have folded global phases that become "
+                "relative (observable) under the new controls; control "
+                "first or use optimize(fold_global_phase=False)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
         def make() -> tuple[BCircuit, object]:
             from .core.errors import ScopeError

@@ -34,6 +34,7 @@ from .backends.resources import StreamingResources
 from .backends.statevector import StatevectorFeed, draw_counts
 from .core.stream import StreamConsumer
 from .core.wires import QUANTUM
+from .optimize.stream import StreamOptimizer
 from .transform.count import StreamingCounter, total_gates, total_logical_gates
 from .transform.depth import StreamingDepth
 from .transform.pipeline import StreamTransformer
@@ -51,21 +52,95 @@ class GateStream:
     """
 
     def __init__(self, produce: Callable[[StreamConsumer], object], *,
-                 name: str = "stream", rules: tuple[Rule, ...] = ()):
+                 name: str = "stream", rules: tuple[Rule, ...] = (),
+                 stages: tuple[tuple[str, tuple], ...] | None = None):
         self._produce_raw = produce
         self.name = name
-        self._rules = tuple(rules)
+        #: Ordered processing stages, applied producer-side first:
+        #: ("rules", rule-tuple) or ("opt", pass-tuple).
+        if stages is None:
+            stages = (("rules", tuple(rules)),) if rules else ()
+        self._stages = stages
+
+    @property
+    def _rules(self) -> tuple[Rule, ...]:
+        """Every transformer rule in the chain, in application order."""
+        return tuple(
+            rule
+            for kind, items in self._stages
+            if kind == "rules"
+            for rule in items
+        )
 
     def _produce(self, consumer: StreamConsumer):
-        if self._rules:
-            consumer = StreamTransformer(self._rules, consumer)
+        # Stages wrap inside-out: the first-applied stage is outermost.
+        for kind, items in reversed(self._stages):
+            if kind == "rules":
+                consumer = StreamTransformer(items, consumer)
+            else:
+                consumer = StreamOptimizer(items, consumer)
         return self._produce_raw(consumer)
 
-    def transform(self, *rules: Rule) -> "GateStream":
-        """Chain further transformer rules into the streaming chain."""
-        return GateStream(
-            self._produce_raw, name=self.name,
-            rules=self._rules + tuple(rules),
+    @staticmethod
+    def _pass_key(peephole) -> tuple:
+        """Equality key for a pass: its type plus its configuration."""
+        return (type(peephole), tuple(sorted(vars(peephole).items())))
+
+    def _extend(self, kind: str, items: tuple, name: str) -> "GateStream":
+        """A new stream with *items* merged into the trailing stage.
+
+        Transformer rules concatenate verbatim (chaining a rule twice
+        applies it twice, like the materialized pipeline); optimizer
+        passes deduplicate by type + configuration, since re-matching a
+        window against an already-present pass is pure overhead.
+        """
+        stages = self._stages
+        if stages and stages[-1][0] == kind:
+            if kind == "rules":
+                extra = tuple(items)
+            else:
+                present = {self._pass_key(p) for p in stages[-1][1]}
+                extra = tuple(
+                    item for item in items
+                    if self._pass_key(item) not in present
+                )
+            stages = stages[:-1] + ((kind, stages[-1][1] + extra),)
+        elif items or kind == "opt":
+            stages = stages + ((kind, tuple(items)),)
+        return GateStream(self._produce_raw, name=name, stages=stages)
+
+    def transform(self, *rules) -> "GateStream":
+        """Chain further transformer rules into the streaming chain.
+
+        Rules are callables or gate-base names (``"toffoli"``,
+        ``"binary"``), exactly as :meth:`repro.program.Program.transform`
+        accepts.  Stage order follows call order: rules chained *after*
+        an :meth:`optimize` stage see the optimized stream.
+        """
+        from .program import _resolve_rules
+
+        return self._extend("rules", _resolve_rules(rules), self.name)
+
+    def optimize(self, *passes) -> "GateStream":
+        """Peephole-optimize the stream on its way to the consumer.
+
+        Adds a :class:`~repro.optimize.StreamOptimizer` stage at this
+        point of the chain: each gate flows through a bounded sliding
+        window (O(window) memory) where adjacent inverse pairs cancel,
+        rotations merge, and Clifford runs reduce; boxed subroutine
+        bodies are optimized once, on demand.  With no arguments the
+        default pass chain applies; calling again on the same stage
+        merges (already-present passes are not duplicated).  See
+        :mod:`repro.optimize.passes`.
+
+        ::
+
+            prog.stream("binary").optimize().count()
+        """
+        from .optimize.passes import resolve_passes
+
+        return self._extend(
+            "opt", resolve_passes(passes), f"{self.name}.optimize"
         )
 
     # -- counting and estimation --------------------------------------------
@@ -75,9 +150,11 @@ class GateStream:
         return self._produce(StreamingCounter())
 
     def total_gates(self) -> int:
+        """Total gate count of the stream, Init/Term/Meas included."""
         return total_gates(self.count())
 
     def logical_gates(self) -> int:
+        """Gate count excluding initialization/termination/measurement."""
         return total_logical_gates(self.count())
 
     def depth(self) -> int:
@@ -85,6 +162,7 @@ class GateStream:
         return self._produce(StreamingDepth())
 
     def t_depth(self) -> int:
+        """Critical-path depth counting only T gates."""
         return self._produce(StreamingDepth(t_only=True))
 
     def resources(self) -> dict:

@@ -38,6 +38,7 @@ from ..core.circuit import BCircuit, Circuit, Subroutine
 from ..core.errors import QuipperError
 from ..core.gates import BoxCall, Gate, map_gate_wires
 from ..core.stream import StreamConsumer
+from ..optimize.stream import StreamOptimizer
 from .binary import _binary_rule
 from .inline import _max_wire_id
 from .toffoli import _toffoli_rule
@@ -432,6 +433,7 @@ def canonicalize_wires(bc: BCircuit) -> BCircuit:
 
 
 __all__ = [
+    "StreamOptimizer",
     "StreamTransformer",
     "canonicalize_wires",
     "fixpoint_rule",

@@ -1,0 +1,684 @@
+"""The peephole optimizer subsystem (repro.optimize).
+
+Covers the composable passes one by one, the sliding-window core's
+commute-aware adjacency scan, randomized statevector equivalence of
+optimized vs unoptimized circuits over the full gate vocabulary
+(controls, boxed subroutines, and streamed application included),
+idempotence of the materialized fixpoint entry point, and the pi-unit
+parameter rendering that lets optimizer-merged rotations round-trip
+through the Quipper-ASCII interchange format.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro import Program
+from repro.core.builder import build, neg
+from repro.core.circuit import BCircuit, Circuit
+from repro.core.gates import (
+    BoxCall,
+    Comment,
+    Control,
+    Init,
+    NamedGate,
+    Term,
+    format_pi_multiple,
+)
+from repro.core.qdata import qubit
+from repro.core.stream import StreamConsumer, replay_bcircuit
+from repro.optimize import (
+    PeepholeOptimizer,
+    StreamOptimizer,
+    optimize_bcircuit,
+    optimize_gates,
+    optimize_gates_fixpoint,
+)
+
+
+def _H(q):
+    return NamedGate("H", (q,))
+
+
+def _X(q, *controls):
+    return NamedGate(
+        "not", (q,), tuple(Control(w, pos) for w, pos in controls)
+    )
+
+
+def _Rz(q, t, *controls):
+    return NamedGate(
+        "Rz", (q,), tuple(Control(w, pos) for w, pos in controls), param=t
+    )
+
+
+class TestPasses:
+    def test_adjacent_self_inverse_pair_cancels(self):
+        assert optimize_gates([_H(0), _H(0)]) == []
+        assert optimize_gates([_X(0, (1, True)), _X(0, (1, True))]) == []
+
+    def test_daggered_pair_cancels(self):
+        t = NamedGate("T", (0,))
+        assert optimize_gates([t, t.inverse()]) == []
+
+    def test_cancellation_is_control_sensitive(self):
+        gates = [_X(0, (1, True)), _X(0, (1, False))]
+        assert optimize_gates(gates) == gates
+
+    def test_cancellation_across_disjoint_gates(self):
+        spectator = _X(9)
+        assert optimize_gates([_H(0), spectator, _H(0)]) == [spectator]
+
+    def test_init_term_pair_cancels(self):
+        assert optimize_gates([Init(5), Term(5)]) == []
+        kept = [Init(5, True), Term(5, False)]
+        assert optimize_gates(kept) == kept  # value mismatch: not inverses
+
+    def test_rotation_merge_and_identity_elision(self):
+        merged = optimize_gates([_Rz(0, 0.25), _Rz(0, 0.5)])
+        assert merged == [_Rz(0, 0.75)]
+        assert optimize_gates([_Rz(0, 0.3), _Rz(0, -0.3)]) == []
+
+    def test_rotation_merges_across_diagonal_gate(self):
+        cz = NamedGate("Z", (0,), (Control(1, True),))
+        assert optimize_gates([_Rz(0, 0.3), cz, _Rz(0, -0.3)]) == [cz]
+
+    def test_rotation_merges_across_control_dot(self):
+        # The shared wire is only a *control* of the middle gate.
+        toffoli = _X(2, (0, True), (1, True))
+        out = optimize_gates([_Rz(0, 0.4), toffoli, _Rz(0, -0.4)])
+        assert out == [toffoli]
+
+    def test_rotation_blocked_by_non_commuting_gate(self):
+        gates = [_Rz(0, 0.3), _H(0), _Rz(0, -0.3)]
+        assert optimize_gates(gates) == gates
+
+    def test_uncontrolled_fold_uses_phase_period(self):
+        # Rz(2pi) = -I: a global phase, elidable when uncontrolled only.
+        assert optimize_gates([_Rz(0, math.pi), _Rz(0, math.pi)]) == []
+        controlled = [_Rz(0, math.pi, (1, True)), _Rz(0, math.pi, (1, True))]
+        (survivor,) = optimize_gates(controlled)
+        assert survivor.param == pytest.approx(2 * math.pi)
+
+    def test_daggered_rotation_merges_with_negated_param(self):
+        dagger = NamedGate("Rz", (0,), param=0.3, inverted=True)
+        assert optimize_gates([_Rz(0, 0.3), dagger]) == []
+
+    def test_clifford_pair_rewrites(self):
+        s = NamedGate("S", (0,))
+        assert optimize_gates([s, s]) == [NamedGate("Z", (0,))]
+        t = NamedGate("T", (0,))
+        assert optimize_gates([t, t]) == [s]
+        v = NamedGate("V", (0,))
+        assert optimize_gates([v, v]) == [NamedGate("X", (0,))]
+
+    def test_hph_conjugation(self):
+        out = optimize_gates([_H(0), NamedGate("Z", (0,)), _H(0)])
+        assert out == [NamedGate("X", (0,))]
+        out = optimize_gates([_H(0), NamedGate("X", (0,)), _H(0)])
+        assert out == [NamedGate("Z", (0,))]
+
+    def test_push_not_exposes_cancellation(self):
+        gates = [_X(2), _X(3, (2, True)), _X(2)]
+        assert optimize_gates(gates) == [_X(3, (2, False))]
+
+    def test_push_not_does_not_hop_noncommuting_gates(self):
+        # The T between the NOT and the carrier shares the NOT's wire:
+        # the hop must not happen (X;T != T;X).
+        gates = [_X(2), NamedGate("T", (2,)), _X(3, (2, True)), _X(2)]
+        out = optimize_gates(gates)
+        assert out == gates
+
+    def test_uncontrolled_phase_gate_elided(self):
+        assert optimize_gates([NamedGate("phase", (), param=0.7)]) == []
+        controlled = NamedGate("phase", (), (Control(1, True),), param=0.7)
+        assert optimize_gates([controlled]) == [controlled]
+
+    def test_comments_pass_through(self):
+        note = Comment("checkpoint")
+        assert optimize_gates([_H(0), note, _H(0)]) == [note]
+
+    def test_boxcall_inverse_pair_cancels(self):
+        call = BoxCall("f", ((0, "Q"),), ((0, "Q"),))
+        assert optimize_gates([call, call.inverse()]) == []
+
+
+class TestWindow:
+    def test_flush_preserves_order(self):
+        gates = [_H(k) for k in range(10)]
+        assert optimize_gates(gates) == gates
+
+    def test_bounded_window_evicts_oldest(self):
+        emitted = []
+        optimizer = PeepholeOptimizer(window=4, sink=emitted.append)
+        for k in range(10):
+            optimizer.feed(_H(k))
+        assert len(emitted) == 6  # ten fed, four still windowed
+        optimizer.flush()
+        assert emitted == [_H(k) for k in range(10)]
+
+    def test_window_memory_is_bounded(self):
+        optimizer = PeepholeOptimizer(window=8, sink=lambda gate: None)
+        for k in range(10_000):
+            optimizer.feed(_Rz(k % 97, 0.1))
+        assert len(optimizer._window) <= 8
+
+    def test_evicted_gates_cannot_cancel(self):
+        spacers = [_X(k) for k in range(1, 6)]
+        gates = [_H(0), *spacers, _H(0)]
+        assert optimize_gates(gates, window=4) == gates
+        assert optimize_gates(gates, window=16) == spacers
+
+
+def _fidelity(first, second):
+    assert set(first.statevector_wires) == set(second.statevector_wires)
+    a, b = first.statevector, second.statevector
+    if first.statevector_wires != second.statevector_wires:
+        axes = [
+            second.statevector_wires.index(w)
+            for w in first.statevector_wires
+        ]
+        n = len(axes)
+        b = np.moveaxis(b.reshape((2,) * n), axes, range(n))
+    return abs(np.vdot(a.reshape(-1), b.reshape(-1)))
+
+
+def assert_equivalent(program: Program, optimized: Program):
+    """Optimized and original agree on the final state, up to global phase."""
+    fidelity = _fidelity(program.run(), optimized.run())
+    assert fidelity == pytest.approx(1.0, abs=1e-9)
+
+
+_NAMES_PLAIN = ("X", "Y", "Z", "H", "S", "T", "V", "E", "iX")
+_NAMES_ROT = ("Rz", "Rx", "Ry", "exp(-i%Z)")
+
+
+def _random_circuit(qc, qs, rnd: random.Random, length: int):
+    wires = list(qs)
+
+    def pick_controls(exclude):
+        pool = [q for q in wires if q is not exclude]
+        rnd.shuffle(pool)
+        picked = pool[: rnd.randint(0, 2)]
+        return [q if rnd.random() < 0.7 else neg(q) for q in picked] or None
+
+    for _ in range(length):
+        roll = rnd.random()
+        target = rnd.choice(wires)
+        if roll < 0.35:
+            qc.named_gate(
+                rnd.choice(_NAMES_PLAIN), target,
+                controls=pick_controls(target),
+                inverted=rnd.random() < 0.3,
+            )
+        elif roll < 0.60:
+            name = rnd.choice(_NAMES_ROT)
+            param = rnd.choice(
+                [rnd.uniform(-3.0, 3.0), math.pi / 2, math.pi / 4,
+                 -math.pi / 2, math.pi]
+            )
+            qc.named_gate(
+                name, target, controls=pick_controls(target), param=param
+            )
+        elif roll < 0.75:
+            # Deliberate cancellation fodder: a gate then its inverse.
+            name = rnd.choice(_NAMES_PLAIN)
+            controls = pick_controls(target)
+            qc.named_gate(name, target, controls=controls)
+            qc.named_gate(
+                name, target, controls=controls,
+                inverted=name not in ("X", "Y", "Z", "H"),
+            )
+        elif roll < 0.85:
+            other = rnd.choice([q for q in wires if q is not target])
+            qc.named_gate(
+                rnd.choice(("swap", "W")), target, other, controls=None
+            )
+        else:
+            # An ancilla-scoped compute/act/uncompute block.
+            def compute():
+                anc = qc.qinit_qubit(False)
+                qc.qnot(anc, controls=(target,))
+                return anc
+
+            def act(anc):
+                qc.gate_T(anc)
+                qc.gate_Z(rnd.choice(wires), controls=anc)
+                return None
+
+            qc.with_computed(compute, act)
+            # with_computed leaves the replayed Init's inverse (a Term)
+            # closing the ancilla.
+    return qs
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("trial", range(24))
+    def test_optimized_state_matches(self, trial):
+        rnd = random.Random(4200 + trial)
+        program = Program.capture(
+            lambda qc, qs: _random_circuit(qc, qs, rnd, 40), [qubit] * 4
+        )
+        optimized = program.optimize()
+        optimized.bcircuit.check()  # wiring stays valid
+        assert_equivalent(program, optimized)
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_boxed_subroutines(self, trial):
+        rnd = random.Random(7000 + trial)
+
+        def body(qc, pair):
+            a, b = pair
+            qc.hadamard(a)
+            qc.gate_T(b)
+            qc.gate_T(b)  # merges to S inside the body
+            qc.qnot(b, controls=a)
+            return pair
+
+        def fn(qc, qs):
+            _random_circuit(qc, qs, rnd, 10)
+            qc.box("body", body, (qs[0], qs[1]))
+            qc.box("body", body, (qs[2], qs[3]))
+            _random_circuit(qc, qs, rnd, 10)
+            return qs
+
+        program = Program.capture(fn, [qubit] * 4)
+        optimized = program.optimize()
+        optimized.bcircuit.check()
+        # One optimized body, shared across both call sites.
+        assert set(optimized.bcircuit.namespace) == {"body"}
+        body_names = [
+            g.name
+            for g in optimized.bcircuit.namespace["body"].circuit.gates
+            if isinstance(g, NamedGate)
+        ]
+        assert "S" in body_names and body_names.count("T") == 0
+        assert_equivalent(program, optimized)
+
+    def test_controlled_boxcall_keeps_body_global_phase(self):
+        """Phase-period folding must NOT apply inside boxed bodies.
+
+        Rz(2pi) = -I is a pure global phase when applied directly, but a
+        subroutine body runs under whatever controls its call site
+        pushes down -- eliding it there turns an unobservable global
+        phase into a missing *relative* phase and changes outcomes.
+        """
+
+        def body(qc, q):
+            qc.rotZ(math.pi, q)
+            qc.rotZ(math.pi, q)  # Rz(2pi) = -I inside the body
+            return q
+
+        def fn(qc, c, q):
+            qc.hadamard(c)
+            with qc.controls(c):
+                qc.box("minus", body, q)
+            qc.hadamard(c)
+            return c, q
+
+        program = Program.capture(fn, qubit, qubit)
+        optimized = program.optimize()
+        assert_equivalent(program, optimized)
+        # The streamed form applies the same body-safe rule.
+        collected = replay_bcircuit(
+            program.bcircuit, StreamOptimizer((), _Collector())
+        )
+        assert_equivalent(program, Program.from_bcircuit(collected))
+        # Top level still folds: the same pair outside a body elides.
+        assert optimize_gates(
+            [_Rz(0, math.pi), _Rz(0, math.pi)]
+        ) == []
+
+    def test_reused_body_width_cache_not_poisoned_across_namespaces(self):
+        """A reused body whose callee shrank must not have its shared
+        width cache invalidated in place: querying the optimized
+        hierarchy first must not poison the original's width."""
+
+        def inner(qc, q):
+            anc = qc.qinit_qubit(False)
+            qc.qnot(anc, controls=q)
+            qc.qnot(anc, controls=q)  # cancels; the ancilla pair elides
+            qc.qterm(anc)
+            return q
+
+        def outer(qc, q):
+            qc.box("inner", inner, q)
+            return q
+
+        def fn(qc, q):
+            qc.box("outer", outer, q)
+            return q
+
+        program = Program.capture(fn, qubit)
+        bc = program.bcircuit
+        original_width = bc.namespace["outer"].width(bc.namespace)
+        optimized = optimize_bcircuit(bc)
+        # Query the *optimized* namespace first (the poisoning order).
+        slim_width = optimized.namespace["outer"].width(optimized.namespace)
+        assert slim_width < original_width
+        assert bc.namespace["outer"].width(bc.namespace) == original_width
+
+    def test_stream_transform_preserves_duplicate_rules(self):
+        """Chaining the same rule twice applies it twice, exactly like
+        the materialized Program.transform pipeline."""
+        from repro.core.gates import NamedGate
+
+        def t_to_tt(qc, gate):
+            if isinstance(gate, NamedGate) and gate.name == "T":
+                half = NamedGate("S", gate.targets)
+                qc._emit_raw(half)
+                qc._emit_raw(half)
+                return True
+            return False
+
+        def fn(qc, q):
+            qc.gate_T(q)
+            return q
+
+        program = Program.capture(fn, qubit)
+
+        def s_doubler(qc, gate):
+            if isinstance(gate, NamedGate) and gate.name == "S":
+                qc._emit_raw(gate)
+                qc._emit_raw(gate)
+                return True
+            return False
+
+        streamed = program.stream().transform(t_to_tt).transform(s_doubler)
+        materialized = program.transform(t_to_tt, s_doubler)
+        assert streamed.count() == materialized.count()
+        twice = program.stream().transform(s_doubler).transform(s_doubler)
+        assert twice._rules == (s_doubler, s_doubler)
+
+    def test_identity_body_object_is_reused(self):
+        def body(qc, q):
+            qc.hadamard(q)
+            return q
+
+        def fn(qc, q):
+            qc.box("noop", body, q)
+            return q
+
+        program = Program.capture(fn, qubit)
+        optimized = optimize_bcircuit(program.bcircuit)
+        assert (
+            optimized.namespace["noop"]
+            is program.bcircuit.namespace["noop"]
+        )
+
+
+class _Collector(StreamConsumer):
+    """Materialize a (possibly optimized) stream back into a BCircuit."""
+
+    def begin(self, inputs, namespace):
+        self.inputs = inputs
+        self.gates = []
+
+    def gate(self, gate):
+        self.gates.append(gate)
+
+    def finish(self, end):
+        return BCircuit(
+            Circuit(
+                inputs=self.inputs, gates=self.gates, outputs=end.outputs
+            ),
+            dict(end.namespace),
+        )
+
+
+class TestStreamedOptimization:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_streamed_application_matches_state(self, trial):
+        rnd = random.Random(9100 + trial)
+        program = Program.capture(
+            lambda qc, qs: _random_circuit(qc, qs, rnd, 30), [qubit] * 4
+        )
+        collected = replay_bcircuit(
+            program.bcircuit, StreamOptimizer((), _Collector())
+        )
+        collected.check()
+        optimized = Program.from_bcircuit(collected)
+        assert_equivalent(program, optimized)
+
+    def test_streamed_count_matches_materialized(self):
+        from repro.algorithms.bwt.main import bwt_program
+
+        program = bwt_program(3, 1, 0.1)
+        materialized = program.transform("binary").optimize().count()
+        streamed = program.stream("binary").optimize().count()
+        assert streamed == materialized
+
+    def test_stream_stage_order_matches_call_order(self):
+        """transform() after optimize() must see the optimized stream,
+        mirroring the materialized Program pipeline's stage order."""
+        from repro.algorithms.tf.main import part_program
+
+        oracle = part_program("pow17", 2, 2, 1, "orthodox")
+        materialized = oracle.optimize().transform("binary").count()
+        streamed = oracle.stream().optimize().transform("binary").count()
+        assert streamed == materialized
+
+    def test_stream_transform_accepts_gate_base_names(self):
+        from repro.algorithms.bwt.main import bwt_program
+
+        program = bwt_program(3, 1, 0.1)
+        assert (
+            program.stream().transform("binary").count()
+            == program.stream("binary").count()
+        )
+
+    def test_repeated_no_arg_optimize_does_not_duplicate_passes(self):
+        def fn(qc, q):
+            qc.hadamard(q)
+            return q
+
+        stream = Program.capture(fn, qubit).stream().optimize().optimize()
+        (stage,) = stream._stages
+        kind, passes = stage
+        assert kind == "opt"
+        assert len(passes) == len({type(p) for p in passes})
+
+    def test_stream_optimize_chains_compose(self):
+        def fn(qc, q):
+            qc.hadamard(q)
+            qc.hadamard(q)
+            qc.gate_T(q)
+            qc.gate_T(q)
+            return q
+
+        program = Program.capture(fn, qubit)
+        # Chained optimize() extends the pass set instead of replacing it.
+        counts = program.stream().optimize("cancel").optimize("clifford").count()
+        assert counts == {("S", 0, 0): 1}
+
+    def test_stream_optimizer_reduces_while_generating(self):
+        def fn(qc, qs):
+            for q in qs:
+                qc.hadamard(q)
+                qc.hadamard(q)
+            qc.gate_T(qs[0])
+            return qs
+
+        program = Program.capture(fn, [qubit] * 3)
+        counts = program.stream().optimize().count()
+        assert sum(counts.values()) == 1  # only the T survives
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("trial", range(10))
+    def test_random_circuits(self, trial):
+        rnd = random.Random(5300 + trial)
+        bc, _ = build(
+            lambda qc, qs: _random_circuit(qc, qs, rnd, 50), [qubit] * 4
+        )
+        once = optimize_bcircuit(bc)
+        twice = optimize_bcircuit(once)
+        assert twice == once
+
+    def test_algorithm_circuit(self):
+        from repro.algorithms.bwt.main import bwt_program
+
+        once = bwt_program(3, 1, 0.1).transform("binary").optimize()
+        again = once.optimize()
+        assert again.bcircuit == once.bcircuit
+
+    def test_gate_list_fixpoint(self):
+        rnd = random.Random(11)
+        bc, _ = build(
+            lambda qc, qs: _random_circuit(qc, qs, rnd, 60), [qubit] * 4
+        )
+        once = optimize_gates_fixpoint(bc.circuit.gates)
+        assert optimize_gates_fixpoint(once) == once
+
+
+class TestPiUnitsRoundTrip:
+    """Satellite fix: rotation params print in units of pi where exact."""
+
+    def test_display_names(self):
+        assert _Rz(0, math.pi / 2).display_name() == "Rz(pi/2)"
+        assert _Rz(0, -math.pi / 2).display_name() == "Rz(-pi/2)"
+        assert _Rz(0, 3 * math.pi / 4).display_name() == "Rz(3pi/4)"
+        assert _Rz(0, 2 * math.pi).display_name() == "Rz(2pi)"
+        assert NamedGate("Ry", (0,), param=math.pi).display_name() == "Ry(pi)"
+        # Non-multiples keep the exact float rendering.
+        assert _Rz(0, 0.3).display_name() == "Rz(0.3)"
+
+    def test_repr_uses_display_name(self):
+        assert "Rz(pi/2)" in repr(_Rz(0, math.pi / 2))
+
+    def test_format_pi_multiple_is_bit_exact(self):
+        from repro.io.ascii_parser import _parse_number
+
+        for num in range(-12, 13):
+            for den in (1, 2, 3, 4, 6, 8, 16):
+                value = num * math.pi / den
+                text = format_pi_multiple(value)
+                if text is None:
+                    continue
+                assert _parse_number(text) == value
+
+    def test_format_pi_multiple_unreduced_fractions_stay_exact(self):
+        """Reducing 15pi/12 to 5pi/4 drifts by one ulp; the formatter
+        must emit whichever spelling round-trips bit-exactly."""
+        from repro.io.ascii_parser import _parse_number
+
+        for num in range(-60, 61):
+            for den in (3, 5, 6, 12):
+                value = num * math.pi / den
+                text = format_pi_multiple(value)
+                if text is not None:
+                    assert _parse_number(text) == value, (num, den, text)
+
+    def test_merged_rotation_round_trips_through_interchange(self):
+        from repro.io import dumps, loads
+
+        def fn(qc, q):
+            qc.rotZ(math.pi / 4, q)
+            qc.rotZ(math.pi / 4, q)  # merges to Rz(pi/2)
+            qc.expZt(math.pi / 2, q)
+            return q
+
+        optimized = Program.capture(fn, qubit).optimize()
+        text = optimized.dumps()
+        assert "Rz(pi/2)" in text and "exp(-ipi/2Z)" in text
+        assert loads(text) == optimized.bcircuit
+
+    def test_random_pi_params_round_trip(self):
+        from repro.io import dumps, loads
+
+        rnd = random.Random(77)
+
+        def fn(qc, q):
+            for _ in range(20):
+                qc.rotZ(
+                    rnd.randrange(-8, 9) * math.pi / rnd.choice((1, 2, 4, 8)),
+                    q,
+                )
+            return q
+
+        bc, _ = build(fn, qubit)
+        assert loads(dumps(bc)) == bc
+
+
+class TestProgramSurface:
+    def test_optimize_accepts_registry_names(self):
+        def fn(qc, q):
+            qc.hadamard(q)
+            qc.hadamard(q)
+            qc.gate_T(q)
+            return q
+
+        program = Program.capture(fn, qubit)
+        slim = program.optimize("cancel")
+        assert slim.total_gates() == 1
+        with pytest.raises(ValueError):
+            program.optimize("definitely-not-a-pass").bcircuit
+
+    def test_controlled_after_optimize_warns_about_folded_phase(self):
+        """optimize() may drop global-phase gates; .controlled() later
+        would make that phase relative -- the composition must warn."""
+
+        def fn(qc, q):
+            qc.rotZ(math.pi, q)
+            qc.rotZ(math.pi, q)  # Rz(2pi): global phase, foldable
+            qc.hadamard(q)
+            return q
+
+        program = Program.capture(fn, qubit)
+        with pytest.warns(RuntimeWarning, match="global phase"):
+            program.optimize().controlled().bcircuit
+        # The phase-exact form neither folds nor warns, and composes
+        # correctly with controlled().
+        import warnings
+
+        exact = program.optimize(fold_global_phase=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            controlled = exact.controlled()
+        # The pair still merges (exact rewrite) but the Rz(2pi) result
+        # survives under the phase-exact chain.
+        assert controlled.count()[("Rz", 1, 0)] == 1
+        # Controlling first then optimizing is always safe (and warns
+        # nothing).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            program.controlled().optimize().bcircuit
+
+    def test_optimize_composes_with_transform(self):
+        from repro.algorithms.bwt.main import bwt_program
+
+        program = bwt_program(3, 1, 0.1)
+        plain = program.transform("toffoli").total_gates()
+        slim = program.transform("toffoli").optimize().total_gates()
+        assert slim < plain
+
+    def test_cli_flag(self, capsys):
+        from repro.algorithms.bwt.main import main as bwt_main
+
+        assert bwt_main(["-n", "3", "-g", "binary", "-f", "gatecount"]) == 0
+        plain = capsys.readouterr().out
+        assert bwt_main(
+            ["-n", "3", "-g", "binary", "-f", "gatecount", "-O"]
+        ) == 0
+        slim = capsys.readouterr().out
+
+        def total(report: str) -> int:
+            for line in report.splitlines():
+                if line.startswith("Total gates:"):
+                    return int(line.split(":")[1].replace(",", ""))
+            raise AssertionError(f"no total in {report!r}")
+
+        assert total(slim) < total(plain)
+
+    def test_tf_cli_keeps_oracle_only_spelling(self, capsys):
+        from repro.algorithms.tf.main import main as tf_main
+
+        assert tf_main(
+            ["--oracle-only", "-l", "2", "-n", "2", "-r", "1",
+             "-f", "gatecount"]
+        ) == 0
+        assert "Total gates" in capsys.readouterr().out

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Documentation health checks: intra-doc links and docstring coverage.
+
+Two independent checks, both runnable as a script (CI's ``docs-build``
+job) and importable from the test suite (``tests/test_docs.py``):
+
+* :func:`check_links` -- every relative Markdown link in ``docs/`` and
+  ``README.md`` must point at an existing file, and an ``#anchor``
+  fragment must match a heading slug in the target file.
+* :func:`check_docstrings` -- every public module / class / function /
+  method of the public API surface (``repro.program``,
+  ``repro.streaming``, ``repro.backends.base``, ``repro.optimize``)
+  must carry a docstring.
+
+Exit status is non-zero when either check finds problems, so the CI job
+fails on broken links or an undocumented public name.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links are checked.
+DOC_FILES = ("README.md", "docs/architecture.md", "docs/tutorial.md",
+             "docs/api.md")
+
+#: Modules whose public surface must be fully docstringed.
+PUBLIC_MODULES = (
+    "src/repro/program.py",
+    "src/repro/streaming.py",
+    "src/repro/backends/base.py",
+    "src/repro/optimize/__init__.py",
+    "src/repro/optimize/passes.py",
+    "src/repro/optimize/peephole.py",
+    "src/repro/optimize/stream.py",
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style heading anchor: lowercase, punctuation out, dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: pathlib.Path) -> set[str]:
+    return {_slugify(m.group(1)) for m in _HEADING.finditer(path.read_text())}
+
+
+def check_links(repo: pathlib.Path = REPO) -> list[str]:
+    """Return a list of broken-link descriptions (empty = healthy)."""
+    problems = []
+    for name in DOC_FILES:
+        doc = repo / name
+        if not doc.exists():
+            problems.append(f"{name}: file missing")
+            continue
+        for match in _LINK.finditer(doc.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # same-file anchor
+                resolved = doc
+            else:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(f"{name}: broken link -> {target}")
+                    continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in _anchors(resolved):
+                    problems.append(
+                        f"{name}: broken anchor -> {target}"
+                    )
+    return problems
+
+
+def _missing_docstrings(tree: ast.Module, module_name: str) -> list[str]:
+    missing = []
+    if not ast.get_docstring(tree):
+        missing.append(f"{module_name}: module docstring")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_") and not ast.get_docstring(node):
+                missing.append(f"{module_name}: def {node.name}")
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            if not ast.get_docstring(node):
+                missing.append(f"{module_name}: class {node.name}")
+            for sub in node.body:
+                if not isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if sub.name.startswith("_") and sub.name != "__init__":
+                    continue
+                if sub.name == "__init__":
+                    continue  # documented on the class
+                if any(
+                    isinstance(dec, ast.Name) and dec.id == "property"
+                    for dec in sub.decorator_list
+                ) and ast.get_docstring(sub):
+                    continue
+                if not ast.get_docstring(sub):
+                    missing.append(
+                        f"{module_name}: {node.name}.{sub.name}"
+                    )
+    return missing
+
+
+def check_docstrings(repo: pathlib.Path = REPO) -> list[str]:
+    """Return undocumented public names (empty = full coverage)."""
+    missing = []
+    for name in PUBLIC_MODULES:
+        path = repo / name
+        tree = ast.parse(path.read_text())
+        missing.extend(_missing_docstrings(tree, name))
+    return missing
+
+
+def main() -> int:
+    """Run both checks; print findings; non-zero exit on any problem."""
+    link_problems = check_links()
+    doc_problems = check_docstrings()
+    for problem in link_problems + doc_problems:
+        print("DOCS:", problem)
+    if link_problems or doc_problems:
+        print(
+            f"\n{len(link_problems)} broken link(s), "
+            f"{len(doc_problems)} missing docstring(s)"
+        )
+        return 1
+    print("docs healthy: links resolve, public API fully docstringed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
