@@ -16,8 +16,10 @@ Quick-mode runs (``REPRO_BENCH_QUICK=1``) record to the parallel
 With no fresh run available it still prints the recorded baselines, so it
 always answers "what speedups does this tree claim?".  Exits non-zero if
 a fresh run regressed more than ``--slack`` (default 20%) below its
-recorded baseline speedup; CI passes ``--slack 0.30``.  ``--summary``
-appends a Markdown table to the given file (``$GITHUB_STEP_SUMMARY``).
+recorded baseline speedup (exit 2); CI passes ``--slack 0.30``.  A fresh
+result whose baseline file is missing entirely exits 3, naming the
+benchmark and its metrics.  ``--summary`` appends a Markdown table to
+the given file (``$GITHUB_STEP_SUMMARY``).
 """
 
 from __future__ import annotations
@@ -81,12 +83,28 @@ def compare(slack: float = SLACK, quick: bool = False,
         print("\n(no fresh run found -- run "
               "`PYTHONPATH=src python -m pytest benchmarks -q` first to "
               "compare against the baselines)")
+    # A fresh result with no committed counterpart is an error, not a
+    # silent skip: it means a new benchmark landed without recording its
+    # baseline (or a baseline file was deleted), so regressions in it
+    # would never be caught.  Name the file and every metric it carries.
+    missing = [
+        path for path in sorted(latest_dir.glob("*.json"))
+        if not (baselines_dir / path.name).exists()
+    ] if latest_dir.exists() else []
+    for path in missing:
+        metrics = ", ".join(
+            f"{k}={v}" for k, v in _load(path).items() if k != "quick"
+        )
+        print(f"\nMISSING BASELINE: {path.stem} ({metrics})")
+        print(f"  commit {baselines_dir / path.name} to record it")
     if summary_path:
         _write_summary(summary_path, rows, regressed, slack, quick)
     if regressed:
         print(f"\nREGRESSED >{slack:.0%} below baseline: "
               f"{', '.join(regressed)}")
         return 2
+    if missing:
+        return 3
     return 0
 
 

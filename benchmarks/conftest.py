@@ -12,6 +12,8 @@ import json
 import os
 import pathlib
 
+import pytest
+
 _HERE = pathlib.Path(__file__).parent
 BASELINES = _HERE / "baselines"
 LATEST = _HERE / ".latest"
@@ -51,6 +53,48 @@ def record_benchmark(name: str, record: dict) -> dict | None:
     baselines_dir.mkdir(parents=True, exist_ok=True)
     baseline_path.write_text(json.dumps(record, indent=2) + "\n")
     return None
+
+
+@pytest.fixture()
+def profile(request):
+    """Record a per-stage telemetry breakdown for one benchmark.
+
+    Opt-in: benchmarks that accept this fixture run under an
+    :func:`repro.obs.capture` session, and on teardown the recorder's
+    span totals, counters, and histograms are written to
+    ``.latest[/quick]/profiles/<testname>.json`` (gitignored, uploaded as
+    a CI artifact alongside the benchmark records).  The yielded object
+    is the live :class:`repro.obs.Recorder`, so a benchmark can also
+    assert on stage structure directly.
+    """
+    from repro import obs
+
+    with obs.capture() as rec:
+        yield rec
+    profiles_dir = (LATEST / "quick" if quick_mode() else LATEST) / "profiles"
+    profiles_dir.mkdir(parents=True, exist_ok=True)
+    hit_rate = rec.cache_hit_rate()
+    breakdown = {
+        "test": request.node.name,
+        "quick": quick_mode(),
+        "wall_s": round(rec.wall_time, 6),
+        "stages": {
+            path: {
+                "calls": calls,
+                "total_us": round(total_us, 1),
+                "rss_kb": rss_kb,
+            }
+            for path, (calls, total_us, rss_kb) in rec.span_totals().items()
+        },
+        "counters": rec.counters,
+        "histograms": {
+            name: hist.as_dict() for name, hist in rec.histograms.items()
+        },
+        "cache_hit_rate": round(hit_rate, 4) if hit_rate is not None else None,
+    }
+    (profiles_dir / f"{request.node.name}.json").write_text(
+        json.dumps(breakdown, indent=2) + "\n"
+    )
 
 
 def report(title: str, rows: list[tuple[str, object, object]]) -> None:

@@ -1,0 +1,111 @@
+"""Telemetry overhead guard: instrumentation must be ~free.
+
+The obs layer instruments the hottest seam in the tree -- per-gate kernel
+dispatch in ``repro.sim.kernels`` -- so it carries an explicit cost
+budget:
+
+* **Disabled** (the default), every instrumented site reduces to a single
+  module-attribute check (``if _obs.ENABLED:``).  The committed
+  ``kernel_throughput`` baseline already polices this path against the
+  pre-telemetry numbers via ``compare_baselines.py``.
+* **Enabled** (a capture session is active), counters and histogram
+  updates may not add more than **2%** to the kernel-throughput gate mix.
+
+This benchmark measures the enabled/disabled ratio directly, reusing the
+kernel-throughput mix at the same register width.  Rounds interleave the
+two modes so drift (thermal, page cache) hits both equally, and the
+minimum per mode is compared -- minima are the standard noise-robust
+statistic for cost floors.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+
+from conftest import quick_mode, record_benchmark, report
+from test_kernel_throughput import QUBITS, _gate_mix, _prepared
+
+from repro.sim.state import StateVector
+
+#: Fractional telemetry overhead allowed on the per-gate hot path.
+OVERHEAD_BUDGET = 0.02
+
+# Quick-mode rounds stay high: at the reduced width a round is ~10ms, so
+# minima need more samples to stabilize (the quick tree never asserts the
+# budget, but its recorded ratio feeds the CI bench-regression diff).
+ROUNDS = 8 if quick_mode() else 12
+
+
+def _one_round(sim, gates) -> float:
+    start = time.perf_counter()
+    for gate in gates:
+        sim.execute(gate)
+    return time.perf_counter() - start
+
+
+def test_enabled_telemetry_overhead_under_budget():
+    gates = _gate_mix(QUBITS) * 4
+    # One simulator serves both modes: the mix is mode-independent, and
+    # sharing the state array removes allocation-placement bias (two
+    # separate 2^20 statevectors can differ by more than the budget from
+    # page alignment alone).
+    sim = _prepared(StateVector, QUBITS)
+    _one_round(sim, gates)  # warm matrix/kernel LRUs and the page cache
+    with obs.capture():
+        _one_round(sim, gates)
+
+    disabled_times, enabled_times = [], []
+    for _ in range(ROUNDS):
+        disabled_times.append(_one_round(sim, gates))
+        with obs.capture() as rec:
+            enabled_times.append(_one_round(sim, gates))
+    # The enabled rounds really did record: every gate classified.
+    kernel_counts = sum(
+        count for name, count in rec.counters.items()
+        if name.startswith("sim.kernel.") and name != "sim.kernel.controlled"
+    )
+    assert kernel_counts == len(gates)
+
+    disabled = min(disabled_times)
+    enabled = min(enabled_times)
+    overhead = enabled / disabled - 1.0
+    record = {
+        "qubits": QUBITS,
+        "mix_gates": len(gates),
+        "rounds": ROUNDS,
+        "disabled_s_per_round": round(disabled, 6),
+        "enabled_s_per_round": round(enabled, 6),
+        "overhead_pct": round(overhead * 100, 3),
+        "speedup": round(disabled / enabled, 3),
+    }
+    baseline = record_benchmark("obs_overhead", record)
+    report(
+        f"telemetry overhead on the kernel gate mix ({QUBITS} qubits)",
+        [
+            ("gate mix size", "-", len(gates)),
+            ("disabled round (s)", "-", f"{disabled:.4f}"),
+            ("enabled round (s)", "-", f"{enabled:.4f}"),
+            ("overhead", f"< {OVERHEAD_BUDGET:.0%}", f"{overhead:.2%}"),
+            (
+                "recorded baseline ratio",
+                "-",
+                baseline["speedup"] if baseline else "recorded now",
+            ),
+        ],
+    )
+    if not quick_mode():
+        assert overhead < OVERHEAD_BUDGET, record
+
+
+def test_disabled_capture_records_nothing():
+    """Outside a capture session the counters genuinely go nowhere."""
+    sim = _prepared(StateVector, QUBITS if quick_mode() else 12)
+    gates = _gate_mix(8)
+    for gate in gates:
+        sim.execute(gate)
+    with obs.capture() as rec:
+        pass
+    assert rec.counters == {}
+    assert rec.spans == []

@@ -83,7 +83,7 @@ def _bwt_core_program() -> Program:
     return Program.capture(core, [qubit] * register_size(2), name="bwt-core")
 
 
-def test_bwt_reduction_and_equivalence():
+def test_bwt_reduction_and_equivalence(profile):
     walk = bwt_program(BWT_N, 1, 0.1).transform("binary")
     before, after, streamed, reduction = _reduction(walk)
     assert reduction >= 0.10, (before, after)

@@ -86,6 +86,7 @@ from .optimize import (
     StreamOptimizer,
     optimize_bcircuit,
 )
+from . import obs
 from .program import Program, main, subroutine
 from .streaming import GateStream
 
@@ -156,5 +157,6 @@ __all__ = [
     "optimize_bcircuit",
     "TOFFOLI",
     "BINARY",
+    "obs",
     "__version__",
 ]

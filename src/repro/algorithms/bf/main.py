@@ -7,7 +7,7 @@ import argparse
 from ...core.qdata import qubit
 from ...lifting.template import unpack
 from ...program import Program
-from ..runner import add_execution_arguments, emit
+from ..runner import add_execution_arguments, emit, telemetry_session
 from .flood_fill import make_hex_winner_template
 from .hex_board import blue_wins, random_final_position
 
@@ -76,12 +76,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.check is not None:
-        board, oracle_says, reference = check_oracle(
-            args.rows, args.cols, args.check, share=args.share
-        )
-        print("board:", "".join("B" if b else "R" for b in board))
-        print("oracle says blue wins:", oracle_says)
-        print("reference blue wins:  ", reference)
+        with telemetry_session(args):
+            board, oracle_says, reference = check_oracle(
+                args.rows, args.cols, args.check, share=args.share
+            )
+            print("board:", "".join("B" if b else "R" for b in board))
+            print("oracle says blue wins:", oracle_says)
+            print("reference blue wins:  ", reference)
         return 0 if oracle_says == reference else 1
     program = hex_oracle_program(args.rows, args.cols, share=args.share)
     return emit(program, args)

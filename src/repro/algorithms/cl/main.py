@@ -5,7 +5,7 @@ from __future__ import annotations
 import argparse
 
 from ...program import Program
-from ..runner import add_execution_arguments, emit
+from ..runner import add_execution_arguments, emit, telemetry_session
 from .number_field import (
     continued_fraction_sqrt,
     is_squarefree,
@@ -41,17 +41,18 @@ def main(argv: list[str] | None = None) -> int:
             name=f"cl(width={args.width})",
         )
         return emit(program, args)
-    x, y = pell_fundamental_solution(args.d)
-    print(f"Q(sqrt({args.d})): continued fraction",
-          continued_fraction_sqrt(args.d))
-    print(f"fundamental Pell solution: x={x}, y={y}")
-    exact = regulator(args.d)
-    print(f"classical regulator: {exact:.6f}")
-    estimate = estimate_regulator(
-        args.d, width=args.width, samples=args.samples
-    )
-    print(f"quantum estimate:    {estimate:.6f}"
-          f"  (relative error {abs(estimate - exact) / exact:.3%})")
+    with telemetry_session(args):
+        x, y = pell_fundamental_solution(args.d)
+        print(f"Q(sqrt({args.d})): continued fraction",
+              continued_fraction_sqrt(args.d))
+        print(f"fundamental Pell solution: x={x}, y={y}")
+        exact = regulator(args.d)
+        print(f"classical regulator: {exact:.6f}")
+        estimate = estimate_regulator(
+            args.d, width=args.width, samples=args.samples
+        )
+        print(f"quantum estimate:    {estimate:.6f}"
+              f"  (relative error {abs(estimate - exact) / exact:.3%})")
     return 0
 
 

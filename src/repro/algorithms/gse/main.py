@@ -18,7 +18,7 @@ from ...core.qdata import qdata_leaves
 from ...lib.phase_estimation import phase_estimation
 from ...lib.simulation import Hamiltonian, trotterized_evolution
 from ...program import Program
-from ..runner import add_execution_arguments, emit
+from ..runner import add_execution_arguments, emit, telemetry_session
 from .hamiltonian import H2_HAMILTONIAN, exact_ground_energy
 
 
@@ -117,13 +117,14 @@ def main(argv: list[str] | None = None) -> int:
             gse_program(args.precision, args.time, args.trotter_steps),
             args,
         )
-    energy = estimate_ground_energy(
-        args.precision, args.time, args.trotter_steps
-    )
-    exact = exact_ground_energy(H2_HAMILTONIAN, 2)
-    print(f"estimated ground energy: {energy:+.4f} Hartree")
-    print(f"exact ground energy:     {exact:+.4f} Hartree")
-    print(f"error:                   {abs(energy - exact):.4f}")
+    with telemetry_session(args):
+        energy = estimate_ground_energy(
+            args.precision, args.time, args.trotter_steps
+        )
+        exact = exact_ground_energy(H2_HAMILTONIAN, 2)
+        print(f"estimated ground energy: {energy:+.4f} Hartree")
+        print(f"exact ground energy:     {exact:+.4f} Hartree")
+        print(f"error:                   {abs(energy - exact):.4f}")
     return 0
 
 

@@ -16,6 +16,7 @@ from ..runner import (
     apply_optimize,
     emit,
     format_counts,
+    telemetry_session,
 )
 from .hhl import classical_solution, hhl_circuit
 from .oracle import make_sin_template
@@ -110,26 +111,28 @@ def main(argv: list[str] | None = None) -> int:
             args.shots = 1024
         # `emit` applies -O itself via args.optimize.
         return emit(hhl_program(precision=args.precision), args)
-    if args.sin_bits:
-        ib, fb = args.sin_bits
-        print(f"sin(x) oracle at {ib}+{fb} bits:",
-              sin_oracle_gatecount(ib, fb, optimize=args.optimize), "gates")
-        return 0
-    if args.shots:
-        program = apply_optimize(
-            hhl_program(precision=args.precision), args.optimize
+    with telemetry_session(args):
+        if args.sin_bits:
+            ib, fb = args.sin_bits
+            print(f"sin(x) oracle at {ib}+{fb} bits:",
+                  sin_oracle_gatecount(ib, fb, optimize=args.optimize),
+                  "gates")
+            return 0
+        if args.shots:
+            program = apply_optimize(
+                hhl_program(precision=args.precision), args.optimize
+            )
+            result = program.run(
+                args.backend, shots=args.shots, seed=args.seed
+            )
+            print("system register + success ancilla (last bit):")
+            print(format_counts(result.counts))
+            return 0
+        measured, expect = solve_demo(
+            precision=args.precision, optimize=args.optimize
         )
-        result = program.run(
-            args.backend, shots=args.shots, seed=args.seed
-        )
-        print("system register + success ancilla (last bit):")
-        print(format_counts(result.counts))
-        return 0
-    measured, expect = solve_demo(
-        precision=args.precision, optimize=args.optimize
-    )
-    print("HHL solution probabilities:", np.round(measured, 4))
-    print("classical |A^-1 b|^2:      ", np.round(expect, 4))
+        print("HHL solution probabilities:", np.round(measured, 4))
+        print("classical |A^-1 b|^2:      ", np.round(expect, 4))
     return 0
 
 

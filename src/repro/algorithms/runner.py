@@ -15,6 +15,8 @@ one fused traversal, not two rewrites.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import sys
 
 from ..backends import format_resource_report
 from ..core.circuit import BCircuit
@@ -57,6 +59,21 @@ def add_execution_arguments(
         help="peephole-optimize the circuit before output/execution "
              "(after any -g decomposition; see repro.optimize)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record pipeline telemetry and write it to FILE in Chrome "
+             "trace_event JSON (load in chrome://tracing / ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="FILE",
+        help="record pipeline telemetry; print the profile table to "
+             "stderr, or write machine-readable JSONL to FILE",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print a one-line run summary "
+             "(gates/depth/wall/cache_hit) to stderr",
+    )
 
 
 def add_gate_base_argument(
@@ -82,6 +99,56 @@ def apply_optimize(program: Program, optimize: bool) -> Program:
     return program.optimize() if optimize else program
 
 
+def summary_line(rec, program: Program | None = None) -> str:
+    """The one-line per-run summary ``-v`` prints to stderr."""
+    gates: object = "-"
+    depth: object = "-"
+    if program is not None:
+        try:
+            gates = program.total_gates()
+            depth = program.depth()
+        except Exception:
+            pass  # non-circuit flows still get wall/cache numbers
+    rate = rec.cache_hit_rate()
+    hit = "-" if rate is None else f"{rate:.1%}"
+    return (f"gates={gates} depth={depth} "
+            f"wall={rec.wall_time:.3f}s cache_hit={hit}")
+
+
+@contextlib.contextmanager
+def telemetry_session(args: argparse.Namespace,
+                      program: Program | None = None):
+    """Capture telemetry for one CLI action per ``--trace/--profile/-v``.
+
+    Yields the active :class:`~repro.obs.Recorder`, or ``None`` when no
+    telemetry flag was given (recording stays disabled: the gate hot
+    path keeps its no-op guards).  On exit the requested sinks fire:
+    ``--trace FILE`` writes a Chrome trace, ``--profile`` prints the
+    human table to stderr (``--profile FILE`` writes JSONL instead),
+    and ``-v`` prints the one-line :func:`summary_line`.
+    """
+    trace = getattr(args, "trace", None)
+    profile = getattr(args, "profile", None)
+    verbose = getattr(args, "verbose", False)
+    if trace is None and profile is None and not verbose:
+        yield None
+        return
+    from .. import obs
+
+    with obs.capture() as rec:
+        yield rec
+    if trace is not None:
+        obs.dump_chrome_trace(rec, trace)
+    if profile is not None:
+        if profile == "-":
+            print(obs.format_summary(rec), file=sys.stderr)
+        else:
+            with open(profile, "w", encoding="utf-8") as fp:
+                obs.write_jsonl(rec, fp)
+    if verbose:
+        print(summary_line(rec, program), file=sys.stderr)
+
+
 def format_counts(counts: dict[str, int]) -> str:
     """Render a counts dictionary, most frequent outcome first."""
     total = sum(counts.values())
@@ -95,11 +162,19 @@ def emit(program: Program | BCircuit, args: argparse.Namespace) -> int:
     """Render or execute a Program according to the parsed uniform flags.
 
     Accepts a bare :class:`~repro.core.circuit.BCircuit` for backward
-    compatibility and wraps it on the spot.
+    compatibility and wraps it on the spot.  Telemetry flags
+    (``--trace`` / ``--profile`` / ``-v``) capture the whole action --
+    generation, transformation, and execution all happen lazily inside
+    the session, so the profile covers the full pipeline.
     """
     if isinstance(program, BCircuit):
         program = Program.from_bcircuit(program)
     program = apply_optimize(program, getattr(args, "optimize", False))
+    with telemetry_session(args, program):
+        return _emit(program, args)
+
+
+def _emit(program: Program, args: argparse.Namespace) -> int:
     if args.fmt == "ascii":
         print(program.ascii())
     elif args.fmt == "gatecount":

@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m repro.algorithms.tf``."""
+
+from .main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

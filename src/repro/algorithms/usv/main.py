@@ -5,7 +5,7 @@ from __future__ import annotations
 import argparse
 
 from ...program import Program
-from ..runner import add_execution_arguments, emit
+from ..runner import add_execution_arguments, emit, telemetry_session
 from .lattice import (
     parity_kernel_matrix,
     planted_instance,
@@ -62,14 +62,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         return emit(program, args)
 
-    report = solve_usv(args.dimension, args.seed)
-    print("basis:\n", report["basis"])
-    print("planted parity:   ", report["planted_parity"])
-    print("recovered parity: ", report["recovered_parity"],
-          f"({report['rounds']} quantum rounds)")
-    print("recovered vector: ", report["vector"])
-    print("classical shortest:", report["classical_vector"],
-          f"norm {report['classical_norm']:.3f}")
+    with telemetry_session(args):
+        report = solve_usv(args.dimension, args.seed)
+        print("basis:\n", report["basis"])
+        print("planted parity:   ", report["planted_parity"])
+        print("recovered parity: ", report["recovered_parity"],
+              f"({report['rounds']} quantum rounds)")
+        print("recovered vector: ", report["vector"])
+        print("classical shortest:", report["classical_vector"],
+              f"norm {report['classical_norm']:.3f}")
     return 0
 
 

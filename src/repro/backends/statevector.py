@@ -25,6 +25,7 @@ from ..core.circuit import BCircuit
 from ..core.gates import Gate, Measure
 from ..core.stream import StreamConsumer
 from ..core.wires import QUANTUM
+from ..obs import core as _obs
 from ..sim.state import StateVector
 from ..transform.inline import compile_flat, iter_flat_gates
 from .base import Backend, BackendError, RunResult, outcome_key
@@ -88,11 +89,15 @@ class StatevectorBackend(Backend):
             tail -= 1
         measured = frozenset(g.wire for g in gates[tail:])
         if compiled.prefix_len < tail:
+            if _obs.ENABLED:
+                _obs.add("run.shots.forked", shots)
             counts = self._sample_forked(
                 bc, gates, compiled.prefix_len, in_values, shots, rng
             )
             batched = False
         else:
+            if _obs.ENABLED:
+                _obs.add("run.shots.batched", shots)
             counts = self._sample_batched(
                 bc, gates[:tail], in_values, shots, rng, measured
             )

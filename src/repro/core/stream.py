@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs import core as _obs
 from .builder import Circ
 from .circuit import BCircuit, Subroutine
 from .errors import QuipperError
@@ -115,6 +116,8 @@ class _StreamGates:
         )
 
     def push_mark(self) -> None:
+        if _obs.ENABLED:
+            _obs.add("stream.retention.marks")
         if not self._marks:
             self._base = self._emitted
         self._marks.append(self._emitted)
@@ -122,6 +125,8 @@ class _StreamGates:
     def pop_mark(self) -> list[Gate]:
         start = self._marks.pop()
         recorded = self._buffer[start - self._base:]
+        if _obs.ENABLED:
+            _obs.observe("stream.retention.buffered", len(recorded))
         if not self._marks:
             self._buffer.clear()
         return recorded

@@ -1,0 +1,54 @@
+"""Pipeline telemetry: tracing spans, metrics, and profile export.
+
+The observability layer of the reproduction, wired permanently into
+every stage seam (capture -> transform -> optimize -> compile -> run)
+and compiled to no-ops while disabled::
+
+    from repro import obs
+
+    with obs.capture() as rec:
+        program.transform("binary").optimize().run(shots=64, seed=1)
+    print(obs.format_summary(rec))            # per-stage wall/RSS table
+    obs.dump_chrome_trace(rec, "trace.json")  # chrome://tracing-loadable
+
+The fluent surface is :meth:`repro.program.Program.run` (``trace=``) and
+:meth:`repro.program.Program.report`, plus ``--trace`` / ``--profile`` /
+``-v`` on every algorithm CLI (:mod:`repro.algorithms.runner`).  See
+``docs/observability.md`` for the span taxonomy and sink formats.
+"""
+
+from .core import (
+    Histogram,
+    Recorder,
+    SpanRecord,
+    add,
+    capture,
+    current_recorder,
+    observe,
+    register_cache,
+    span,
+)
+from .sinks import (
+    chrome_trace_events,
+    dump_chrome_trace,
+    format_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Histogram",
+    "Recorder",
+    "SpanRecord",
+    "add",
+    "capture",
+    "chrome_trace_events",
+    "current_recorder",
+    "dump_chrome_trace",
+    "format_summary",
+    "observe",
+    "register_cache",
+    "span",
+    "write_chrome_trace",
+    "write_jsonl",
+]

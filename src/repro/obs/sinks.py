@@ -1,0 +1,149 @@
+"""Telemetry sinks: human summary, JSONL export, Chrome trace_event.
+
+Three renderings of one :class:`~repro.obs.core.Recorder`:
+
+* :func:`format_summary` -- the human table ``Program.report()`` and the
+  CLIs' ``--profile`` print: per-span wall time and RSS growth in
+  pipeline order, then counters and histogram aggregates.
+* :func:`write_jsonl` -- one JSON object per line (``span`` / ``counter``
+  / ``histogram`` / ``session`` rows), the machine-diffable export the
+  benchmark profile fixture records next to the baselines.
+* :func:`write_chrome_trace` -- the Chrome ``trace_event`` JSON object
+  format, loadable in ``chrome://tracing`` or https://ui.perfetto.dev:
+  spans become complete (``"ph": "X"``) events on their recording
+  thread's track, counters and histograms ride along as the args of one
+  instant event, so the whole session is inspectable on a timeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import Recorder
+
+
+def format_summary(rec: Recorder) -> str:
+    """Render the recorder as a human-readable profile table."""
+    lines = [
+        f"telemetry: {len(rec.spans)} spans, wall {rec.wall_time:.4f}s"
+    ]
+    totals = rec.span_totals()
+    if totals:
+        width = max(len(path) for path in totals)
+        lines.append(f"  {'span':<{width}}  {'calls':>6} {'wall(s)':>10} "
+                     f"{'rss(KiB)':>9}")
+        for path, (calls, dur_us, rss) in totals.items():
+            lines.append(
+                f"  {path:<{width}}  {calls:>6} {dur_us / 1e6:>10.4f} "
+                f"{rss:>9}"
+            )
+    if rec.counters:
+        lines.append("counters:")
+        width = max(len(name) for name in rec.counters)
+        for name in sorted(rec.counters):
+            lines.append(f"  {name:<{width}}  {rec.counters[name]}")
+    if rec.histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in rec.histograms)
+        for name in sorted(rec.histograms):
+            h = rec.histograms[name]
+            lines.append(
+                f"  {name:<{width}}  n={h.count} min={h.min} "
+                f"mean={h.mean:.1f} max={h.max}"
+            )
+    rate = rec.cache_hit_rate()
+    if rate is not None:
+        lines.append(f"cache hit rate: {rate:.1%}")
+    if rec.peak_memory is not None:
+        lines.append(f"peak traced memory: {rec.peak_memory} B")
+    return "\n".join(lines)
+
+
+def write_jsonl(rec: Recorder, fp) -> None:
+    """Write the session as JSON Lines (one object per row) to *fp*."""
+    fp.write(json.dumps({
+        "type": "session",
+        "wall_s": round(rec.wall_time, 6),
+        "spans": len(rec.spans),
+        "peak_memory": rec.peak_memory,
+    }) + "\n")
+    for record in rec.spans:
+        fp.write(json.dumps(dict({"type": "span"}, **record.as_dict()))
+                 + "\n")
+    for name in sorted(rec.counters):
+        fp.write(json.dumps({
+            "type": "counter", "name": name, "value": rec.counters[name],
+        }) + "\n")
+    for name in sorted(rec.histograms):
+        fp.write(json.dumps(dict(
+            {"type": "histogram", "name": name},
+            **rec.histograms[name].as_dict(),
+        )) + "\n")
+
+
+def chrome_trace_events(rec: Recorder) -> list[dict]:
+    """The recorder's Chrome ``trace_event`` list (see the module doc)."""
+    events: list[dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "args": {"name": "repro pipeline"},
+    }]
+    for record in rec.spans:
+        events.append({
+            "name": record.path,
+            "cat": record.name,
+            "ph": "X",
+            "ts": round(record.start_us, 1),
+            "dur": round(record.dur_us, 1),
+            "pid": 1,
+            "tid": record.tid % 1_000_000,
+            "args": dict(record.attrs, rss_kb=record.rss_kb),
+        })
+    metrics: dict[str, object] = dict(rec.counters)
+    for name, hist in rec.histograms.items():
+        metrics[name] = hist.as_dict()
+    if metrics:
+        events.append({
+            "name": "telemetry.metrics",
+            "ph": "I",
+            "s": "g",
+            "ts": round(rec.wall_time * 1e6, 1),
+            "pid": 1,
+            "tid": 0,
+            "args": metrics,
+        })
+    return events
+
+
+def write_chrome_trace(rec: Recorder, fp) -> None:
+    """Write the session in Chrome ``trace_event`` JSON format to *fp*."""
+    json.dump(
+        {
+            "traceEvents": chrome_trace_events(rec),
+            "displayTimeUnit": "ms",
+            "otherData": {"wall_s": round(rec.wall_time, 6)},
+        },
+        fp,
+        indent=1,
+    )
+    fp.write("\n")
+
+
+def dump_chrome_trace(rec: Recorder, path) -> None:
+    """Write a Chrome trace to *path* (a string/Path or open handle)."""
+    if hasattr(path, "write"):
+        write_chrome_trace(rec, path)
+        return
+    with open(path, "w", encoding="utf-8") as fp:
+        write_chrome_trace(rec, fp)
+
+
+__all__ = [
+    "chrome_trace_events",
+    "dump_chrome_trace",
+    "format_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -31,6 +31,7 @@ from typing import Callable
 
 from ..core.circuit import BCircuit, Circuit, Subroutine
 from ..core.gates import BoxCall, Comment, Gate
+from ..obs import core as _obs
 from .passes import (
     PeepholePass,
     body_safe_passes,
@@ -115,6 +116,8 @@ class PeepholeOptimizer:
         for single in self._single:
             replaced = single.rewrite((gate,))
             if replaced is not None:
+                if _obs.ENABLED:
+                    _obs.add(f"optimize.pass.{single.name}.rewrites")
                 for emitted in replaced:
                     self._process(emitted, depth + 1)
                 return
@@ -158,6 +161,8 @@ class PeepholeOptimizer:
                 continue
             replaced = peephole.rewrite(group)
             if replaced is not None:
+                if _obs.ENABLED:
+                    _obs.add(f"optimize.pass.{peephole.name}.rewrites")
                 del self._window[index]
                 del self._footprints[index]
                 return replaced
@@ -180,6 +185,8 @@ class PeepholeOptimizer:
             for peephole in self._triples:
                 replaced = peephole.rewrite((self._window[j], partner, gate))
                 if replaced is not None:
+                    if _obs.ENABLED:
+                        _obs.add(f"optimize.pass.{peephole.name}.rewrites")
                     del self._window[index]
                     del self._footprints[index]
                     del self._window[j]
@@ -217,11 +224,18 @@ def optimize_gates_fixpoint(gates: list[Gate],
     idempotent: ``optimize(optimize(c)) == optimize(c)``.
     """
     current = list(gates)
-    for _ in range(MAX_ROUNDS):
+    for round_no in range(MAX_ROUNDS):
         rewritten = optimize_gates(current, passes, window=window)
         if rewritten == current:
+            if _obs.ENABLED:
+                _obs.add("optimize.rounds", round_no + 1)
+                _obs.add("optimize.gates.removed",
+                         len(gates) - len(rewritten))
             return rewritten
         current = rewritten
+    if _obs.ENABLED:
+        _obs.add("optimize.rounds", MAX_ROUNDS)
+        _obs.add("optimize.gates.removed", len(gates) - len(current))
     return current
 
 

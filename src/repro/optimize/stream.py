@@ -27,6 +27,7 @@ from ..core.circuit import Subroutine
 from ..core.errors import QuipperError
 from ..core.gates import BoxCall, Gate
 from ..core.stream import StreamConsumer
+from ..obs import core as _obs
 from .passes import PeepholePass, body_safe_passes, resolve_passes
 from .peephole import (
     DEFAULT_WINDOW,
@@ -103,6 +104,9 @@ class StreamOptimizer(StreamConsumer):
             sub.circuit.gates, self.body_passes, window=self.window
         )
         body_changed = new_gates != sub.circuit.gates
+        if _obs.ENABLED:
+            _obs.add("optimize.bodies.rewritten" if body_changed
+                     else "optimize.bodies.reused")
         if body_changed:
             self.out_ns[name] = rebuilt_subroutine(sub, new_gates)
         elif kid_changed:

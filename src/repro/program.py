@@ -48,6 +48,7 @@ from typing import Callable
 
 from .backends import RunResult, get_backend
 from .core.builder import Circ, build
+from .obs import core as _obs
 from .core.circuit import BCircuit, Circuit
 from .core.gates import (
     BoxCall,
@@ -116,16 +117,21 @@ class Program:
     """
 
     __slots__ = ("name", "_thunk", "_fn", "_shapes", "_cache", "_on_extra",
-                 "_phase_folded")
+                 "_phase_folded", "_stage")
 
     def __init__(self, thunk: Callable[[], tuple[BCircuit, object]], *,
                  name: str | None = None, fn: Callable | None = None,
-                 shapes: tuple = (), on_extra: str = "warn"):
+                 shapes: tuple = (), on_extra: str = "warn",
+                 stage: str = "capture"):
         self.name = name or "program"
         self._thunk = thunk
         self._fn = fn
         self._shapes = shapes
         self._on_extra = on_extra
+        #: Telemetry span name under which generation is recorded --
+        #: which pipeline stage building this Program *is* ("capture",
+        #: "transform", "optimize", ...).
+        self._stage = stage
         self._cache: tuple[BCircuit, object] | None = None
         #: Whether an upstream optimize() stage may have elided gates
         #: that were only a *global* phase -- unobservable for this
@@ -180,13 +186,18 @@ class Program:
         """A Program backed by serialized Quipper-ASCII text (lazy parse)."""
         from .io import loads as _loads
 
-        return cls(lambda: (_loads(text), None), name=name)
+        return cls(lambda: (_loads(text), None), name=name, stage="parse")
 
     # -- generation ---------------------------------------------------------
 
     def _built(self) -> tuple[BCircuit, object]:
         if self._cache is None:
-            self._cache = self._thunk()
+            if _obs.ENABLED:
+                with _obs.span(self._stage, program=self.name) as sp:
+                    self._cache = self._thunk()
+                    sp.set(gates=len(self._cache[0]))
+            else:
+                self._cache = self._thunk()
             # Release the thunk: derived stages close over their parent
             # Programs, and dropping the closure lets fully-built
             # intermediate stages (and their cached circuits) be freed.
@@ -217,8 +228,12 @@ class Program:
         return self._fn(qc, *args)
 
     def _derived(self, suffix: str,
-                 make: Callable[[], tuple[BCircuit, object]]) -> "Program":
-        derived = Program(make, name=f"{self.name}.{suffix}")
+                 make: Callable[[], tuple[BCircuit, object]],
+                 stage: str | None = None) -> "Program":
+        derived = Program(
+            make, name=f"{self.name}.{suffix}",
+            stage=stage or suffix.split("(", 1)[0],
+        )
         derived._phase_folded = self._phase_folded
         return derived
 
@@ -471,16 +486,60 @@ class Program:
 
     def run(self, backend: str = "statevector", *, shots: int | None = None,
             in_values: dict[int, bool] | None = None,
-            seed: int | None = None, **options) -> RunResult:
+            seed: int | None = None, trace=None, **options) -> RunResult:
         """Execute on a named backend (the method form of ``run_generic``).
 
         The simulation backends (statevector, clifford) consume the
         compiled gate stream of :meth:`compiled`; the counting backends
         never inline, so any-size hierarchies stay cheap to estimate.
+
+        *trace* -- a path or open file handle -- captures telemetry for
+        this run (generation, compile, and execution spans plus kernel
+        and cache metrics; see :mod:`repro.obs`) and writes it there in
+        Chrome ``trace_event`` format, loadable in ``chrome://tracing``.
         """
+        if trace is not None:
+            from .obs import capture, dump_chrome_trace
+
+            with capture() as rec:
+                result = self.run(
+                    backend, shots=shots, in_values=in_values, seed=seed,
+                    **options,
+                )
+            dump_chrome_trace(rec, trace)
+            return result
+        if _obs.ENABLED:
+            with _obs.span(
+                "run." + backend, program=self.name,
+                shots=shots if shots is not None else 1,
+            ):
+                return get_backend(backend, **options).run(
+                    self.bcircuit, shots=shots, in_values=in_values,
+                    seed=seed,
+                )
         return get_backend(backend, **options).run(
             self.bcircuit, shots=shots, in_values=in_values, seed=seed
         )
+
+    def report(self, backend: str = "statevector", *,
+               shots: int | None = None,
+               in_values: dict[int, bool] | None = None,
+               seed: int | None = None, **options) -> str:
+        """Run under telemetry capture; return the human profile table.
+
+        A fresh :func:`repro.obs.capture` session wraps one
+        :meth:`run`, so the table covers whatever that run had to do:
+        stages not yet built are generated (and timed) inside it, while
+        already-cached stages show up only as cache hits.
+        """
+        from .obs import capture, format_summary
+
+        with capture() as rec:
+            self.run(
+                backend, shots=shots, in_values=in_values, seed=seed,
+                **options,
+            )
+        return format_summary(rec)
 
     # -- consumers: rendering and interchange -------------------------------
 

@@ -35,6 +35,7 @@ from typing import NamedTuple
 
 import numpy as np
 
+from ..obs import core as _obs
 from .matrices import gate_matrix_cached
 
 #: Kernel kinds (see module docstring).
@@ -87,6 +88,9 @@ def gate_kernel(name: str, param: float | None, inverted: bool) -> Kernel:
     return Kernel(DENSE, arity, (matrix,))
 
 
+_obs.register_cache("sim.gate_kernel", gate_kernel)
+
+
 def _subindex(
     ndim: int, fixed: tuple[tuple[int, int], ...]
 ) -> tuple:
@@ -119,6 +123,10 @@ def apply_kernel(
     a positive control, 0 for a negative one); classical controls must be
     resolved by the caller before reaching the kernel layer.
     """
+    if _obs.ENABLED:
+        _obs.add("sim.kernel." + kernel.kind)
+        if ctrl:
+            _obs.add("sim.kernel.controlled")
     if kernel.kind == PHASE:
         view[_subindex(view.ndim, ctrl)] *= kernel.data[0]
         return

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.errors import SimulationError
 from ..core.gates import NamedGate
+from ..obs import core as _obs
 
 _SQRT2 = math.sqrt(2.0)
 
@@ -89,6 +90,9 @@ def gate_matrix_cached(
     matrix = np.ascontiguousarray(matrix)
     matrix.setflags(write=False)
     return matrix
+
+
+_obs.register_cache("sim.gate_matrix", gate_matrix_cached)
 
 
 def _named_matrix(name: str, param: float | None) -> np.ndarray:
@@ -183,3 +187,6 @@ def clifford_gate_tag(
     """The tableau-operation tag of a gate up to global phase, or None."""
     classified = clifford_classification(name, param, inverted)
     return classified[0] if classified else None
+
+
+_obs.register_cache("sim.clifford_classification", clifford_classification)

@@ -34,6 +34,7 @@ from .backends.resources import StreamingResources
 from .backends.statevector import StatevectorFeed, draw_counts
 from .core.stream import StreamConsumer
 from .core.wires import QUANTUM
+from .obs import core as _obs
 from .optimize.stream import StreamOptimizer
 from .transform.count import StreamingCounter, total_gates, total_logical_gates
 from .transform.depth import StreamingDepth
@@ -73,12 +74,16 @@ class GateStream:
         )
 
     def _produce(self, consumer: StreamConsumer):
+        label = type(consumer).__name__
         # Stages wrap inside-out: the first-applied stage is outermost.
         for kind, items in reversed(self._stages):
             if kind == "rules":
                 consumer = StreamTransformer(items, consumer)
             else:
                 consumer = StreamOptimizer(items, consumer)
+        if _obs.ENABLED:
+            with _obs.span("stream", stream=self.name, consumer=label):
+                return self._produce_raw(consumer)
         return self._produce_raw(consumer)
 
     @staticmethod
@@ -221,28 +226,36 @@ class GateStream:
         rng = np.random.default_rng(seed)
         if shots is not None and shots <= 0:
             raise BackendError(f"shots must be positive, got {shots}")
-        feed = self._feed(backend, rng, in_values, options)
-        result = self._produce(feed)
-        if shots is None:
-            return result
-        if backend == "statevector" and not feed.stochastic:
-            counts = draw_counts(feed.sim, feed.outputs, shots, rng)
+        with _obs.span("run." + backend, stream=self.name,
+                       shots=shots if shots is not None else 1):
+            feed = self._feed(backend, rng, in_values, options)
+            result = self._produce(feed)
+            if shots is None:
+                return result
+            if backend == "statevector" and not feed.stochastic:
+                if _obs.ENABLED:
+                    _obs.add("run.shots.batched", shots)
+                counts = draw_counts(feed.sim, feed.outputs, shots, rng)
+                return RunResult(
+                    backend=backend, shots=shots, counts=counts,
+                    metadata={"batched": True, "streamed": True},
+                )
+            counts: dict[str, int] = {}
+            key = self._outcome(backend, feed)
+            counts[key] = 1
+            for _ in range(shots - 1):
+                feed = self._feed(backend, rng, in_values, options)
+                self._produce(feed)
+                key = self._outcome(backend, feed)
+                counts[key] = counts.get(key, 0) + 1
+            if _obs.ENABLED:
+                _obs.add("run.shots.replayed", shots)
             return RunResult(
                 backend=backend, shots=shots, counts=counts,
-                metadata={"batched": True, "streamed": True},
+                metadata={
+                    "batched": False, "streamed": True, "replays": shots,
+                },
             )
-        counts: dict[str, int] = {}
-        key = self._outcome(backend, feed)
-        counts[key] = 1
-        for _ in range(shots - 1):
-            feed = self._feed(backend, rng, in_values, options)
-            self._produce(feed)
-            key = self._outcome(backend, feed)
-            counts[key] = counts.get(key, 0) + 1
-        return RunResult(
-            backend=backend, shots=shots, counts=counts,
-            metadata={"batched": False, "streamed": True, "replays": shots},
-        )
 
     @staticmethod
     def _feed(backend: str, rng, in_values, options) -> StreamConsumer:
@@ -282,6 +295,7 @@ class GateStream:
         stream; abandoning the iterator (``break`` / ``close``) unwinds
         the producer promptly.
         """
+        import contextvars
         import queue
         import threading
 
@@ -294,7 +308,16 @@ class GateStream:
             pass
 
         class _Yielder(StreamConsumer):
+            _pushed = 0
+
             def gate(self, gate):
+                if _obs.ENABLED:
+                    # Sampled (not per-gate) so telemetry stays off the
+                    # queue's hot path: one depth observation per 256
+                    # gates is plenty to see back-pressure.
+                    self._pushed += 1
+                    if not self._pushed & 255:
+                        _obs.observe("stream.queue.depth", fifo.qsize())
                 while True:
                     if stop.is_set():
                         raise _Abort()
@@ -322,8 +345,14 @@ class GateStream:
                         except queue.Empty:
                             pass
 
+        # Run the producer in a copy of the caller's context so open
+        # telemetry spans (contextvar-scoped) nest correctly across the
+        # thread hop -- producer-side spans attribute to the consumer's
+        # enclosing span, not to a detached root.
+        ctx = contextvars.copy_context()
         worker = threading.Thread(
-            target=work, name=f"{self.name}-producer", daemon=True
+            target=lambda: ctx.run(work),
+            name=f"{self.name}-producer", daemon=True,
         )
         worker.start()
         try:

@@ -17,6 +17,7 @@ from typing import Iterator
 
 from ..core.circuit import BCircuit, Circuit
 from ..core.errors import BoxError, ScopeError
+from ..obs import core as _obs
 from ..core.gates import (
     BoxCall,
     Comment,
@@ -221,12 +222,18 @@ def compile_flat(bc: BCircuit) -> CompiledCircuit:
     signature = _bc_signature(bc)
     cached = getattr(bc, "_compiled_flat", None)
     if cached is not None and cached[0] == signature:
+        if _obs.ENABLED:
+            _obs.add("cache.compiled_stream.hits")
         return cached[1]
-    gates = [
-        gate for gate in iter_flat_gates(bc)
-        if not isinstance(gate, Comment)
-    ]
-    compiled = CompiledCircuit(gates)
+    with _obs.span("compile") as sp:
+        gates = [
+            gate for gate in iter_flat_gates(bc)
+            if not isinstance(gate, Comment)
+        ]
+        compiled = CompiledCircuit(gates)
+        sp.set(gates=len(gates), prefix=compiled.prefix_len)
+    if _obs.ENABLED:
+        _obs.add("cache.compiled_stream.misses")
     bc._compiled_flat = (signature, compiled)
     return compiled
 

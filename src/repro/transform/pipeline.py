@@ -38,6 +38,7 @@ from ..core.circuit import BCircuit, Circuit, Subroutine
 from ..core.errors import QuipperError
 from ..core.gates import BoxCall, Gate, map_gate_wires
 from ..core.stream import StreamConsumer
+from ..obs import core as _obs
 from ..optimize.stream import StreamOptimizer
 from .binary import _binary_rule
 from .inline import _max_wire_id
@@ -293,6 +294,9 @@ class StreamTransformer(StreamConsumer):
         )
         new_gates = _run_chain(sub.circuit, self.rules, self.out_ns)
         body_changed = new_gates != sub.circuit.gates
+        if _obs.ENABLED:
+            _obs.add("transform.bodies.rewritten" if body_changed
+                     else "transform.bodies.reused")
         if body_changed:
             shell = Subroutine(
                 name=sub.name,
@@ -356,8 +360,12 @@ def transform_bcircuit_fused(bc: BCircuit, *rules: Rule) -> BCircuit:
             # Identity rewrite: reuse the original Subroutine, preserving
             # its cached width (satellite bugfix: the legacy transformer
             # allocated a fresh namespace entry per pass regardless).
+            if _obs.ENABLED:
+                _obs.add("transform.bodies.reused")
             new_namespace[name] = sub
         else:
+            if _obs.ENABLED:
+                _obs.add("transform.bodies.rewritten")
             changed.add(name)
             new_namespace[name].circuit = Circuit(
                 inputs=sub.circuit.inputs,

@@ -14,12 +14,11 @@ from __future__ import annotations
 import io
 import itertools
 import math
-import tracemalloc
 
 import numpy as np
 import pytest
 
-from repro import Program, qubit
+from repro import Program, obs, qubit
 from repro.core.errors import QuipperError
 from repro.io import loads
 from repro.io.qasm import QasmExportError
@@ -256,10 +255,9 @@ class TestMemoryCeiling:
 
     def test_ten_million_gate_count_under_memory_budget(self):
         program = _repeated_subroutine_program(2_000_000)
-        tracemalloc.start()
-        counts = program.stream().count()
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+        with obs.capture(memory=True) as rec:
+            counts = program.stream().count()
+        peak = rec.peak_memory
         assert sum(counts.values()) > 10_000_000
         # The count is symbolic (body counted once, multiplied through
         # the repetition factor): peak allocation stays in the kilobyte
@@ -282,12 +280,14 @@ class TestMemoryCeiling:
             return qs
 
         program = Program.capture(circ, [qubit] * 2)
-        tracemalloc.start()
-        counts = program.stream().count()
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+        with obs.capture(memory=True) as rec:
+            counts = program.stream().count()
         assert sum(counts.values()) == 100_000
-        assert peak < 8 * 1024 * 1024
+        assert rec.peak_memory < 8 * 1024 * 1024
+        # The telemetry layer saw the same stream it measured: the
+        # retention histogram exists only if with_computed ran (it did
+        # not here), but the stream span must be present.
+        assert any(s.name == "stream" for s in rec.spans)
 
     def test_resources_of_large_repeated_stream(self):
         program = _repeated_subroutine_program(2_000_000)

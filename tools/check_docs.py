@@ -27,7 +27,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 #: Markdown files whose links are checked.
 DOC_FILES = ("README.md", "docs/architecture.md", "docs/tutorial.md",
-             "docs/api.md")
+             "docs/api.md", "docs/observability.md")
 
 #: Modules whose public surface must be fully docstringed.
 PUBLIC_MODULES = (
@@ -38,6 +38,9 @@ PUBLIC_MODULES = (
     "src/repro/optimize/passes.py",
     "src/repro/optimize/peephole.py",
     "src/repro/optimize/stream.py",
+    "src/repro/obs/__init__.py",
+    "src/repro/obs/core.py",
+    "src/repro/obs/sinks.py",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
