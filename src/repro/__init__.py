@@ -87,10 +87,10 @@ from .optimize import (
     optimize_bcircuit,
 )
 from . import obs
-from .program import Program, main, subroutine
+from .program import Program, main, register_capture, subroutine
 from .streaming import GateStream
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def run_generic(
@@ -125,6 +125,7 @@ __all__ = [
     "Program",
     "GateStream",
     "main",
+    "register_capture",
     "subroutine",
     "Circ",
     "build",

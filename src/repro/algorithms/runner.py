@@ -20,6 +20,7 @@ import sys
 
 from ..backends import format_resource_report
 from ..core.circuit import BCircuit
+from ..core.errors import QuipperError
 from ..program import Program
 
 #: All formats `emit` understands.
@@ -170,8 +171,21 @@ def emit(program: Program | BCircuit, args: argparse.Namespace) -> int:
     if isinstance(program, BCircuit):
         program = Program.from_bcircuit(program)
     program = apply_optimize(program, getattr(args, "optimize", False))
-    with telemetry_session(args, program):
-        return _emit(program, args)
+    try:
+        with telemetry_session(args, program):
+            return _emit(program, args)
+    except BrokenPipeError:  # e.g. `... -f ascii | head`
+        return 0
+    except (QuipperError, ValueError, ArithmeticError, IndexError,
+            KeyError) as exc:
+        # Circuit generation is lazy, so invalid size/parameter arguments
+        # only surface here, mid-emit.  A CLI should answer bad input
+        # with a one-line diagnostic and exit status 2 (the argparse
+        # convention), not a traceback.
+        prog = sys.argv[0].rsplit("/", 1)[-1] or "repro"
+        message = str(exc) or type(exc).__name__
+        print(f"{prog}: error: {message}", file=sys.stderr)
+        return 2
 
 
 def _emit(program: Program, args: argparse.Namespace) -> int:

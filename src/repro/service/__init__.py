@@ -1,0 +1,40 @@
+"""The circuit-compilation service: async jobs over a shared cache.
+
+Quipper's generate/transform/compile pipeline is deterministic and
+pure, which makes compiled circuits perfectly cacheable -- this package
+turns that into a small network service.  An asyncio HTTP/JSON server
+(:mod:`~repro.service.server`, stdlib only) accepts compile, structural
+query, export, and simulation jobs; a **content-addressed cache**
+(:mod:`~repro.service.cache`) keyed on the canonical request spec
+guarantees each distinct circuit is built exactly once, concurrently or
+not; and run jobs fan out to **digest-affine worker processes**
+(:mod:`~repro.service.workers`) whose seeded results are byte-identical
+regardless of worker or server lifetime.
+
+Start a server with the ``repro-serve`` console script and talk to it
+with :class:`~repro.service.client.ServiceClient` (or bare ``curl``);
+see ``docs/service.md`` for the endpoint reference and deployment notes.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .jobs import Job, JobManager
+from .registry import (
+    ParamSpec,
+    ServiceError,
+    list_programs,
+    register_program,
+)
+from .server import ServiceServer, main
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "ParamSpec",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceServer",
+    "list_programs",
+    "main",
+    "register_program",
+]

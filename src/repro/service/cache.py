@@ -1,0 +1,211 @@
+"""The content-addressed compile cache: hot circuits compile once.
+
+Maps the digest of a canonical compile spec (see
+:mod:`repro.service.registry`) to a fully-built pipeline product: the
+generated + transformed + optimized hierarchy, its compiled flat stream,
+and (lazily) its interchange text for worker shipping and disk
+persistence.  Three properties carry the service's load story:
+
+* **Single-flight** -- concurrent requests for one digest coalesce onto
+  one build: the first request compiles (in a worker thread, so the
+  event loop keeps serving), everyone else awaits the same future.  The
+  obs counter ``cache.compiled_stream.misses`` staying at 1 under a
+  client hammer is the tested proof.
+* **Shared pool keying** -- the build feeds the digest into
+  :func:`repro.transform.inline.compile_flat`'s process-wide pool, so
+  even cache-evicted circuits resubmitted later reuse an inline when
+  the pool still holds it.
+* **Disk warm-start** -- with a ``cache_dir``, the final (post-
+  transform, post-optimize) circuit is persisted as Quipper-ASCII under
+  its digest; a restarted server (or a sibling process) parses that
+  text instead of re-running capture/transform/optimize.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from collections import Counter, OrderedDict
+from pathlib import Path
+
+from ..obs import core as _obs
+from ..program import Program
+from .metrics import ServiceMetrics
+from .registry import ServiceError, build_program
+from .serialize import result_payload
+
+
+class CacheEntry:
+    """One cached compile product and its memoized cheap queries."""
+
+    __slots__ = ("digest", "program", "width", "from_disk", "compile_ms",
+                 "_text", "_results", "_lock")
+
+    def __init__(self, digest: str, program: Program, width: int,
+                 from_disk: bool, compile_ms: float):
+        self.digest = digest
+        self.program = program
+        self.width = width
+        self.from_disk = from_disk
+        self.compile_ms = compile_ms
+        self._text: str | None = None
+        self._results: dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    def text(self) -> str:
+        """The final circuit as interchange text (computed once)."""
+        with self._lock:
+            if self._text is None:
+                from ..io import dumps
+
+                self._text = dumps(self.program.bcircuit)
+            return self._text
+
+    def query(self, action: str) -> dict:
+        """Answer one non-run action from the cached product (memoized).
+
+        Every payload is JSON-ready; repeated queries of one action on a
+        hot entry are dictionary lookups.
+        """
+        with self._lock:
+            cached = self._results.get(action)
+            if cached is not None:
+                return cached
+        payload = self._compute(action)
+        with self._lock:
+            self._results.setdefault(action, payload)
+            return self._results[action]
+
+    def _compute(self, action: str) -> dict:
+        program = self.program
+        if action == "compile":
+            compiled = program.compiled()
+            return {
+                "digest": self.digest,
+                "gates_stored": len(program.bcircuit),
+                "gates_inlined": len(compiled),
+                "prefix_len": compiled.prefix_len,
+                "width": self.width,
+            }
+        if action == "count":
+            counts: Counter = program.count()
+            return {
+                "counts": {str(k): int(v) for k, v in counts.items()},
+                "total": int(sum(counts.values())),
+            }
+        if action == "depth":
+            return {"depth": int(program.depth())}
+        if action == "t_depth":
+            return {"t_depth": int(program.t_depth())}
+        if action == "width":
+            return {"width": self.width}
+        if action == "resources":
+            return result_payload(program.run(backend="resources"))
+        if action == "ascii":
+            return {"text": program.ascii()}
+        if action == "quipper":
+            return {"text": self.text()}
+        if action == "qasm":
+            return {"text": program.qasm()}
+        raise ServiceError(f"unknown action {action!r}")
+
+
+class CompileCache:
+    """Digest-keyed LRU of :class:`CacheEntry` with single-flight builds."""
+
+    def __init__(self, metrics: ServiceMetrics, maxsize: int = 128,
+                 cache_dir: str | os.PathLike | None = None):
+        self.metrics = metrics
+        self.maxsize = maxsize
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._pending: dict[str, asyncio.Future] = {}
+
+    async def get(self, digest: str, cspec: dict) -> tuple[CacheEntry, bool]:
+        """The entry for *digest*, building it at most once per flight.
+
+        Returns ``(entry, cache_hit)``; a request that coalesced onto an
+        in-flight build counts as a hit (it did not compile).
+        """
+        entry = self.entries.get(digest)
+        if entry is not None:
+            self.entries.move_to_end(digest)
+            self.metrics.inc("cache.hits")
+            return entry, True
+        loop = asyncio.get_running_loop()
+        pending = self._pending.get(digest)
+        if pending is not None:
+            self.metrics.inc("cache.hits")
+            self.metrics.inc("cache.coalesced")
+            return await asyncio.shield(pending), True
+        future: asyncio.Future = loop.create_future()
+        self._pending[digest] = future
+        try:
+            entry = await loop.run_in_executor(
+                None, self._build_sync, digest, cspec
+            )
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved: waiters re-raise theirs
+            raise
+        else:
+            self.metrics.inc("cache.misses")
+            if entry.from_disk:
+                self.metrics.inc("cache.disk_hits")
+            self.entries[digest] = entry
+            self.entries.move_to_end(digest)
+            while len(self.entries) > self.maxsize:
+                self.entries.popitem(last=False)
+            if not future.done():
+                future.set_result(entry)
+            return entry, False
+        finally:
+            self._pending.pop(digest, None)
+
+    def _disk_path(self, digest: str) -> Path | None:
+        return (
+            self.cache_dir / f"{digest}.quip"
+            if self.cache_dir is not None else None
+        )
+
+    def _build_sync(self, digest: str, cspec: dict) -> CacheEntry:
+        """Build one entry (runs in a worker thread off the event loop)."""
+        from ..transform.inline import compile_flat
+
+        t0 = time.perf_counter()
+        text: str | None = None
+        from_disk = False
+        path = self._disk_path(digest)
+        if path is not None and path.exists():
+            text = path.read_text(encoding="utf-8")
+            program = Program.loads(text, name=f"disk:{digest[:12]}")
+            from_disk = True
+        else:
+            program = build_program(cspec)
+        with _obs.span("service.compile", digest=digest[:12]):
+            bc = program.bcircuit  # generate + transform + optimize (or parse)
+            width = bc.check()
+            # Key the process-wide compiled pool on the service digest:
+            # the canonical spec uniquely determines the inlined stream.
+            compile_flat(bc, digest=f"service:{digest}")
+        entry = CacheEntry(
+            digest, program, width, from_disk,
+            compile_ms=(time.perf_counter() - t0) * 1e3,
+        )
+        if text is not None:
+            entry._text = text
+        elif path is not None:
+            # Per-process temp name + atomic rename: two sibling servers
+            # persisting one digest race harmlessly to identical bytes.
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(entry.text(), encoding="utf-8")
+            tmp.replace(path)
+        return entry
+
+
+__all__ = ["CacheEntry", "CompileCache"]

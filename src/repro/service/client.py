@@ -1,0 +1,161 @@
+"""A minimal blocking client for the compile service (stdlib only).
+
+Wraps :mod:`http.client` over one keep-alive connection; not
+thread-safe -- give each thread (or asyncio executor worker) its own
+:class:`ServiceClient`.  The two usage shapes::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("127.0.0.1", 8766) as svc:
+        # Sync fast path: submit-and-wait in one round trip.
+        out = svc.query(program="bwt", params={"n": 4}, action="count")
+        print(out["counts"])
+
+        # Async jobs: submit, poll, fetch.
+        job = svc.submit(program="tf", params={"l": 2}, action="run",
+                         run={"shots": 64, "seed": 7})
+        done = svc.wait(job["id"])
+        print(svc.result(job["id"])["result"]["counts"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+
+class ServiceClientError(Exception):
+    """A non-2xx service response; carries status and retry hint."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Blocking HTTP client bound to one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8766, *,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the underlying connection (reopened on next request)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> dict:
+        """One request/response cycle; raises on non-2xx statuses.
+
+        Retries exactly once on a dropped keep-alive connection (the
+        server may have restarted between calls).
+        """
+        payload = json.dumps(body).encode() if body is not None else None
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(
+                    method, path, body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            data = {"error": raw.decode(errors="replace")}
+        if response.status >= 400:
+            retry_after = response.headers.get("Retry-After")
+            raise ServiceClientError(
+                response.status, data.get("error", "request failed"),
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return data
+
+    # -- introspection ------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /v1/healthz``."""
+        return self.request("GET", "/v1/healthz")
+
+    def programs(self) -> dict:
+        """``GET /v1/programs``."""
+        return self.request("GET", "/v1/programs")
+
+    def stats(self) -> dict:
+        """``GET /v1/stats``."""
+        return self.request("GET", "/v1/stats")
+
+    def profile(self) -> dict:
+        """``GET /v1/profile`` (requires server-side telemetry)."""
+        return self.request("GET", "/v1/profile")
+
+    # -- jobs ---------------------------------------------------------------
+
+    def submit(self, **spec) -> dict:
+        """Submit an async job; returns its status dict (with ``id``)."""
+        spec.pop("sync", None)
+        return self.request("POST", "/v1/jobs", spec)
+
+    def query(self, **spec) -> dict:
+        """The sync fast path: submit, wait inline, return the result."""
+        spec["sync"] = True
+        return self.request("POST", "/v1/jobs", spec)["result"]
+
+    def status(self, job_id: str) -> dict:
+        """Poll one job's status."""
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """Fetch a finished job's ``{"job": ..., "result": ...}``."""
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued/running job."""
+        return self.request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             interval: float = 0.02) -> dict:
+        """Poll until the job reaches a terminal state (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "error", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(interval)
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

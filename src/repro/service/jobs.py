@@ -1,0 +1,283 @@
+"""Asynchronous job management: submit, bound, time out, deliver.
+
+A job is one action over one content-addressed circuit: a compile, a
+cheap structural query (count/depth/resources/export), or a simulation
+run.  The manager enforces the service's load discipline:
+
+* **Backpressure** -- at most ``max_pending`` unfinished jobs; past
+  that, submits fail with a 429-shaped :class:`~.registry.ServiceError`
+  carrying a ``Retry-After`` hint, instead of queueing unboundedly.
+* **Bounded concurrency** -- a semaphore caps simultaneously *executing*
+  jobs; everything else measurably waits in queue (the submit-to-start
+  gap lands in the ``queue_wait`` histogram).
+* **Per-job timeout with cancellation** -- a job overrunning its budget
+  is cancelled and reports ``error: timeout``; an already-dispatched
+  process-pool computation finishes in the worker and is discarded (the
+  shard stays warm for the next job).
+
+Every job runs under an obs span (``service.job``) that carries the job
+id, action, and digest prefix, so a Chrome-trace export of a server
+session shows per-job swimlanes over the standard pipeline spans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict
+
+from ..core.errors import QuipperError
+from ..obs import core as _obs
+from .cache import CompileCache
+from .digest import spec_digest
+from .metrics import ServiceMetrics
+from .registry import ACTIONS, ServiceError, canonical_spec
+from .workers import ShardPool
+
+_job_counter = itertools.count(1)
+
+
+def canonical_run_options(raw: object) -> dict:
+    """Validate and normalize a job's ``"run"`` options (raises 400)."""
+    if raw is None:
+        raw = {}
+    if not isinstance(raw, dict):
+        raise ServiceError("'run' must be a JSON object")
+    unknown = set(raw) - {"backend", "shots", "seed", "in_values"}
+    if unknown:
+        raise ServiceError(
+            f"unknown run option(s): {', '.join(sorted(unknown))}"
+        )
+    backend = raw.get("backend", "statevector")
+    if not isinstance(backend, str):
+        raise ServiceError("'run.backend' must be a string")
+    shots = raw.get("shots")
+    if shots is not None and (
+        isinstance(shots, bool) or not isinstance(shots, int) or shots < 1
+    ):
+        raise ServiceError("'run.shots' must be a positive integer or null")
+    seed = raw.get("seed")
+    if seed is not None and (
+        isinstance(seed, bool) or not isinstance(seed, int)
+    ):
+        raise ServiceError("'run.seed' must be an integer or null")
+    in_values = raw.get("in_values")
+    converted: dict[int, bool] | None = None
+    if in_values is not None:
+        if not isinstance(in_values, dict):
+            raise ServiceError("'run.in_values' must map wire ids to bools")
+        converted = {}
+        for key, value in in_values.items():
+            try:
+                wire = int(key)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    f"'run.in_values' wire id {key!r} is not an integer"
+                ) from None
+            if not isinstance(value, bool):
+                raise ServiceError(
+                    f"'run.in_values' value for wire {wire} must be a bool"
+                )
+            converted[wire] = value
+    return {
+        "backend": backend, "shots": shots, "seed": seed,
+        "in_values": converted,
+    }
+
+
+class Job:
+    """One submitted job and everything its lifecycle accumulates."""
+
+    __slots__ = ("id", "action", "digest", "cspec", "run_options", "state",
+                 "created", "started", "finished", "cache_hit", "result",
+                 "error", "error_status", "worker", "task", "queue_wait_ms",
+                 "exec_ms")
+
+    def __init__(self, job_id: str, action: str, digest: str, cspec: dict,
+                 run_options: dict | None):
+        self.id = job_id
+        self.action = action
+        self.digest = digest
+        self.cspec = cspec
+        self.run_options = run_options
+        self.state = "queued"
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.cache_hit: bool | None = None
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.error_status: int = 500
+        self.worker: dict | None = None
+        self.task: asyncio.Task | None = None
+        self.queue_wait_ms: float | None = None
+        self.exec_ms: float | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in ("done", "error", "cancelled")
+
+    def as_status(self) -> dict:
+        """The poll-endpoint view of this job (no result payload)."""
+        status: dict = {
+            "id": self.id,
+            "state": self.state,
+            "action": self.action,
+            "digest": self.digest,
+            "created": round(self.created, 6),
+        }
+        if self.cache_hit is not None:
+            status["cache_hit"] = self.cache_hit
+        if self.queue_wait_ms is not None:
+            status["queue_wait_ms"] = round(self.queue_wait_ms, 3)
+        if self.exec_ms is not None:
+            status["exec_ms"] = round(self.exec_ms, 3)
+        if self.worker is not None:
+            status["worker"] = self.worker
+        if self.error is not None:
+            status["error"] = self.error
+        return status
+
+
+class JobManager:
+    """Owns the job table, the execution budget, and the timeouts."""
+
+    def __init__(self, cache: CompileCache, pool: ShardPool,
+                 metrics: ServiceMetrics, *, max_pending: int = 64,
+                 max_running: int = 8, job_timeout: float = 120.0,
+                 max_jobs_kept: int = 512):
+        self.cache = cache
+        self.pool = pool
+        self.metrics = metrics
+        self.max_pending = max_pending
+        self.job_timeout = job_timeout
+        self.max_jobs_kept = max_jobs_kept
+        self.jobs: OrderedDict[str, Job] = OrderedDict()
+        self.active = 0
+        self._running = asyncio.Semaphore(max_running)
+
+    def submit(self, spec: dict) -> Job:
+        """Validate *spec*, admit it (or 429), and schedule execution."""
+        if self.active >= self.max_pending:
+            self.metrics.inc("jobs.rejected")
+            raise ServiceError(
+                f"job queue is full ({self.max_pending} pending); retry",
+                status=429,
+            )
+        action = spec.get("action", "compile")
+        if action not in ACTIONS:
+            raise ServiceError(
+                f"unknown action {action!r}; one of {', '.join(ACTIONS)}"
+            )
+        cspec = canonical_spec(spec)
+        run_options = (
+            canonical_run_options(spec.get("run"))
+            if action == "run" else None
+        )
+        job = Job(
+            f"j{next(_job_counter):08d}", action, spec_digest(cspec),
+            cspec, run_options,
+        )
+        self.jobs[job.id] = job
+        while len(self.jobs) > self.max_jobs_kept:
+            _, old = self.jobs.popitem(last=False)
+            if not old.done and old.task is not None:
+                old.task.cancel()
+        self.active += 1
+        self.metrics.inc("jobs.submitted")
+        job.task = asyncio.get_running_loop().create_task(
+            self._drive(job), name=f"repro-service-{job.id}"
+        )
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        """The job table entry, or None when unknown/expired."""
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued/running job (terminal jobs are left alone)."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        if not job.done and job.task is not None:
+            job.task.cancel()
+        return job
+
+    async def wait(self, job: Job, timeout: float | None = None) -> Job:
+        """Await a job's terminal state (the sync fast path uses this)."""
+        if job.task is not None:
+            done = (asyncio.wait_for(asyncio.shield(job.task), timeout)
+                    if timeout is not None else asyncio.shield(job.task))
+            try:
+                await done
+            except (asyncio.CancelledError, asyncio.TimeoutError):
+                pass
+        return job
+
+    async def _drive(self, job: Job) -> None:
+        try:
+            await asyncio.wait_for(self._work(job), self.job_timeout)
+            job.state = "done"
+            self.metrics.inc("jobs.completed")
+        except asyncio.TimeoutError:
+            job.state = "error"
+            job.error = f"timeout after {self.job_timeout:g}s"
+            job.error_status = 504
+            self.metrics.inc("jobs.timeouts")
+        except asyncio.CancelledError:
+            job.state = "cancelled"
+            self.metrics.inc("jobs.cancelled")
+        except ServiceError as exc:
+            job.state = "error"
+            job.error = str(exc)
+            job.error_status = exc.status
+            self.metrics.inc("jobs.failed")
+        except QuipperError as exc:
+            # Pipeline refusals (export limits, backend argument errors)
+            # are the client's problem, not a server fault.
+            job.state = "error"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.error_status = 400
+            self.metrics.inc("jobs.failed")
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            job.state = "error"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.error_status = 500
+            self.metrics.inc("jobs.failed")
+        finally:
+            job.finished = time.time()
+            self.active -= 1
+            if job.started is not None:
+                job.exec_ms = (job.finished - job.started) * 1e3
+                kind = ("run" if job.action == "run"
+                        else "hit" if job.cache_hit else "cold")
+                self.metrics.observe_latency(
+                    kind, (job.finished - job.created) * 1e3
+                )
+
+    async def _work(self, job: Job) -> None:
+        async with self._running:
+            job.started = time.time()
+            job.queue_wait_ms = (job.started - job.created) * 1e3
+            self.metrics.observe_queue_wait(job.queue_wait_ms)
+            job.state = "running"
+            with _obs.span("service.job", job=job.id, action=job.action,
+                           digest=job.digest[:12]):
+                entry, hit = await self.cache.get(job.digest, job.cspec)
+                job.cache_hit = hit
+                loop = asyncio.get_running_loop()
+                if job.action == "run":
+                    outcome = await self.pool.run(
+                        job.digest, entry.text, job.run_options or {}
+                    )
+                    job.result = outcome["payload"]
+                    job.worker = outcome.get("worker")
+                else:
+                    job.result = await loop.run_in_executor(
+                        None, entry.query, job.action
+                    )
+
+
+__all__ = ["Job", "JobManager", "canonical_run_options"]

@@ -1,0 +1,115 @@
+"""Always-on service metrics: counters and latency percentiles.
+
+The :mod:`repro.obs` layer records *sessions* -- it is scoped, optional,
+and shared process-wide -- so the server keeps its own small, always-on
+tally for the ``/v1/stats`` endpoint: monotone counters plus bounded
+latency rings with p50/p99.  When a telemetry session is active (the
+server opens one for its lifetime unless ``--no-telemetry``), the same
+events are mirrored into obs counters/histograms, so service traffic
+shows up in the standard profile table and Chrome-trace sinks too.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *samples* by nearest-rank (0.0 empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class LatencyRing:
+    """A bounded ring of latency samples with on-demand percentiles.
+
+    O(1) to record; percentile queries sort the (bounded) window, which
+    is plenty for a stats endpoint polled by humans and dashboards.
+    """
+
+    __slots__ = ("samples", "count", "total")
+
+    def __init__(self, size: int = 2048):
+        self.samples: deque[float] = deque(maxlen=size)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, ms: float) -> None:
+        """Fold one latency sample (milliseconds) into the ring."""
+        self.samples.append(ms)
+        self.count += 1
+        self.total += ms
+
+    def summary(self) -> dict:
+        """Count, mean, and windowed p50/p99/max as a JSON-ready dict."""
+        window = list(self.samples)
+        return {
+            "count": self.count,
+            "mean_ms": round(self.total / self.count, 3) if self.count else 0.0,
+            "p50_ms": round(percentile(window, 0.50), 3),
+            "p99_ms": round(percentile(window, 0.99), 3),
+            "max_ms": round(max(window), 3) if window else 0.0,
+        }
+
+
+class ServiceMetrics:
+    """The server's always-on counters and per-class latency rings.
+
+    Latency classes: ``cold`` (job whose compile missed the cache),
+    ``hit`` (cache-hit job), ``run`` (simulation fan-out to the worker
+    pool).  Everything lives in the event-loop thread, so no locking.
+    """
+
+    def __init__(self):
+        self.started = time.time()
+        self.counters: dict[str, int] = {}
+        self.latency = {
+            "cold": LatencyRing(),
+            "hit": LatencyRing(),
+            "run": LatencyRing(),
+        }
+        self.queue_wait = LatencyRing()
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment a named counter, mirroring into obs when enabled."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        from ..obs import core as _obs
+
+        if _obs.ENABLED:
+            _obs.add(f"service.{name}", n)
+
+    def observe_latency(self, kind: str, ms: float) -> None:
+        """Record one job latency under its class (cold/hit/run)."""
+        ring = self.latency.get(kind)
+        if ring is not None:
+            ring.record(ms)
+        from ..obs import core as _obs
+
+        if _obs.ENABLED:
+            _obs.observe(f"service.latency.{kind}_ms", ms)
+
+    def observe_queue_wait(self, ms: float) -> None:
+        """Record one submit-to-start queue wait."""
+        self.queue_wait.record(ms)
+        from ..obs import core as _obs
+
+        if _obs.ENABLED:
+            _obs.observe("service.queue_wait_ms", ms)
+
+    def snapshot(self) -> dict:
+        """The stats-endpoint view: counters + latency summaries."""
+        return {
+            "uptime_s": round(time.time() - self.started, 3),
+            "counters": dict(sorted(self.counters.items())),
+            "latency": {
+                kind: ring.summary() for kind, ring in self.latency.items()
+            },
+            "queue_wait": self.queue_wait.summary(),
+        }
+
+
+__all__ = ["LatencyRing", "ServiceMetrics", "percentile"]

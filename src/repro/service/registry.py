@@ -1,0 +1,303 @@
+"""The service's program registry and request-spec canonicalization.
+
+Clients cannot ship Python callables over HTTP, so the compile service
+works from two kinds of submission:
+
+* ``{"program": <name>, "params": {...}}`` -- a server-side registered
+  circuit family (the paper's algorithm generators ship registered out
+  of the box; deployments add their own with :func:`register_program`).
+* ``{"circuit": <quipper-ascii>}`` -- raw interchange text, parsed by
+  :func:`repro.io.loads`; content-addressed by the text itself.
+
+Either way the optional ``"transform"`` (gate base) and ``"optimize"``
+(peephole pass chain) keys extend the pipeline.  Everything that
+determines the compiled circuit is folded into one **canonical spec**
+(defaults applied, types coerced, unknown keys rejected) whose digest is
+the cache key -- so ``{"n": 4}`` and ``{"n": 4, "s": 1}`` are the same
+BWT circuit and compile once between them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.errors import QuipperError
+from ..program import Program
+
+
+class ServiceError(QuipperError):
+    """A request the service must refuse; carries the HTTP status."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class ParamSpec:
+    """One declared parameter of a registered program family."""
+
+    __slots__ = ("name", "kind", "default", "choices", "minimum")
+
+    def __init__(self, name: str, kind: str, default, *,
+                 choices: tuple | None = None, minimum=None):
+        self.name = name
+        self.kind = kind  # "int" | "float" | "str"
+        self.default = default
+        self.choices = choices
+        self.minimum = minimum
+
+    def coerce(self, value):
+        """Validate and normalize one submitted value (raises 400)."""
+        if self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ServiceError(
+                    f"parameter {self.name!r} must be an integer, "
+                    f"got {value!r}"
+                )
+            if isinstance(value, float):
+                if not value.is_integer():
+                    raise ServiceError(
+                        f"parameter {self.name!r} must be an integer, "
+                        f"got {value!r}"
+                    )
+                value = int(value)
+        elif self.kind == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ServiceError(
+                    f"parameter {self.name!r} must be a number, got {value!r}"
+                )
+            value = float(value)
+        elif self.kind == "str":
+            if not isinstance(value, str):
+                raise ServiceError(
+                    f"parameter {self.name!r} must be a string, got {value!r}"
+                )
+        if self.choices is not None and value not in self.choices:
+            raise ServiceError(
+                f"parameter {self.name!r} must be one of {self.choices}, "
+                f"got {value!r}"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ServiceError(
+                f"parameter {self.name!r} must be >= {self.minimum}, "
+                f"got {value!r}"
+            )
+        return value
+
+    def describe(self) -> dict:
+        """The JSON description shown by ``GET /v1/programs``."""
+        info: dict = {"type": self.kind, "default": self.default}
+        if self.choices is not None:
+            info["choices"] = list(self.choices)
+        if self.minimum is not None:
+            info["minimum"] = self.minimum
+        return info
+
+
+class ProgramEntry:
+    """A registered program family: metadata plus a Program factory."""
+
+    __slots__ = ("name", "description", "params", "factory")
+
+    def __init__(self, name: str, description: str,
+                 params: tuple[ParamSpec, ...],
+                 factory: Callable[[dict], Program]):
+        self.name = name
+        self.description = description
+        self.params = params
+        self.factory = factory
+
+
+_PROGRAMS: dict[str, ProgramEntry] = {}
+
+#: Transform specs the service accepts (the shared CLI gate bases).
+TRANSFORMS = (None, "toffoli", "binary")
+
+#: What ``"action"`` a job may request.
+ACTIONS = ("compile", "count", "depth", "t_depth", "width", "resources",
+           "ascii", "quipper", "qasm", "run")
+
+
+def register_program(name: str, description: str,
+                     params: tuple[ParamSpec, ...] = ()):
+    """Register a Program factory under a stable service name.
+
+    The factory receives the fully-defaulted, validated parameter dict
+    and must deterministically return the same circuit for the same
+    parameters -- that determinism is what the content-addressed cache
+    rides on.  Re-registering a name replaces the entry (tests).
+    """
+
+    def apply(factory: Callable[[dict], Program]):
+        _PROGRAMS[name] = ProgramEntry(name, description, params, factory)
+        return factory
+
+    return apply
+
+
+def list_programs() -> dict:
+    """The ``GET /v1/programs`` payload: name -> description + params."""
+    return {
+        entry.name: {
+            "description": entry.description,
+            "params": {p.name: p.describe() for p in entry.params},
+        }
+        for entry in sorted(_PROGRAMS.values(), key=lambda e: e.name)
+    }
+
+
+def canonical_spec(spec: dict) -> dict:
+    """Validate a submitted compile spec and normalize it for digesting.
+
+    Returns a dict with exactly the keys that determine the compiled
+    circuit: ``program`` + fully-defaulted ``params`` (or raw
+    ``circuit`` text), ``transform``, and ``optimize``.  Everything else
+    (action, run options, sync flag) is per-job, not per-circuit, and
+    deliberately stays out of the cache key.
+    """
+    if not isinstance(spec, dict):
+        raise ServiceError("request body must be a JSON object")
+    program = spec.get("program")
+    circuit = spec.get("circuit")
+    if (program is None) == (circuit is None):
+        raise ServiceError(
+            "submit exactly one of 'program' (registered name) or "
+            "'circuit' (Quipper-ASCII text)"
+        )
+    out: dict = {}
+    if circuit is not None:
+        if not isinstance(circuit, str) or not circuit.strip():
+            raise ServiceError("'circuit' must be non-empty Quipper-ASCII")
+        out["circuit"] = circuit
+    else:
+        entry = _PROGRAMS.get(program)
+        if entry is None:
+            known = ", ".join(sorted(_PROGRAMS)) or "none"
+            raise ServiceError(
+                f"unknown program {program!r}; registered: {known}",
+                status=404,
+            )
+        raw = spec.get("params") or {}
+        if not isinstance(raw, dict):
+            raise ServiceError("'params' must be a JSON object")
+        declared = {p.name: p for p in entry.params}
+        unknown = set(raw) - set(declared)
+        if unknown:
+            raise ServiceError(
+                f"unknown parameter(s) for {program!r}: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        out["program"] = program
+        out["params"] = {
+            name: p.coerce(raw[name]) if name in raw else p.default
+            for name, p in declared.items()
+        }
+    transform = spec.get("transform")
+    if transform not in TRANSFORMS:
+        raise ServiceError(
+            f"'transform' must be one of {TRANSFORMS[1:]} or null, "
+            f"got {transform!r}"
+        )
+    out["transform"] = transform
+    optimize = spec.get("optimize", False)
+    if isinstance(optimize, list):
+        from ..optimize import PASS_REGISTRY
+
+        bad = [p for p in optimize if p not in PASS_REGISTRY]
+        if bad:
+            raise ServiceError(
+                f"unknown optimizer pass(es): {', '.join(map(str, bad))}; "
+                f"known: {', '.join(sorted(PASS_REGISTRY))}"
+            )
+    elif not isinstance(optimize, bool):
+        raise ServiceError(
+            "'optimize' must be true, false, or a list of pass names"
+        )
+    out["optimize"] = optimize
+    return out
+
+
+def build_program(cspec: dict) -> Program:
+    """Instantiate the (lazy) Program pipeline of a canonical spec."""
+    if "circuit" in cspec:
+        program = Program.loads(cspec["circuit"], name="submitted")
+    else:
+        entry = _PROGRAMS[cspec["program"]]
+        program = entry.factory(cspec["params"])
+    if cspec["transform"] is not None:
+        program = program.transform(cspec["transform"])
+    optimize = cspec["optimize"]
+    if optimize is True:
+        program = program.optimize()
+    elif isinstance(optimize, list):
+        program = program.optimize(*optimize)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Built-in program families: the paper's generators, service-addressable
+# ---------------------------------------------------------------------------
+
+
+@register_program("bell", "Two-qubit Bell pair with measurement")
+def _bell_factory(params: dict) -> Program:
+    from ..core.qdata import qubit
+
+    def bell(qc, a, b):
+        qc.hadamard(a)
+        qc.qnot(b, controls=a)
+        return qc.measure((a, b))
+
+    return Program.capture(bell, qubit, qubit, name="bell")
+
+
+@register_program(
+    "bwt", "Binary Welded Tree walk (paper Section 5.1)",
+    (
+        ParamSpec("n", "int", 4, minimum=1),
+        ParamSpec("s", "int", 1, minimum=1),
+        ParamSpec("t", "float", 0.1),
+        ParamSpec("oracle", "str", "orthodox",
+                  choices=("orthodox", "template")),
+    ),
+)
+def _bwt_factory(params: dict) -> Program:
+    from ..algorithms.bwt.main import bwt_program
+
+    return bwt_program(
+        params["n"], params["s"], params["t"], params["oracle"]
+    )
+
+
+@register_program(
+    "tf", "Triangle Finding (paper Section 5.2)",
+    (
+        ParamSpec("part", "str", "full",
+                  choices=("pow17", "mul", "qwsh", "oracle", "full")),
+        ParamSpec("l", "int", 4, minimum=1),
+        ParamSpec("n", "int", 3, minimum=1),
+        ParamSpec("r", "int", 2, minimum=1),
+        ParamSpec("oracle", "str", "orthodox",
+                  choices=("orthodox", "simple")),
+    ),
+)
+def _tf_factory(params: dict) -> Program:
+    from ..algorithms.tf.main import part_program
+
+    return part_program(
+        params["part"], params["l"], params["n"], params["r"],
+        params["oracle"],
+    )
+
+
+__all__ = [
+    "ACTIONS",
+    "ParamSpec",
+    "ProgramEntry",
+    "ServiceError",
+    "TRANSFORMS",
+    "build_program",
+    "canonical_spec",
+    "list_programs",
+    "register_program",
+]

@@ -1,0 +1,68 @@
+"""JSON-safe payloads for structured run results.
+
+The server speaks canonical JSON (see
+:func:`repro.service.digest.canonical_json`); this module flattens a
+:class:`~repro.backends.RunResult` -- numpy arrays, integer-keyed bit
+maps, Counter-like dicts -- into plain JSON types with a deterministic
+layout, so a seeded run serializes to the same bytes on every worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..backends import RunResult
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce numpy scalars/containers to plain JSON types."""
+    import numpy as np
+
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    return str(value)
+
+
+def result_payload(result: RunResult) -> dict:
+    """Flatten a :class:`~repro.backends.RunResult` into a JSON payload.
+
+    The statevector (when present) becomes a list of ``[re, im]`` pairs
+    in axis order, with the wire ids alongside; complex values have no
+    JSON spelling of their own.  Absent fields are omitted rather than
+    nulled, so payload bytes do not depend on backend internals growing
+    new fields.
+    """
+    payload: dict[str, Any] = {"backend": result.backend}
+    if result.shots is not None:
+        payload["shots"] = int(result.shots)
+    if result.counts is not None:
+        payload["counts"] = {
+            str(k): int(v) for k, v in result.counts.items()
+        }
+    if result.bits is not None:
+        payload["bits"] = {str(k): bool(v) for k, v in result.bits.items()}
+    if result.resources is not None:
+        payload["resources"] = _json_safe(result.resources)
+    if result.statevector is not None:
+        payload["statevector"] = [
+            [float(a.real), float(a.imag)] for a in result.statevector
+        ]
+        payload["statevector_wires"] = list(result.statevector_wires)
+    if result.metadata:
+        payload["metadata"] = _json_safe(result.metadata)
+    return payload
+
+
+__all__ = ["result_payload"]

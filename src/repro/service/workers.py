@@ -1,0 +1,171 @@
+"""The sharded simulation worker pool: run jobs fan out of the server.
+
+Simulation is CPU-bound Python + numpy, so run jobs leave the event
+loop for a pool of **single-process shards**: each shard is its own
+``ProcessPoolExecutor(max_workers=1)``, and a job's digest picks its
+shard deterministically (``int(digest[:8], 16) % shards``).  Digest
+affinity is the point -- every run of one circuit lands in the worker
+that already holds it, so the worker-side caches do their job:
+
+* a per-worker LRU of parsed Programs keyed by digest (the circuit text
+  ships to a shard exactly once, not per job), and
+* the per-circuit compiled-stream memo of
+  :func:`repro.transform.inline.compile_flat`, warm after the first run.
+
+Workers are plain ``spawn`` processes (no fork-under-threads hazards in
+a threaded server): they import :mod:`repro` fresh and never touch the
+server's memory, which is why seeded results are byte-identical no
+matter which worker -- or which server lifetime -- produced them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
+
+from .metrics import ServiceMetrics
+from .registry import ServiceError
+
+#: Per-worker parsed-Program LRU size (circuits, not gates).
+WORKER_CACHE_SIZE = 32
+
+#: Sentinel payload a worker returns when it does not hold the digest
+#: (fresh worker, LRU eviction, crashed-and-respawned process) and the
+#: call did not ship the circuit text; the server retries with text.
+_NEED_TEXT = "_need_text"
+
+# -- worker-side (runs in the spawned process) ------------------------------
+
+_WORKER_PROGRAMS: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _worker_run(digest: str, text: str | None, run_kwargs: dict) -> dict:
+    """Execute one run job inside a worker process.
+
+    Returns a JSON/pickle-safe dict: the serialized
+    :class:`~repro.backends.RunResult` payload plus worker provenance
+    (pid, whether the program/compiled stream were already warm) that
+    the stats endpoint and the cache tests read.
+    """
+    from ..program import Program
+    from .serialize import result_payload
+
+    program = _WORKER_PROGRAMS.get(digest)
+    program_warm = program is not None
+    if program is None:
+        if text is None:
+            return {_NEED_TEXT: True}
+        program = Program.loads(text, name=f"worker:{digest[:12]}")
+        program.bcircuit  # parse now: steady-state runs are replay-only
+        _WORKER_PROGRAMS[digest] = program
+        _WORKER_PROGRAMS.move_to_end(digest)
+        while len(_WORKER_PROGRAMS) > WORKER_CACHE_SIZE:
+            _WORKER_PROGRAMS.popitem(last=False)
+    else:
+        _WORKER_PROGRAMS.move_to_end(digest)
+    stream_warm = getattr(program.bcircuit, "_compiled_flat", None) is not None
+    result = program.run(
+        run_kwargs.get("backend", "statevector"),
+        shots=run_kwargs.get("shots"),
+        seed=run_kwargs.get("seed"),
+        in_values=run_kwargs.get("in_values"),
+    )
+    return {
+        "payload": result_payload(result),
+        "worker": {
+            "pid": os.getpid(),
+            "program_warm": program_warm,
+            "stream_warm": stream_warm,
+        },
+    }
+
+
+# -- server-side ------------------------------------------------------------
+
+
+class ShardPool:
+    """Digest-affine pool of single-worker process shards."""
+
+    def __init__(self, metrics: ServiceMetrics, shards: int = 2):
+        if shards < 1:
+            raise ServiceError("worker pool needs at least one shard")
+        self.metrics = metrics
+        self.shards = shards
+        self._context = multiprocessing.get_context("spawn")
+        self._executors: list[ProcessPoolExecutor | None] = [None] * shards
+        #: Digests each shard has been shipped (so text goes over once).
+        self._known: list[set[str]] = [set() for _ in range(shards)]
+        self.busy = [0] * shards
+        self.jobs_run = [0] * shards
+
+    def shard_index(self, digest: str) -> int:
+        """The deterministic shard owning *digest*."""
+        return int(digest[:8], 16) % self.shards
+
+    def _executor(self, index: int) -> ProcessPoolExecutor:
+        executor = self._executors[index]
+        if executor is None:
+            executor = ProcessPoolExecutor(
+                max_workers=1, mp_context=self._context
+            )
+            self._executors[index] = executor
+        return executor
+
+    async def run(self, digest: str, text_provider: Callable[[], str],
+                  run_kwargs: dict) -> dict:
+        """Fan one run job out to its shard; returns the worker's dict.
+
+        Ships the circuit text only when the shard has not seen the
+        digest; a worker that lost it anyway (respawn, LRU eviction)
+        answers with a need-text sentinel and the job retries once with
+        the text attached.
+        """
+        loop = asyncio.get_running_loop()
+        index = self.shard_index(digest)
+        executor = self._executor(index)
+        known = self._known[index]
+        text = None
+        if digest not in known:
+            text = await loop.run_in_executor(None, text_provider)
+        self.busy[index] += 1
+        try:
+            outcome = await loop.run_in_executor(
+                executor, _worker_run, digest, text, run_kwargs
+            )
+            if outcome.get(_NEED_TEXT):
+                known.discard(digest)
+                self.metrics.inc("pool.reships")
+                text = await loop.run_in_executor(None, text_provider)
+                outcome = await loop.run_in_executor(
+                    executor, _worker_run, digest, text, run_kwargs
+                )
+            known.add(digest)
+            self.jobs_run[index] += 1
+            self.metrics.inc("pool.jobs")
+            return outcome
+        finally:
+            self.busy[index] -= 1
+
+    def snapshot(self) -> dict:
+        """The stats-endpoint view of the pool."""
+        return {
+            "shards": self.shards,
+            "busy": list(self.busy),
+            "jobs_run": list(self.jobs_run),
+            "known_digests": [len(k) for k in self._known],
+            "started": [e is not None for e in self._executors],
+        }
+
+    def shutdown(self) -> None:
+        """Stop every started shard process."""
+        for i, executor in enumerate(self._executors):
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._executors[i] = None
+
+
+__all__ = ["ShardPool", "WORKER_CACHE_SIZE"]

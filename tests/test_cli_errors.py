@@ -1,0 +1,65 @@
+"""Algorithm CLIs fail invalid arguments cleanly: exit 2, one line.
+
+The regression: a bad size or execution argument used to escape
+``runner.emit`` as a raw traceback (exit 1).  The runner now catches
+pipeline and validation errors at the CLI boundary and reports them the
+way argparse reports flag errors -- a single ``<prog>: error: <reason>``
+line on stderr and exit status 2 -- while real bugs still traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.bwt.main import main as bwt_main
+from repro.algorithms.tf.main import main as tf_main
+
+
+class TestBwtCli:
+    def test_negative_tree_height_exits_2_with_one_line(self, capsys):
+        status = bwt_main(["-n", "-1"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "Traceback" not in captured.err
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("bwt: error:") or ": error:" in lines[0]
+
+    def test_unencodable_qasm_exits_2(self, capsys):
+        # The BWT walk keeps controlled rotations OpenQASM 2 cannot
+        # encode; that refusal is an argument error, not a crash.
+        status = bwt_main(["-n", "2", "-f", "qasm"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "Traceback" not in captured.err
+        assert ": error:" in captured.err
+
+    def test_valid_invocation_still_exits_0(self, capsys):
+        assert bwt_main(["-n", "3", "-f", "gatecount"]) == 0
+        assert "error" not in capsys.readouterr().err
+
+
+class TestTfCli:
+    def test_invalid_shots_exits_2_with_one_line(self, capsys):
+        status = tf_main(["-s", "pow17", "-l", "2", "-f", "run",
+                          "--shots", "-3"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "Traceback" not in captured.err
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert ": error:" in lines[0]
+
+    def test_valid_invocation_still_exits_0(self, capsys):
+        assert tf_main(["-s", "pow17", "-l", "2", "-f", "gatecount"]) == 0
+        assert "error" not in capsys.readouterr().err
+
+
+class TestArgparseErrorsUnchanged:
+    """Bad flag *values* still go through argparse's own exit-2 path."""
+
+    def test_bad_format_choice_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            bwt_main(["-f", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

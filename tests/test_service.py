@@ -1,0 +1,480 @@
+"""Compile-service suite: cache keying, concurrency, HTTP, determinism.
+
+The load-bearing claims, each tested against a real server on an
+ephemeral port (no mocked transports):
+
+* **Single compile** -- any number of clients submitting the same
+  circuit (defaulted or spelled-out params, sync or async, compile or
+  run) cause exactly one pipeline build; the obs counters are the proof.
+* **Deterministic runs** -- one seed, one byte-stream: canonical-JSON
+  run results are identical across worker shards, shard counts, and
+  server restarts (the disk warm-start path included).
+* **Bounded load** -- full queues answer 429 + Retry-After instead of
+  accepting unbounded work; overlong jobs die with a timeout error
+  while the server keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.service.cache import CompileCache
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.digest import canonical_json, digest_text, spec_digest
+from repro.service.jobs import canonical_run_options
+from repro.service.metrics import LatencyRing, ServiceMetrics, percentile
+from repro.service.registry import ServiceError, canonical_spec
+from repro.service.server import CHUNK_SIZE, ServiceServer
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_pool():
+    """Isolate the process-wide digest-keyed stream pool per test.
+
+    Every in-process "server" here shares one interpreter with the
+    tests before it; clearing the pool keeps single-compile counter
+    assertions honest.
+    """
+    importlib.import_module("repro.transform.inline")._DIGEST_POOL.clear()
+    yield
+
+
+@asynccontextmanager
+async def service(**kwargs):
+    """A started server on an ephemeral port, stopped on exit."""
+    kwargs.setdefault("shards", 1)
+    server = ServiceServer(port=0, **kwargs)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+async def in_thread(fn, *args):
+    """Run blocking client code off the server's event loop."""
+    return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+
+
+def client_for(server: ServiceServer) -> ServiceClient:
+    return ServiceClient("127.0.0.1", server.port, timeout=120)
+
+
+# ---------------------------------------------------------------------------
+# Pure pieces: spec canonicalization, digests, metrics
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalSpec:
+    def test_defaults_fill_to_the_same_digest(self):
+        implicit = canonical_spec({"program": "bwt"})
+        explicit = canonical_spec({
+            "program": "bwt",
+            "params": {"n": 4, "s": 1, "t": 0.1, "oracle": "orthodox"},
+        })
+        assert implicit == explicit
+        assert spec_digest(implicit) == spec_digest(explicit)
+
+    def test_per_job_keys_stay_out_of_the_cache_key(self):
+        plain = canonical_spec({"program": "bell"})
+        decorated = canonical_spec({
+            "program": "bell", "action": "run",
+            "run": {"shots": 64, "seed": 1}, "sync": True,
+        })
+        assert spec_digest(plain) == spec_digest(decorated)
+
+    def test_any_compile_relevant_key_changes_the_digest(self):
+        base = spec_digest(canonical_spec({"program": "bwt"}))
+        for variant in (
+            {"program": "bwt", "params": {"n": 5}},
+            {"program": "bwt", "transform": "binary"},
+            {"program": "bwt", "optimize": True},
+            {"program": "bwt", "optimize": ["cancel"]},
+        ):
+            assert spec_digest(canonical_spec(variant)) != base, variant
+
+    def test_rejections(self):
+        cases = [
+            ({"program": "no-such"}, 404, "unknown program"),
+            ({"program": "bwt", "params": {"bogus": 1}}, 400, "unknown param"),
+            ({"program": "bwt", "params": {"n": 0}}, 400, ">="),
+            ({"program": "bwt", "params": {"n": "four"}}, 400, "integer"),
+            ({"program": "bwt", "transform": "nope"}, 400, "transform"),
+            ({"program": "bwt", "optimize": ["nope"]}, 400, "pass"),
+            ({"program": "bwt", "optimize": "yes"}, 400, "optimize"),
+            ({"program": "bell", "circuit": "x"}, 400, "exactly one"),
+            ({}, 400, "exactly one"),
+        ]
+        for spec, status, fragment in cases:
+            with pytest.raises(ServiceError) as excinfo:
+                canonical_spec(spec)
+            assert excinfo.value.status == status, spec
+            assert fragment in str(excinfo.value), spec
+
+    def test_run_option_validation(self):
+        ok = canonical_run_options({"shots": 8, "seed": 1,
+                                    "in_values": {"0": True}})
+        assert ok["in_values"] == {0: True}
+        for bad in (
+            {"shots": 0}, {"shots": -3}, {"shots": True},
+            {"seed": "x"}, {"bogus": 1}, {"in_values": {"q": True}},
+            {"in_values": {"0": 1}}, "not-a-dict",
+        ):
+            with pytest.raises(ServiceError):
+                canonical_run_options(bad)
+
+    def test_digest_domains_are_disjoint(self):
+        assert digest_text("x", domain="a") != digest_text("x", domain="b")
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.99) == 0.0
+        assert percentile([5.0], 0.99) == 5.0
+        values = [float(i) for i in range(101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+
+    def test_latency_ring_window(self):
+        ring = LatencyRing(size=4)
+        for i in range(10):
+            ring.record(float(i))
+        summary = ring.summary()
+        assert summary["count"] == 10  # lifetime count survives eviction
+        assert summary["max_ms"] == 9.0  # window keeps the recent four
+        assert ring.samples.maxlen == 4
+
+    def test_counters_mirror_into_obs_sessions(self):
+        from repro import obs
+
+        metrics = ServiceMetrics()
+        metrics.inc("test.counter", 2)  # outside any session: local only
+        with obs.capture() as rec:
+            metrics.inc("test.counter", 3)
+        assert metrics.counters["test.counter"] == 5
+        assert rec.counters["service.test.counter"] == 3
+
+
+# ---------------------------------------------------------------------------
+# The cache layer: single-flight under concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestCompileCacheSingleFlight:
+    def test_concurrent_gets_build_once(self):
+        async def hammer():
+            metrics = ServiceMetrics()
+            cache = CompileCache(metrics)
+            cspec = canonical_spec({"program": "bell"})
+            digest = spec_digest(cspec)
+            results = await asyncio.gather(*[
+                cache.get(digest, cspec) for _ in range(8)
+            ])
+            return metrics, results
+
+        metrics, results = asyncio.run(hammer())
+        assert metrics.counters["cache.misses"] == 1
+        assert metrics.counters.get("cache.coalesced", 0) == 7
+        entries = {id(entry) for entry, _hit in results}
+        assert len(entries) == 1  # everyone got the same object
+        assert sum(1 for _entry, hit in results if not hit) == 1
+
+    def test_lru_eviction_bounds_the_cache(self):
+        async def fill():
+            cache = CompileCache(ServiceMetrics(), maxsize=2)
+            for n in (2, 3, 4):
+                cspec = canonical_spec({"program": "bwt", "params": {"n": n}})
+                await cache.get(spec_digest(cspec), cspec)
+            return cache
+
+        cache = asyncio.run(fill())
+        assert len(cache.entries) == 2
+
+    def test_failed_build_is_not_cached(self):
+        async def attempt():
+            cache = CompileCache(ServiceMetrics())
+            cspec = dict(canonical_spec({"program": "bell"}),
+                         circuit="not quipper at all")
+            del cspec["program"], cspec["params"]
+            digest = spec_digest(cspec)
+            with pytest.raises(Exception):
+                await cache.get(digest, cspec)
+            return cache
+
+        cache = asyncio.run(attempt())
+        assert not cache.entries and not cache._pending
+
+
+# ---------------------------------------------------------------------------
+# HTTP end to end
+# ---------------------------------------------------------------------------
+
+
+class TestHttpEndpoints:
+    def test_introspection_and_sync_queries(self):
+        async def scenario():
+            async with service() as server:
+                def work():
+                    with client_for(server) as svc:
+                        health = svc.health()
+                        programs = svc.programs()
+                        count_a = svc.query(program="bwt", action="count")
+                        count_b = svc.query(
+                            program="bwt", action="count",
+                            params={"n": 4, "s": 1, "t": 0.1,
+                                    "oracle": "orthodox"},
+                        )
+                        depth = svc.query(program="bell", action="depth")
+                        stats = svc.stats()
+                        profile = svc.profile()
+                        return (health, programs, count_a, count_b, depth,
+                                stats, profile)
+                return await in_thread(work)
+
+        health, programs, count_a, count_b, depth, stats, profile = (
+            asyncio.run(scenario())
+        )
+        assert health["ok"] is True and "version" in health
+        assert {"bell", "bwt", "tf"} <= set(programs["programs"])
+        assert count_a == count_b and count_a["total"] > 0
+        assert depth["depth"] >= 2
+        # Defaulted and explicit params shared one compile.
+        assert stats["service"]["counters"]["cache.misses"] == 2  # bwt+bell
+        assert stats["service"]["counters"]["cache.hits"] >= 1
+        assert stats["service"]["latency"]["hit"]["count"] >= 1
+        assert profile["counters"]["cache.compiled_stream.misses"] == 2
+
+    def test_async_job_lifecycle(self):
+        async def scenario():
+            async with service() as server:
+                def work():
+                    with client_for(server) as svc:
+                        job = svc.submit(program="bell", action="compile")
+                        assert job["state"] in ("queued", "running", "done")
+                        done = svc.wait(job["id"])
+                        result = svc.result(job["id"])
+                        missing = None
+                        try:
+                            svc.status("j99999999")
+                        except ServiceClientError as exc:
+                            missing = exc.status
+                        return done, result, missing
+                return await in_thread(work)
+
+        done, result, missing = asyncio.run(scenario())
+        assert done["state"] == "done" and done["cache_hit"] is False
+        assert done["queue_wait_ms"] >= 0 and done["exec_ms"] >= 0
+        assert result["result"]["width"] == 2
+        assert result["result"]["gates_inlined"] >= 3
+        assert missing == 404
+
+    def test_error_statuses_and_bodies(self):
+        async def scenario():
+            async with service() as server:
+                def work():
+                    statuses = {}
+                    with client_for(server) as svc:
+                        for key, spec in [
+                            ("unknown_program", {"program": "zzz"}),
+                            ("bad_param",
+                             {"program": "bwt", "params": {"n": 0}}),
+                            ("bad_action",
+                             {"program": "bell", "action": "explode"}),
+                            ("bad_run", {"program": "bell", "action": "run",
+                                         "run": {"shots": -1}}),
+                        ]:
+                            try:
+                                svc.query(**spec)
+                            except ServiceClientError as exc:
+                                statuses[key] = exc.status
+                        # Sync pipeline refusal: unencodable QASM is 400.
+                        try:
+                            svc.query(program="bwt", action="qasm")
+                        except ServiceClientError as exc:
+                            statuses["qasm_refusal"] = exc.status
+                    return statuses
+                return await in_thread(work)
+
+        statuses = asyncio.run(scenario())
+        assert statuses == {
+            "unknown_program": 404, "bad_param": 400, "bad_action": 400,
+            "bad_run": 400, "qasm_refusal": 400,
+        }
+
+    def test_backpressure_answers_429_with_retry_after(self):
+        async def scenario():
+            async with service(max_pending=0) as server:
+                def work():
+                    with client_for(server) as svc:
+                        try:
+                            svc.submit(program="bell")
+                        except ServiceClientError as exc:
+                            return exc
+                return await in_thread(work)
+
+        exc = asyncio.run(scenario())
+        assert exc.status == 429
+        assert exc.retry_after == 1.0
+
+    def test_large_bodies_stream_chunked(self):
+        async def scenario():
+            async with service() as server:
+                def work():
+                    with client_for(server) as svc:
+                        out = svc.query(program="bwt", transform="binary",
+                                        action="quipper")
+                        return out, svc.stats()
+                return await in_thread(work)
+
+        out, stats = asyncio.run(scenario())
+        assert len(out["text"]) > CHUNK_SIZE
+        assert stats["service"]["counters"]["http.chunked_responses"] >= 1
+
+    def test_timeout_kills_the_job_not_the_server(self):
+        async def scenario():
+            async with service(job_timeout=0.001) as server:
+                def work():
+                    with client_for(server) as svc:
+                        job = svc.submit(program="bwt", action="compile")
+                        done = svc.wait(job["id"], timeout=30)
+                        result_status = None
+                        try:
+                            svc.result(job["id"])
+                        except ServiceClientError as exc:
+                            result_status = exc.status
+                        health = svc.health()
+                        return done, result_status, health
+                return await in_thread(work)
+
+        done, result_status, health = asyncio.run(scenario())
+        assert done["state"] == "error" and "timeout" in done["error"]
+        assert result_status == 504
+        assert health["ok"] is True
+
+    def test_cancel_queued_job(self):
+        async def scenario():
+            async with service(max_running=1) as server:
+                def work():
+                    with client_for(server) as svc:
+                        # The first job occupies the single execution slot
+                        # long enough for the second to be verifiably
+                        # queued when we cancel it.
+                        blocker = svc.submit(program="bwt",
+                                             params={"n": 5}, action="count")
+                        victim = svc.submit(program="bell", action="depth")
+                        cancelled = svc.cancel(victim["id"])
+                        final = svc.wait(victim["id"], timeout=30)
+                        svc.wait(blocker["id"], timeout=60)
+                        return cancelled, final
+                return await in_thread(work)
+
+        cancelled, final = asyncio.run(scenario())
+        assert final["state"] == "cancelled"
+
+
+# ---------------------------------------------------------------------------
+# The acceptance scenario: concurrent clients, one compile, stable bytes
+# ---------------------------------------------------------------------------
+
+HAMMER_SPEC = {
+    "program": "bwt", "params": {"n": 3}, "action": "run",
+    "run": {"backend": "statevector", "shots": 32, "seed": 1234},
+}
+
+
+def _hammer(server: ServiceServer, clients: int) -> list[bytes]:
+    """N threads, each its own connection, all submitting one circuit."""
+    def one_client(i: int) -> bytes:
+        with client_for(server) as svc:
+            if i % 2:  # odd clients take the async path
+                job = svc.submit(**HAMMER_SPEC)
+                status = svc.wait(job["id"], timeout=120)
+                assert status["state"] == "done", status
+                result = svc.result(job["id"])["result"]
+            else:  # even clients take the sync fast path
+                result = svc.query(**HAMMER_SPEC)
+        return canonical_json(result).encode()
+
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        return list(pool.map(one_client, range(clients)))
+
+
+class TestConcurrentSingleCompile:
+    def test_many_clients_one_compile_identical_bytes(self):
+        async def scenario():
+            async with service(shards=2, max_running=8) as server:
+                payloads = await in_thread(_hammer, server, 6)
+
+                def collect():
+                    with client_for(server) as svc:
+                        return svc.stats(), svc.profile()
+                stats, profile = await in_thread(collect)
+                return payloads, stats, profile
+
+        payloads, stats, profile = asyncio.run(scenario())
+        # Everyone saw byte-identical seeded results.
+        assert len(set(payloads)) == 1
+        counts = json.loads(payloads[0])["counts"]
+        assert sum(counts.values()) == 32
+        # ... and the service compiled the circuit exactly once: one
+        # service-cache miss, one pipeline inline, everything else hits.
+        assert stats["service"]["counters"]["cache.misses"] == 1
+        assert stats["service"]["counters"]["cache.hits"] == 5
+        assert profile["counters"]["cache.compiled_stream.misses"] == 1
+        assert stats["service"]["counters"]["pool.jobs"] == 6
+        assert stats["service"]["latency"]["run"]["count"] == 6
+
+    def test_shard_affinity_reuses_one_warm_worker(self):
+        async def scenario():
+            async with service(shards=2) as server:
+                def work():
+                    with client_for(server) as svc:
+                        first = svc.query(**HAMMER_SPEC)
+                        job = svc.submit(**HAMMER_SPEC)
+                        status = svc.wait(job["id"], timeout=120)
+                    return first, status
+                return await in_thread(work)
+
+        _first, status = asyncio.run(scenario())
+        assert status["worker"]["program_warm"] is True
+        assert status["worker"]["stream_warm"] is True
+
+
+class TestRestartDeterminism:
+    def test_disk_warm_start_and_identical_bytes(self, tmp_path):
+        cache_dir = tmp_path / "compiled"
+
+        async def lifetime():
+            async with service(cache_dir=str(cache_dir)) as server:
+                def work():
+                    with client_for(server) as svc:
+                        result = svc.query(**HAMMER_SPEC)
+                        return canonical_json(result).encode(), svc.stats()
+                return await in_thread(work)
+
+        first_bytes, first_stats = asyncio.run(lifetime())
+        assert first_stats["service"]["counters"].get("cache.disk_hits", 0) == 0
+        assert list(cache_dir.glob("*.quip")), "compile was not persisted"
+
+        second_bytes, second_stats = asyncio.run(lifetime())
+        assert second_bytes == first_bytes
+        assert second_stats["service"]["counters"]["cache.disk_hits"] == 1
+
+    def test_shard_count_does_not_change_results(self):
+        async def run_with(shards: int):
+            async with service(shards=shards) as server:
+                def work():
+                    with client_for(server) as svc:
+                        return canonical_json(
+                            svc.query(**HAMMER_SPEC)
+                        ).encode()
+                return await in_thread(work)
+
+        assert asyncio.run(run_with(1)) == asyncio.run(run_with(3))

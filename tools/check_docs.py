@@ -27,7 +27,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 #: Markdown files whose links are checked.
 DOC_FILES = ("README.md", "docs/architecture.md", "docs/tutorial.md",
-             "docs/api.md", "docs/observability.md")
+             "docs/api.md", "docs/observability.md", "docs/service.md")
 
 #: Modules whose public surface must be fully docstringed.
 PUBLIC_MODULES = (
@@ -41,6 +41,13 @@ PUBLIC_MODULES = (
     "src/repro/obs/__init__.py",
     "src/repro/obs/core.py",
     "src/repro/obs/sinks.py",
+    "src/repro/service/__init__.py",
+    "src/repro/service/cache.py",
+    "src/repro/service/client.py",
+    "src/repro/service/jobs.py",
+    "src/repro/service/registry.py",
+    "src/repro/service/server.py",
+    "src/repro/service/workers.py",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
