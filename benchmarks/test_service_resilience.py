@@ -1,0 +1,128 @@
+"""Supervision overhead: what fault tolerance costs when nothing fails.
+
+The fault-tolerance layer (heartbeats, generation-guarded respawn
+bookkeeping, per-attempt retry accounting, the disk-cache checksum
+header) rides on **every** request, so its disabled-fault cost must be
+noise.  This benchmark boots two servers in one process and interleaves
+identical seeded run jobs between them, round-robin, so machine drift
+hits both arms equally:
+
+* **plain** -- heartbeat supervision off (``heartbeat=0``), the closest
+  thing to the pre-supervision service;
+* **supervised** -- an aggressive 50 ms heartbeat pinging the worker
+  throughout the measurement (two orders of magnitude hotter than the
+  5 s production default), plus an armed-but-inert fault plan so every
+  injection point's schedule draw executes.
+
+The recorded ``speedup`` (plain / supervised median latency) lands in
+``benchmarks/baselines/service_resilience.json``; at ~1.0 it proves
+supervision is free on the happy path, and the regression gate keeps
+it that way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.faults import FaultPlan
+from repro.service.server import ServiceServer
+
+from conftest import quick_mode, record_benchmark, report
+
+ROUNDS = 10 if quick_mode() else 40
+SHOTS = 16 if quick_mode() else 32
+
+RUN_SPEC = {
+    "program": "bwt", "params": {"n": 3}, "action": "run",
+    "run": {"backend": "statevector", "shots": SHOTS, "seed": 7},
+}
+
+#: A rule that can never fire (rate 0): the schedule hash is drawn at
+#: every worker_exec arrival, so the armed-plan code path is measured.
+INERT_PLAN = "worker_exec:crash@0"
+
+
+def _measure(plain: ServiceServer, supervised: ServiceServer) -> dict:
+    with ServiceClient("127.0.0.1", plain.port, timeout=300) as svc_a, \
+            ServiceClient("127.0.0.1", supervised.port,
+                          timeout=300) as svc_b:
+        # Warm both shards (spawn + text ship + compiled stream).
+        first_a = svc_a.query(**RUN_SPEC)
+        first_b = svc_b.query(**RUN_SPEC)
+        assert first_a == first_b, "servers disagree on a seeded run"
+
+        plain_ms, supervised_ms = [], []
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            svc_a.query(**RUN_SPEC)
+            plain_ms.append((time.perf_counter() - start) * 1e3)
+            start = time.perf_counter()
+            svc_b.query(**RUN_SPEC)
+            supervised_ms.append((time.perf_counter() - start) * 1e3)
+        stats_b = svc_b.stats()
+    return {
+        "plain_ms": statistics.median(plain_ms),
+        "supervised_ms": statistics.median(supervised_ms),
+        "stats": stats_b,
+    }
+
+
+def test_supervision_overhead():
+    async def scenario():
+        plain = ServiceServer(port=0, shards=1, heartbeat=0)
+        supervised = ServiceServer(
+            port=0, shards=1, heartbeat=0.05,
+            faults=FaultPlan.parse(INERT_PLAN, seed=7),
+        )
+        await plain.start()
+        await supervised.start()
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, _measure, plain, supervised
+            )
+        finally:
+            await supervised.stop()
+            await plain.stop()
+
+    measured = asyncio.run(scenario())
+    counters = measured["stats"]["service"]["counters"]
+
+    # The supervised arm really was supervised: the heartbeat pinged
+    # its worker during the measurement, respawned nothing, failed
+    # nothing, and the inert fault plan fired nothing.
+    assert counters["worker.heartbeats"] >= 1
+    assert counters.get("worker.respawns", 0) == 0
+    assert counters.get("jobs.failed", 0) == 0
+    assert measured["stats"]["faults"]["fired"] == {}
+
+    speedup = measured["plain_ms"] / measured["supervised_ms"]
+    overhead = measured["supervised_ms"] / measured["plain_ms"] - 1.0
+    record = {
+        "rounds": ROUNDS,
+        "shots": SHOTS,
+        "plain_ms": round(measured["plain_ms"], 3),
+        "supervised_ms": round(measured["supervised_ms"], 3),
+        "heartbeats": counters["worker.heartbeats"],
+        "overhead_pct": round(overhead * 100, 2),
+        "speedup": round(speedup, 3),
+    }
+    baseline = record_benchmark("service_resilience", record)
+
+    report("fault-tolerance overhead on the happy path", [
+        ("plain run median (ms)", "-", record["plain_ms"]),
+        ("supervised run median (ms)", "-", record["supervised_ms"]),
+        ("overhead (%)", "~0", record["overhead_pct"]),
+        ("heartbeats during run", ">= 1", record["heartbeats"]),
+        ("baseline speedup", "-",
+         baseline.get("speedup") if baseline else "(recorded)"),
+    ])
+
+    if not quick_mode():
+        # Supervision must stay in the noise band of the service
+        # baseline: a 50 ms heartbeat may not cost half the latency.
+        assert measured["supervised_ms"] <= measured["plain_ms"] * 1.5, (
+            f"supervision overhead {overhead:.0%} exceeds the band"
+        )

@@ -11,12 +11,22 @@ not; and run jobs fan out to **digest-affine worker processes**
 (:mod:`~repro.service.workers`) whose seeded results are byte-identical
 regardless of worker or server lifetime.
 
+The service is **fault-tolerant by construction**: the worker pool is
+supervised (heartbeats, crash detection, bounded respawn with backoff,
+automatic requeue -- :mod:`~repro.service.workers`), disk-cache entries
+are checksummed and quarantined on corruption, an unavailable pool
+degrades to in-process runs instead of failing, and every failure mode
+is reachable deterministically through the seedable fault-injection
+registry in :mod:`~repro.service.faults` (``repro-serve --inject``).
+
 Start a server with the ``repro-serve`` console script and talk to it
 with :class:`~repro.service.client.ServiceClient` (or bare ``curl``);
-see ``docs/service.md`` for the endpoint reference and deployment notes.
+see ``docs/service.md`` for the endpoint reference, deployment notes,
+and the operating & failure-modes runbook.
 """
 
 from .client import ServiceClient, ServiceClientError
+from .faults import FaultPlan, InjectedFault, PoolUnavailable
 from .jobs import Job, JobManager
 from .registry import (
     ParamSpec,
@@ -25,15 +35,20 @@ from .registry import (
     register_program,
 )
 from .server import ServiceServer, main
+from .workers import ShardedPool
 
 __all__ = [
+    "FaultPlan",
+    "InjectedFault",
     "Job",
     "JobManager",
     "ParamSpec",
+    "PoolUnavailable",
     "ServiceClient",
     "ServiceClientError",
     "ServiceError",
     "ServiceServer",
+    "ShardedPool",
     "list_programs",
     "main",
     "register_program",

@@ -19,6 +19,13 @@ persistence.  Three properties carry the service's load story:
   transform, post-optimize) circuit is persisted as Quipper-ASCII under
   its digest; a restarted server (or a sibling process) parses that
   text instead of re-running capture/transform/optimize.
+* **Disk integrity** -- every persisted ``{digest}.quip`` carries a
+  one-line checksum header over its circuit text.  Warm-start loads
+  re-digest the body and verify both the checksum and the spec digest
+  in the filename; a truncated, bit-flipped, or foreign file is moved
+  to ``cache_dir/quarantine/`` (``cache.quarantined``) and the circuit
+  is recompiled from the spec -- corruption costs one compile, never a
+  wrong answer.
 """
 
 from __future__ import annotations
@@ -32,9 +39,20 @@ from pathlib import Path
 
 from ..obs import core as _obs
 from ..program import Program
+from .digest import digest_text
+from .faults import DELAY_S, FaultPlan
 from .metrics import ServiceMetrics
 from .registry import ServiceError, build_program
 from .serialize import result_payload
+
+#: First line of every persisted cache entry: format version, the spec
+#: digest the filename claims, and the checksum of the body that
+#: follows.  The loader strips it before parsing; sibling servers
+#: racing to persist one digest still produce identical bytes.
+_HEADER = "; repro-cache v1 spec={spec} sha256={sha}\n"
+
+#: Domain tag for the body checksum (see :func:`..digest.digest_text`).
+_SUM_DOMAIN = "quip-cache"
 
 
 class CacheEntry:
@@ -116,9 +134,11 @@ class CompileCache:
     """Digest-keyed LRU of :class:`CacheEntry` with single-flight builds."""
 
     def __init__(self, metrics: ServiceMetrics, maxsize: int = 128,
-                 cache_dir: str | os.PathLike | None = None):
+                 cache_dir: str | os.PathLike | None = None,
+                 faults: FaultPlan | None = None):
         self.metrics = metrics
         self.maxsize = maxsize
+        self.faults = faults or FaultPlan()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -173,18 +193,61 @@ class CompileCache:
             if self.cache_dir is not None else None
         )
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad cache file aside (never silently reuse or delete)."""
+        target = path.parent / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            path.replace(target)
+        except OSError:
+            pass  # racing sibling already moved/removed it
+        self.metrics.inc("cache.quarantined")
+        self.metrics.inc(f"cache.quarantined.{reason}")
+
+    def _load_disk(self, digest: str, path: Path) -> str | None:
+        """Read + verify one persisted entry; None means rebuild.
+
+        The circuit text is trusted only when the header's checksum
+        re-digests from the body *and* the header's spec digest matches
+        the filename; anything else -- truncation, a flipped bit, a
+        legacy or foreign file -- is quarantined and recompiled.
+        """
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.metrics.inc("cache.disk_read_errors")
+            return None
+        rule = self.faults.fire("disk_read")
+        if rule is not None:
+            self.metrics.inc("faults.injected")
+            if rule.mode == "delay":
+                time.sleep(DELAY_S)
+            elif rule.mode == "corrupt":
+                raw = self.faults.corrupt_text(raw, "disk_read")
+            else:
+                self.metrics.inc("cache.disk_read_errors")
+                return None  # injected read failure: treat as a miss
+        header, sep, body = raw.partition("\n")
+        expected = _HEADER.format(
+            spec=digest, sha=digest_text(body, _SUM_DOMAIN)
+        )
+        if not sep or header + sep != expected:
+            self._quarantine(path, "digest_mismatch")
+            return None
+        return body
+
     def _build_sync(self, digest: str, cspec: dict) -> CacheEntry:
         """Build one entry (runs in a worker thread off the event loop)."""
         from ..transform.inline import compile_flat
 
         t0 = time.perf_counter()
         text: str | None = None
-        from_disk = False
         path = self._disk_path(digest)
         if path is not None and path.exists():
-            text = path.read_text(encoding="utf-8")
+            text = self._load_disk(digest, path)
+        from_disk = text is not None
+        if text is not None:
             program = Program.loads(text, name=f"disk:{digest[:12]}")
-            from_disk = True
         else:
             program = build_program(cspec)
         with _obs.span("service.compile", digest=digest[:12]):
@@ -200,12 +263,33 @@ class CompileCache:
         if text is not None:
             entry._text = text
         elif path is not None:
-            # Per-process temp name + atomic rename: two sibling servers
-            # persisting one digest race harmlessly to identical bytes.
-            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-            tmp.write_text(entry.text(), encoding="utf-8")
-            tmp.replace(path)
+            self._persist(digest, path, entry.text())
         return entry
+
+    def _persist(self, digest: str, path: Path, body: str) -> None:
+        """Write one checksummed entry (atomic rename, best effort).
+
+        Per-process temp name + atomic rename: two sibling servers
+        persisting one digest race harmlessly to identical bytes.  A
+        failed write (disk full, injected fault) is counted and
+        dropped -- persistence is an optimization, not a correctness
+        requirement.
+        """
+        rule = self.faults.fire("disk_write")
+        if rule is not None:
+            self.metrics.inc("faults.injected")
+            if rule.mode == "delay":
+                time.sleep(DELAY_S)
+            else:
+                self.metrics.inc("cache.disk_write_errors")
+                return  # injected write failure: entry stays memory-only
+        header = _HEADER.format(spec=digest, sha=digest_text(body, _SUM_DOMAIN))
+        try:
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(header + body, encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            self.metrics.inc("cache.disk_write_errors")
 
 
 __all__ = ["CacheEntry", "CompileCache"]

@@ -1,4 +1,4 @@
-"""A minimal blocking client for the compile service (stdlib only).
+"""A resilient blocking client for the compile service (stdlib only).
 
 Wraps :mod:`http.client` over one keep-alive connection; not
 thread-safe -- give each thread (or asyncio executor worker) its own
@@ -16,33 +16,70 @@ thread-safe -- give each thread (or asyncio executor worker) its own
                          run={"shots": 64, "seed": 7})
         done = svc.wait(job["id"])
         print(svc.result(job["id"])["result"]["counts"])
+
+Resilience is built into :meth:`ServiceClient.request`, bounded by a
+``max_wait`` wall-clock budget:
+
+* A dropped or reset connection (server restart, crashed keep-alive)
+  reconnects and resends.  That resend is safe precisely because the
+  service is **content-addressed**: resubmitting a spec is idempotent
+  -- same digest, same cached compile, byte-identical seeded results.
+* ``429`` / ``503`` responses (full queue, draining server) are retried
+  with capped exponential backoff honoring the server's ``Retry-After``
+  hint, plus **deterministic seeded jitter** (``jitter_seed``) so a
+  retrying client fleet decorrelates without sacrificing reproducible
+  tests.
+* :meth:`execute` adds job-level resubmission on top: a job id lost to
+  a server restart (404 mid-poll) resubmits the same spec and keeps
+  waiting.
+
+``max_wait=0`` disables retries entirely (the pre-resilience behavior:
+first error surfaces immediately).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
+
+#: HTTP statuses worth retrying: overload (429) and drain/degrade (503).
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServiceClientError(Exception):
     """A non-2xx service response; carries status and retry hint."""
 
     def __init__(self, status: int, message: str,
-                 retry_after: float | None = None):
+                 retry_after: float | None = None, attempts: int = 1):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.retry_after = retry_after
+        self.attempts = attempts
 
 
 class ServiceClient:
-    """Blocking HTTP client bound to one server address."""
+    """Blocking HTTP client bound to one server address.
+
+    *retries* bounds reconnect attempts per request, *max_wait* bounds
+    the total time spent backing off on retryable statuses, *backoff* /
+    *backoff_cap* shape the exponential schedule, and *jitter_seed*
+    seeds the jitter stream (deterministic per client instance).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8766, *,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, retries: int = 3,
+                 max_wait: float = 15.0, backoff: float = 0.1,
+                 backoff_cap: float = 2.0, jitter_seed: int = 0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.max_wait = max_wait
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
         self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing -----------------------------------------------------------
@@ -66,15 +103,31 @@ class ServiceClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def request(self, method: str, path: str,
-                body: dict | None = None) -> dict:
-        """One request/response cycle; raises on non-2xx statuses.
+    def _backoff_wait(self, attempt: int, hint: float | None) -> float:
+        """The next sleep: server hint or capped exponential, + jitter.
 
-        Retries exactly once on a dropped keep-alive connection (the
-        server may have restarted between calls).
+        Jitter is a deterministic draw from the client's seeded stream,
+        up to a quarter of the base wait -- enough to decorrelate a
+        retrying fleet, small enough to respect ``Retry-After``.
+        """
+        base = (hint if hint is not None
+                else min(self.backoff * 2 ** attempt, self.backoff_cap))
+        return base + self._rng.uniform(0.0, base / 4) if base > 0 else 0.0
+
+    def request(self, method: str, path: str, body: dict | None = None, *,
+                max_wait: float | None = None) -> dict:
+        """One logical request; reconnects and backs off within budget.
+
+        Raises :class:`ServiceClientError` (with the attempt count) for
+        a non-2xx answer that is not retryable or whose retry budget --
+        *max_wait* here, falling back to the client default -- ran out.
         """
         payload = json.dumps(body).encode() if body is not None else None
-        for attempt in (0, 1):
+        budget = self.max_wait if max_wait is None else max_wait
+        deadline = time.monotonic() + budget
+        conn_failures = 0
+        attempt = 0
+        while True:
             conn = self._connection()
             try:
                 conn.request(
@@ -83,22 +136,37 @@ class ServiceClient:
                 )
                 response = conn.getresponse()
                 raw = response.read()
-                break
             except (http.client.HTTPException, ConnectionError, OSError):
+                # Reconnect-and-resend: safe for every endpoint because
+                # submissions are content-addressed (idempotent).
                 self.close()
-                if attempt:
+                conn_failures += 1
+                attempt += 1
+                if conn_failures > self.retries:
                     raise
-        try:
-            data = json.loads(raw) if raw else {}
-        except json.JSONDecodeError:
-            data = {"error": raw.decode(errors="replace")}
-        if response.status >= 400:
-            retry_after = response.headers.get("Retry-After")
+                wait = self._backoff_wait(conn_failures - 1, None)
+                if time.monotonic() + wait > deadline and conn_failures > 1:
+                    raise
+                time.sleep(wait)
+                continue
+            attempt += 1
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                data = {"error": raw.decode(errors="replace")}
+            if response.status < 400:
+                return data
+            header = response.headers.get("Retry-After")
+            retry_after = float(header) if header else None
+            if response.status in RETRYABLE_STATUSES:
+                wait = self._backoff_wait(attempt - 1, retry_after)
+                if time.monotonic() + wait <= deadline:
+                    time.sleep(wait)
+                    continue
             raise ServiceClientError(
                 response.status, data.get("error", "request failed"),
-                retry_after=float(retry_after) if retry_after else None,
+                retry_after=retry_after, attempts=attempt,
             )
-        return data
 
     # -- introspection ------------------------------------------------------
 
@@ -157,5 +225,34 @@ class ServiceClient:
                 )
             time.sleep(interval)
 
+    def execute(self, *, timeout: float = 60.0, **spec) -> dict:
+        """Submit-poll-fetch with idempotent resubmission; returns result.
 
-__all__ = ["ServiceClient", "ServiceClientError"]
+        The async-path analogue of :meth:`query` for jobs too long for
+        one round trip.  If the job id disappears mid-poll (the server
+        restarted and lost its job table) the *spec* -- being content-
+        addressed -- is simply resubmitted: the restarted server's
+        warm-started cache and deterministic pipeline make the retried
+        job's payload byte-identical to the one the lost job would
+        have returned.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.submit(**spec)
+            try:
+                status = self.wait(
+                    job["id"],
+                    timeout=max(0.01, deadline - time.monotonic()),
+                )
+                if status["state"] == "done":
+                    return self.result(job["id"])["result"]
+                raise ServiceClientError(
+                    500, status.get("error", status["state"])
+                )
+            except ServiceClientError as exc:
+                if exc.status != 404 or time.monotonic() >= deadline:
+                    raise
+                # Job table lost (restart): resubmit the same digest.
+
+
+__all__ = ["RETRYABLE_STATUSES", "ServiceClient", "ServiceClientError"]

@@ -1,0 +1,253 @@
+"""Deterministic fault injection for the compile service.
+
+Production failures -- crashed workers, corrupted cache files, flaky
+pipes, overload -- arrive at random, which makes "the service survives
+them" an untestable claim.  This module turns those failures into a
+**seedable, deterministic schedule**: every place the service touches
+an unreliable resource declares a named *injection point*, and a
+:class:`FaultPlan` decides, purely from ``(seed, point, mode, n)`` for
+the *n*-th arrival at that point, whether the fault fires.  The same
+seed therefore produces the same fault schedule on every run -- the
+whole chaos matrix is an ordinary, reproducible test.
+
+Injection points (see ``docs/service.md`` for the failure-mode table):
+
+=================== ======================================================
+``worker_spawn``     creating a shard's worker process
+``worker_exec``      inside the worker, around one run job
+``ipc_send``         shipping a job to a shard
+``ipc_recv``         receiving a shard's result
+``disk_read``        loading a ``.quip`` entry from the disk cache
+``disk_write``       persisting a ``.quip`` entry to the disk cache
+``job_admission``    admitting one submitted job
+=================== ======================================================
+
+Modes: ``crash`` (the resource dies: process exit, raised fault, lost
+result), ``corrupt`` (the payload survives but its bytes are wrong),
+``delay`` (the operation stalls for :data:`DELAY_S`), and ``reject``
+(admission refuses the job with a retryable status).
+
+A plan is spelled ``point:mode@rate[,point:mode@rate...]`` where
+*rate* is a firing probability in ``[0, 1]`` or the word ``once``
+(fire exactly on the first arrival) -- e.g.
+``worker_exec:crash@0.2,disk_read:corrupt@0.1``.  Plans come from
+``repro-serve --inject`` or the ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``
+environment variables (which is how spawned worker processes inherit
+the schedule).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+
+from .registry import ServiceError
+
+#: Injection points a plan may target.
+POINTS = ("worker_spawn", "worker_exec", "ipc_send", "ipc_recv",
+          "disk_read", "disk_write", "job_admission")
+
+#: Fault modes a rule may request.
+MODES = ("crash", "corrupt", "delay", "reject")
+
+#: How long a ``delay`` fault stalls, seconds (small on purpose: chaos
+#: runs exercise ordering and timeouts, not wall-clock patience).
+DELAY_S = 0.02
+
+#: Domain-separation salt folded into every firing decision, so a
+#: fault schedule can never accidentally correlate with any other
+#: seeded stream in the system (shot sampling, jitter, ...).
+_SALT = "repro-fault-v1"
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (never raised in clean runs).
+
+    Raised server-side at ipc/spawn points and worker-side for
+    ``worker_exec:crash`` alternatives; it pickles cleanly across the
+    process boundary (single message arg), so the supervisor can catch
+    it by type and retry.
+    """
+
+
+class PoolUnavailable(RuntimeError):
+    """The worker pool cannot serve a job (crash loop, spawn failure).
+
+    The signal for graceful degradation: the job manager catches this
+    and falls back to an in-process synchronous run, which -- the
+    pipeline being deterministic -- yields byte-identical results.
+    """
+
+
+class FaultRule:
+    """One parsed ``point:mode@rate`` clause of a fault plan."""
+
+    __slots__ = ("point", "mode", "rate", "once")
+
+    def __init__(self, point: str, mode: str, rate: float, once: bool):
+        self.point = point
+        self.mode = mode
+        self.rate = rate
+        self.once = once
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rate = "once" if self.once else f"{self.rate:g}"
+        return f"{self.point}:{self.mode}@{rate}"
+
+
+def _decision(seed: int, point: str, mode: str, n: int) -> float:
+    """The deterministic uniform draw for the *n*-th arrival at a point.
+
+    A hash of ``(salt, seed, point, mode, n)`` mapped to ``[0, 1)``:
+    independent of thread interleaving, process, and platform, so a
+    fault schedule replays exactly under a fixed seed.
+    """
+    digest = hashlib.sha256(
+        f"{_SALT}:{seed}:{point}:{mode}:{n}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class FaultPlan:
+    """A seeded schedule of injected faults over named points.
+
+    The plan keeps one arrival counter per point; :meth:`fire` advances
+    it and returns the rule that fired (or ``None``).  Counters are
+    lock-protected: compile builds fire ``disk_*`` from executor
+    threads while the event loop fires ``job_admission``.
+    """
+
+    def __init__(self, rules: list[FaultRule] | None = None, seed: int = 0):
+        self.rules = list(rules or [])
+        self.seed = seed
+        self._counts: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str | None, seed: int = 0) -> "FaultPlan":
+        """Parse ``point:mode@rate[,...]`` (empty/None -> inert plan)."""
+        rules: list[FaultRule] = []
+        for clause in (spec or "").replace(";", ",").split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            try:
+                point, _, rest = clause.partition(":")
+                mode, _, rate_text = rest.partition("@")
+                point, mode = point.strip(), mode.strip()
+                rate_text = rate_text.strip() or "1"
+            except ValueError:  # pragma: no cover - partition never raises
+                raise ServiceError(f"bad fault clause {clause!r}")
+            if point not in POINTS:
+                raise ServiceError(
+                    f"unknown fault point {point!r}; "
+                    f"one of {', '.join(POINTS)}"
+                )
+            if mode not in MODES:
+                raise ServiceError(
+                    f"unknown fault mode {mode!r}; one of {', '.join(MODES)}"
+                )
+            once = rate_text == "once"
+            if once:
+                rate = 1.0
+            else:
+                try:
+                    rate = float(rate_text)
+                except ValueError:
+                    raise ServiceError(
+                        f"fault rate {rate_text!r} is not a number or 'once'"
+                    ) from None
+                if not 0.0 <= rate <= 1.0:
+                    raise ServiceError(
+                        f"fault rate must be in [0, 1], got {rate!r}"
+                    )
+            rules.append(FaultRule(point, mode, rate, once))
+        return cls(rules, seed=seed)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan":
+        """The plan spelled by ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``."""
+        environ = os.environ if environ is None else environ
+        spec = environ.get("REPRO_FAULTS", "")
+        try:
+            seed = int(environ.get("REPRO_FAULTS_SEED", "0") or "0")
+        except ValueError:
+            raise ServiceError("REPRO_FAULTS_SEED must be an integer")
+        return cls.parse(spec, seed=seed)
+
+    def spec(self) -> str:
+        """The plan re-spelled in parseable ``--inject`` syntax."""
+        return ",".join(repr(rule) for rule in self.rules)
+
+    # -- firing -------------------------------------------------------------
+
+    def active(self) -> bool:
+        """Whether any rule exists (inert plans cost one truth test)."""
+        return bool(self.rules)
+
+    def fire(self, point: str) -> FaultRule | None:
+        """Advance *point*'s arrival counter; return the rule that fired.
+
+        Rules are evaluated in plan order; the first that fires wins.
+        Call sites interpret the returned rule's mode (raise, corrupt,
+        sleep, reject) -- the plan only decides *whether*.
+        """
+        if not self.rules:
+            return None
+        with self._lock:
+            n = self._counts.get(point, 0)
+            self._counts[point] = n + 1
+            for rule in self.rules:
+                if rule.point != point:
+                    continue
+                if rule.once:
+                    fired = n == 0
+                else:
+                    fired = _decision(self.seed, point, rule.mode, n) < rule.rate
+                if fired:
+                    key = f"{point}.{rule.mode}"
+                    self._fired[key] = self._fired.get(key, 0) + 1
+                    return rule
+        return None
+
+    def corrupt_text(self, text: str, point: str = "disk_read") -> str:
+        """Deterministically damage *text* (one flipped character).
+
+        The position comes from the same seeded hash family as the
+        firing decisions, so a corrupt fault always produces the same
+        corrupt bytes -- corruption-recovery tests diff exact files.
+        """
+        if not text:
+            return "\x00"
+        n = self._counts.get(point, 0)
+        pos = int(_decision(self.seed, point, "corrupt-pos", n) * len(text))
+        pos = min(pos, len(text) - 1)
+        flipped = chr(ord(text[pos]) ^ 0x01)
+        return text[:pos] + flipped + text[pos + 1:]
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The stats-endpoint view: spec, seed, arrivals, fires."""
+        with self._lock:
+            return {
+                "spec": self.spec(),
+                "seed": self.seed,
+                "arrivals": dict(sorted(self._counts.items())),
+                "fired": dict(sorted(self._fired.items())),
+            }
+
+
+__all__ = [
+    "DELAY_S",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "MODES",
+    "POINTS",
+    "PoolUnavailable",
+]

@@ -14,6 +14,14 @@ run.  The manager enforces the service's load discipline:
   is cancelled and reports ``error: timeout``; an already-dispatched
   process-pool computation finishes in the worker and is discarded (the
   shard stays warm for the next job).
+* **Graceful degradation** -- a run job whose worker pool is
+  unavailable (crash loop, spawn failure) falls back to an in-process
+  synchronous run (``jobs.fallback_sync``).  The pipeline is
+  deterministic, so the fallback payload is byte-identical to what the
+  worker would have produced; the client sees a normal ``done`` job.
+* **Draining** -- once the server begins a drain (SIGTERM), new
+  submissions are refused with a 503-shaped error while already-
+  admitted jobs run to completion.
 
 Every job runs under an obs span (``service.job``) that carries the job
 id, action, and digest prefix, so a Chrome-trace export of a server
@@ -24,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import time
 from collections import OrderedDict
 
@@ -31,9 +40,10 @@ from ..core.errors import QuipperError
 from ..obs import core as _obs
 from .cache import CompileCache
 from .digest import spec_digest
+from .faults import PoolUnavailable
 from .metrics import ServiceMetrics
 from .registry import ACTIONS, ServiceError, canonical_spec
-from .workers import ShardPool
+from .workers import ShardedPool, run_program_payload
 
 _job_counter = itertools.count(1)
 
@@ -144,7 +154,7 @@ class Job:
 class JobManager:
     """Owns the job table, the execution budget, and the timeouts."""
 
-    def __init__(self, cache: CompileCache, pool: ShardPool,
+    def __init__(self, cache: CompileCache, pool: ShardedPool,
                  metrics: ServiceMetrics, *, max_pending: int = 64,
                  max_running: int = 8, job_timeout: float = 120.0,
                  max_jobs_kept: int = 512):
@@ -156,10 +166,17 @@ class JobManager:
         self.max_jobs_kept = max_jobs_kept
         self.jobs: OrderedDict[str, Job] = OrderedDict()
         self.active = 0
+        self.draining = False
         self._running = asyncio.Semaphore(max_running)
 
     def submit(self, spec: dict) -> Job:
-        """Validate *spec*, admit it (or 429), and schedule execution."""
+        """Validate *spec*, admit it (or 429/503), and schedule execution."""
+        if self.draining:
+            self.metrics.inc("jobs.rejected_draining")
+            raise ServiceError(
+                "server is draining; submit elsewhere or retry later",
+                status=503,
+            )
         if self.active >= self.max_pending:
             self.metrics.inc("jobs.rejected")
             raise ServiceError(
@@ -269,11 +286,23 @@ class JobManager:
                 job.cache_hit = hit
                 loop = asyncio.get_running_loop()
                 if job.action == "run":
-                    outcome = await self.pool.run(
-                        job.digest, entry.text, job.run_options or {}
-                    )
-                    job.result = outcome["payload"]
-                    job.worker = outcome.get("worker")
+                    try:
+                        outcome = await self.pool.run(
+                            job.digest, entry.text, job.run_options or {}
+                        )
+                        job.result = outcome["payload"]
+                        job.worker = outcome.get("worker")
+                    except PoolUnavailable:
+                        # Degrade, don't fail: the deterministic
+                        # pipeline makes an in-process run byte-
+                        # identical to the worker's answer.
+                        self.metrics.inc("jobs.fallback_sync")
+                        with _obs.span("service.fallback", job=job.id):
+                            job.result = await loop.run_in_executor(
+                                None, run_program_payload,
+                                entry.program, job.run_options or {},
+                            )
+                        job.worker = {"pid": os.getpid(), "fallback": True}
                 else:
                     job.result = await loop.run_in_executor(
                         None, entry.query, job.action

@@ -7,7 +7,7 @@ run in a thread off the loop, simulations fan out to spawned worker
 processes (:mod:`repro.service.workers`).  Endpoints:
 
 ========================== ================================================
-``GET /v1/healthz``         liveness + version
+``GET /v1/healthz``         liveness, health state (ok|degraded|draining)
 ``GET /v1/programs``        registered program families and their params
 ``GET /v1/stats``           counters, latency percentiles, cache + pool
 ``GET /v1/profile``         live obs span/counter totals (telemetry on)
@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 import time
 
@@ -36,10 +37,11 @@ from .. import __version__
 from ..obs import core as _obs
 from .cache import CompileCache
 from .digest import canonical_json
+from .faults import DELAY_S, FaultPlan
 from .jobs import JobManager
 from .metrics import ServiceMetrics
 from .registry import ACTIONS, TRANSFORMS, ServiceError, list_programs
-from .workers import ShardPool
+from .workers import ShardedPool
 
 #: Largest request body accepted (circuit submissions), bytes.
 MAX_BODY = 8 * 1024 * 1024
@@ -61,15 +63,24 @@ class ServiceServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  shards: int = 2, max_pending: int = 64, max_running: int = 8,
                  job_timeout: float = 120.0, cache_size: int = 128,
-                 cache_dir: str | None = None, telemetry: bool = True):
+                 cache_dir: str | None = None, telemetry: bool = True,
+                 faults: FaultPlan | None = None, heartbeat: float = 5.0,
+                 max_retries: int = 3, max_respawns: int = 5,
+                 backoff_base: float = 0.05):
         self.host = host
         self.port = port
         self.telemetry = telemetry
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         self.metrics = ServiceMetrics()
         self.cache = CompileCache(
-            self.metrics, maxsize=cache_size, cache_dir=cache_dir
+            self.metrics, maxsize=cache_size, cache_dir=cache_dir,
+            faults=self.faults,
         )
-        self.pool = ShardPool(self.metrics, shards=shards)
+        self.pool = ShardedPool(
+            self.metrics, shards=shards, faults=self.faults,
+            max_retries=max_retries, max_respawns=max_respawns,
+            backoff_base=backoff_base, heartbeat=heartbeat,
+        )
         self.jobs = JobManager(
             self.cache, self.pool, self.metrics, max_pending=max_pending,
             max_running=max_running, job_timeout=job_timeout,
@@ -80,6 +91,25 @@ class ServiceServer:
 
     # -- lifecycle ----------------------------------------------------------
 
+    @property
+    def draining(self) -> bool:
+        """Whether a drain has begun (new submissions answer 503)."""
+        return self.jobs.draining
+
+    def health_state(self) -> str:
+        """The service's coarse state: ``ok``, ``degraded``, ``draining``.
+
+        ``degraded`` means a worker shard has been given up on and run
+        jobs are served by the in-process fallback -- correct answers,
+        reduced throughput.  ``draining`` means running jobs are being
+        finished off and new submissions are refused.
+        """
+        if self.draining:
+            return "draining"
+        if self.pool.degraded:
+            return "degraded"
+        return "ok"
+
     async def start(self) -> None:
         """Bind and start serving (returns once listening)."""
         if self.telemetry and self._capture is None:
@@ -89,6 +119,7 @@ class ServiceServer:
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.pool.start()
 
     async def stop(self) -> None:
         """Stop listening, cancel live jobs, shut the worker pool down."""
@@ -110,6 +141,27 @@ class ServiceServer:
         if self._server is None:
             await self.start()
         await self._server.serve_forever()
+
+    def begin_drain(self) -> None:
+        """Flip into draining mode: finish running jobs, 503 new ones."""
+        if not self.jobs.draining:
+            self.jobs.draining = True
+            self.metrics.inc("drains")
+
+    async def drain(self, grace: float = 30.0) -> None:
+        """Graceful shutdown: drain, wait for live jobs, stop serving.
+
+        Runs on SIGTERM.  Already-admitted jobs get up to *grace*
+        seconds to finish (clients polling them still get answers);
+        new submissions 503 immediately.  Closing the listener ends
+        :meth:`serve_forever`, whose caller runs :meth:`stop`.
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + grace
+        while self.jobs.active and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        if self._server is not None:
+            self._server.close()
 
     # -- HTTP plumbing ------------------------------------------------------
 
@@ -165,7 +217,7 @@ class ServiceServer:
         200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
         405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
         429: "Too Many Requests", 500: "Internal Server Error",
-        504: "Gateway Timeout",
+        503: "Service Unavailable", 504: "Gateway Timeout",
     }
 
     async def _send(self, writer: asyncio.StreamWriter, status: int,
@@ -205,8 +257,10 @@ class ServiceServer:
                      body: bytes) -> tuple[int, dict, dict | None]:
         try:
             if path == "/v1/healthz" and method == "GET":
+                state = self.health_state()
                 return 200, {
-                    "ok": True,
+                    "ok": state != "draining",
+                    "status": state,
                     "version": __version__,
                     "uptime_s": round(time.time() - self.metrics.started, 3),
                 }, None
@@ -226,14 +280,16 @@ class ServiceServer:
                 return await self._job_route(method, path)
             return 404, {"error": f"no such endpoint: {method} {path}"}, None
         except ServiceError as exc:
-            extra = {"Retry-After": "1"} if exc.status == 429 else None
+            extra = ({"Retry-After": "1"} if exc.status in (429, 503)
+                     else None)
             return exc.status, {"error": str(exc)}, extra
         except Exception as exc:  # noqa: BLE001 - HTTP boundary
             self.metrics.inc("http.errors")
             return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
 
     def _stats(self) -> dict:
-        return {
+        stats = {
+            "health": self.health_state(),
             "service": self.metrics.snapshot(),
             "cache": {
                 "entries": len(self.cache.entries),
@@ -248,6 +304,9 @@ class ServiceServer:
                 "max_pending": self.jobs.max_pending,
             },
         }
+        if self.faults.active():
+            stats["faults"] = self.faults.describe()
+        return stats
 
     def _profile(self) -> tuple[int, dict, None]:
         rec = _obs.current_recorder()
@@ -275,6 +334,17 @@ class ServiceServer:
         if not isinstance(spec, dict):
             raise ServiceError("request body must be a JSON object")
         sync = bool(spec.pop("sync", False))
+        rule = self.faults.fire("job_admission")
+        if rule is not None:
+            self.metrics.inc("faults.injected")
+            if rule.mode == "delay":
+                await asyncio.sleep(DELAY_S)
+            elif rule.mode == "crash":
+                raise ServiceError("injected admission crash; retry",
+                                   status=503)
+            else:  # reject / corrupt both shed load retryably
+                raise ServiceError("injected admission rejection; retry",
+                                   status=429)
         job = self.jobs.submit(spec)
         if not sync:
             status = job.as_status()
@@ -350,33 +420,70 @@ def _parser() -> argparse.ArgumentParser:
                         help="skip the lifetime obs capture session")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a Chrome trace of the session on exit")
+    parser.add_argument("--inject", action="append", default=[],
+                        metavar="SPEC",
+                        help="inject faults: point:mode@rate[,...] "
+                             "(e.g. worker_exec:crash@0.2); repeatable; "
+                             "defaults to $REPRO_FAULTS")
+    parser.add_argument("--inject-seed", type=int, default=None,
+                        metavar="N",
+                        help="seed for the deterministic fault schedule "
+                             "(defaults to $REPRO_FAULTS_SEED or 0)")
+    parser.add_argument("--heartbeat", type=float, default=5.0,
+                        help="worker heartbeat interval, seconds; "
+                             "0 disables (default 5)")
+    parser.add_argument("--drain-grace", type=float, default=30.0,
+                        help="seconds running jobs get to finish after "
+                             "SIGTERM (default 30)")
     return parser
 
 
-async def _serve(server: ServiceServer) -> None:
+async def _serve(server: ServiceServer, drain_grace: float = 30.0) -> None:
     await server.start()
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(
+            signal.SIGTERM,
+            lambda: asyncio.ensure_future(server.drain(drain_grace)),
+        )
+    except NotImplementedError:  # pragma: no cover - non-POSIX loops
+        pass
     print(f"repro-serve: listening on http://{server.host}:{server.port} "
-          f"(shards={server.pool.shards}, cache={server.cache.maxsize})",
+          f"(shards={server.pool.shards}, cache={server.cache.maxsize}"
+          + (f", faults={server.faults.spec()}@seed{server.faults.seed}"
+             if server.faults.active() else "") + ")",
           file=sys.stderr, flush=True)
     try:
         await server.serve_forever()
     except asyncio.CancelledError:
         pass
     finally:
+        if server.draining:
+            print("repro-serve: drained, shutting down", file=sys.stderr)
         await server.stop()
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run the server until interrupted (the console-script target)."""
     args = _parser().parse_args(argv)
+    if args.inject or args.inject_seed is not None:
+        env_plan = FaultPlan.from_env()
+        faults = FaultPlan.parse(
+            ",".join(args.inject) or env_plan.spec(),
+            seed=(args.inject_seed if args.inject_seed is not None
+                  else env_plan.seed),
+        )
+    else:
+        faults = FaultPlan.from_env()
     server = ServiceServer(
         args.host, args.port, shards=args.shards,
         max_pending=args.max_pending, max_running=args.max_running,
         job_timeout=args.job_timeout, cache_size=args.cache_size,
         cache_dir=args.cache_dir, telemetry=not args.no_telemetry,
+        faults=faults, heartbeat=args.heartbeat,
     )
     try:
-        asyncio.run(_serve(server))
+        asyncio.run(_serve(server, drain_grace=args.drain_grace))
     except KeyboardInterrupt:
         print("repro-serve: shutting down", file=sys.stderr)
     if args.trace_out and server.recorder is not None:

@@ -1,0 +1,147 @@
+"""Unit tests for the deterministic fault-injection registry.
+
+The fault plan is the foundation the chaos suite stands on: if its
+firing schedule were not a pure function of ``(seed, point, mode, n)``,
+none of the crash/corrupt/degrade tests in ``test_service.py`` would be
+reproducible.  These tests pin the parser, the determinism, and the
+corruption helper in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.faults import (
+    DELAY_S,
+    MODES,
+    POINTS,
+    FaultPlan,
+    InjectedFault,
+    PoolUnavailable,
+)
+from repro.service.registry import ServiceError
+
+
+class TestParsing:
+    def test_clauses_round_trip_through_spec(self):
+        plan = FaultPlan.parse(
+            "worker_exec:crash@0.2, disk_read:corrupt@0.1,"
+            "job_admission:reject@once", seed=7,
+        )
+        assert plan.seed == 7
+        assert [r.point for r in plan.rules] == [
+            "worker_exec", "disk_read", "job_admission"
+        ]
+        assert plan.rules[2].once is True
+        reparsed = FaultPlan.parse(plan.spec(), seed=7)
+        assert reparsed.spec() == plan.spec()
+
+    def test_empty_and_none_are_inert(self):
+        for spec in (None, "", "  ", ","):
+            plan = FaultPlan.parse(spec)
+            assert not plan.active()
+            assert plan.fire("worker_exec") is None
+
+    def test_bare_mode_defaults_to_always(self):
+        plan = FaultPlan.parse("ipc_send:crash")
+        assert plan.rules[0].rate == 1.0
+        assert all(plan.fire("ipc_send") for _ in range(5))
+
+    def test_rejections(self):
+        for bad, fragment in [
+            ("nowhere:crash@0.5", "unknown fault point"),
+            ("worker_exec:melt@0.5", "unknown fault mode"),
+            ("worker_exec:crash@maybe", "not a number"),
+            ("worker_exec:crash@1.5", "in [0, 1]"),
+            ("worker_exec:crash@-0.1", "in [0, 1]"),
+        ]:
+            with pytest.raises(ServiceError) as excinfo:
+                FaultPlan.parse(bad)
+            assert fragment in str(excinfo.value), bad
+
+    def test_from_env(self):
+        plan = FaultPlan.from_env({
+            "REPRO_FAULTS": "disk_write:crash@0.25",
+            "REPRO_FAULTS_SEED": "42",
+        })
+        assert plan.seed == 42
+        assert plan.spec() == "disk_write:crash@0.25"
+        assert not FaultPlan.from_env({}).active()
+        with pytest.raises(ServiceError):
+            FaultPlan.from_env({"REPRO_FAULTS_SEED": "seven"})
+
+
+class TestDeterminism:
+    def _pattern(self, seed: int, n: int = 64) -> list[bool]:
+        plan = FaultPlan.parse("worker_exec:crash@0.3", seed=seed)
+        return [plan.fire("worker_exec") is not None for _ in range(n)]
+
+    def test_same_seed_same_schedule(self):
+        assert self._pattern(7) == self._pattern(7)
+
+    def test_different_seeds_differ(self):
+        assert self._pattern(7) != self._pattern(8)
+
+    def test_rate_is_roughly_honored(self):
+        fires = sum(self._pattern(3, n=2000))
+        assert 450 <= fires <= 750  # 0.3 +- generous tolerance, but fixed
+
+    def test_points_are_independent_streams(self):
+        plan = FaultPlan.parse(
+            "worker_exec:crash@0.3,disk_read:crash@0.3", seed=7
+        )
+        exec_fires = [plan.fire("worker_exec") is not None
+                      for _ in range(64)]
+        disk_fires = [plan.fire("disk_read") is not None for _ in range(64)]
+        assert exec_fires != disk_fires
+
+    def test_once_fires_exactly_on_first_arrival(self):
+        plan = FaultPlan.parse("worker_spawn:crash@once", seed=1)
+        fires = [plan.fire("worker_spawn") is not None for _ in range(10)]
+        assert fires == [True] + [False] * 9
+
+    def test_first_rule_wins(self):
+        plan = FaultPlan.parse("ipc_send:delay@1,ipc_send:crash@1")
+        assert plan.fire("ipc_send").mode == "delay"
+
+
+class TestCorruption:
+    def test_corrupt_text_is_deterministic_and_damaging(self):
+        text = "QGate[\"not\"](3) with controls=[+1]\n" * 10
+        a = FaultPlan.parse("disk_read:corrupt@1", seed=7)
+        b = FaultPlan.parse("disk_read:corrupt@1", seed=7)
+        assert a.corrupt_text(text) == b.corrupt_text(text)
+        assert a.corrupt_text(text) != text
+        assert len(a.corrupt_text(text)) == len(text)
+
+    def test_corrupt_empty_text_still_differs(self):
+        assert FaultPlan().corrupt_text("") != ""
+
+
+class TestIntrospection:
+    def test_describe_counts_arrivals_and_fires(self):
+        plan = FaultPlan.parse("job_admission:reject@once", seed=7)
+        plan.fire("job_admission")
+        plan.fire("job_admission")
+        plan.fire("worker_exec")  # no rule: counted arrival, no fire
+        info = plan.describe()
+        assert info["seed"] == 7
+        assert info["arrivals"] == {"job_admission": 2, "worker_exec": 1}
+        assert info["fired"] == {"job_admission.reject": 1}
+
+    def test_exceptions_pickle_across_the_process_boundary(self):
+        import pickle
+
+        fault = InjectedFault("injected worker_exec:crash")
+        clone = pickle.loads(pickle.dumps(fault))
+        assert isinstance(clone, InjectedFault)
+        assert str(clone) == str(fault)
+        assert isinstance(
+            pickle.loads(pickle.dumps(PoolUnavailable("gone"))),
+            PoolUnavailable,
+        )
+
+    def test_module_constants(self):
+        assert "worker_exec" in POINTS and "job_admission" in POINTS
+        assert set(MODES) == {"crash", "corrupt", "delay", "reject"}
+        assert 0 < DELAY_S < 1

@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Chaos smoke: hammer a fault-injected ``repro-serve``; nothing may fail.
+
+CI's ``chaos`` job (and any operator drilling failure modes locally)
+runs this script.  It boots two real server processes against one
+shared disk cache:
+
+1. **Clean phase** -- populates the disk cache with a handful of
+   distinct circuits and records the byte-exact payloads of a batch of
+   seeded run jobs.
+2. **Injected phase** -- the same workload against
+   ``--inject worker_exec:crash@0.2,disk_read:corrupt@0.1
+   --inject-seed 7``: the deterministic schedule kills the worker
+   mid-batch and corrupts disk-cache reads during warm-start.
+
+The assertions are the service's whole fault-tolerance contract:
+
+* **zero failed requests** -- every query in the injected phase
+  returns normally (the supervisor respawns, requeues, quarantines);
+* **byte-identity** -- every injected-phase payload equals its
+  clean-phase counterpart;
+* **evidence** -- ``worker.respawns >= 1``, ``worker.retries >= 1``,
+  ``cache.quarantined >= 1`` and ``jobs.failed == 0`` in
+  ``GET /v1/stats``;
+* **clean drain** -- both servers exit 0 on SIGTERM.
+
+Run it as ``python tools/chaos_smoke.py`` from the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.digest import canonical_json  # noqa: E402
+
+_BANNER = re.compile(r"listening on http://[\d.]+:(\d+)")
+
+#: The CI-mandated chaos schedule (see ISSUE/acceptance): seed 7 makes
+#: the worker crash on its 5th exec and corrupts warm-start disk reads
+#: at arrivals 5 and 6.
+INJECT_SPEC = "worker_exec:crash@0.2,disk_read:corrupt@0.1"
+INJECT_SEED = 7
+
+#: Eight distinct digests so the injected phase performs enough disk
+#: reads for ``disk_read:corrupt@0.1`` to fire during warm-start.
+COUNT_SPECS = [
+    {"program": "bwt", "params": {"n": n}, "action": "count",
+     "optimize": optimize}
+    for n in (2, 3, 4, 5) for optimize in (False, True)
+]
+
+#: Twelve identical seeded runs: enough worker_exec arrivals to crash
+#: the worker at least once (seed 7 fires on arrival 4).
+RUN_SPEC = {
+    "program": "bwt", "params": {"n": 3}, "action": "run",
+    "run": {"backend": "statevector", "shots": 32, "seed": 1234},
+}
+RUN_JOBS = 12
+
+
+class ServerProcess:
+    """One ``repro-serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, name: str, extra_args: list[str], log_dir: Path):
+        self.name = name
+        self.log_path = log_dir / f"chaos-{name}.log"
+        self._log = open(self.log_path, "w", encoding="utf-8")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.server",
+             "--port", "0", "--shards", "1", *extra_args],
+            stdout=self._log, stderr=subprocess.STDOUT,
+            cwd=REPO, env=env, text=True,
+        )
+        self.port = self._await_banner()
+
+    def _await_banner(self, timeout: float = 30.0) -> int:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"{self.name}: server died before binding "
+                    f"(exit {self.proc.returncode}); see {self.log_path}"
+                )
+            match = _BANNER.search(self.log_path.read_text(encoding="utf-8"))
+            if match:
+                return int(match.group(1))
+            time.sleep(0.05)
+        raise RuntimeError(f"{self.name}: no listen banner within {timeout}s")
+
+    def terminate(self) -> int:
+        """SIGTERM (graceful drain) and wait; returns the exit code."""
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            code = self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+            raise RuntimeError(f"{self.name}: did not drain within 30s")
+        finally:
+            self._log.close()
+        return code
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+        self._log.close()
+
+
+def hammer(port: int) -> tuple[list[bytes], list[bytes], dict]:
+    """The workload: every distinct circuit, then the seeded run batch.
+
+    Any exception out of here is a failed client request -- exactly
+    what the chaos contract forbids.
+    """
+    with ServiceClient("127.0.0.1", port, timeout=120) as svc:
+        counts = [canonical_json(svc.query(**spec)).encode()
+                  for spec in COUNT_SPECS]
+        runs = [canonical_json(svc.query(**RUN_SPEC)).encode()
+                for _ in range(RUN_JOBS)]
+        stats = svc.stats()
+    return counts, runs, stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run both phases; non-zero exit on any broken invariant."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--log-dir", default=".", metavar="DIR",
+                        help="where server logs land (default: cwd)")
+    args = parser.parse_args(argv)
+    log_dir = Path(args.log_dir)
+    log_dir.mkdir(parents=True, exist_ok=True)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cache_dir:
+        print(f"chaos-smoke: phase 1 (clean) -- cache at {cache_dir}")
+        clean = ServerProcess("clean", ["--cache-dir", cache_dir], log_dir)
+        try:
+            clean_counts, clean_runs, clean_stats = hammer(clean.port)
+        except BaseException:
+            clean.kill()
+            raise
+        code = clean.terminate()
+        assert code == 0, f"clean server exited {code}"
+        assert len(set(clean_runs)) == 1, "clean seeded runs disagree"
+        persisted = clean_stats["cache"]["entries"]
+        print(f"chaos-smoke: phase 1 OK -- {persisted} circuits cached, "
+              f"{len(clean_runs)} seeded runs byte-identical")
+
+        print(f"chaos-smoke: phase 2 (injected) -- "
+              f"--inject {INJECT_SPEC} --inject-seed {INJECT_SEED}")
+        injected = ServerProcess(
+            "injected",
+            ["--cache-dir", cache_dir,
+             "--inject", INJECT_SPEC,
+             "--inject-seed", str(INJECT_SEED),
+             "--heartbeat", "1"],
+            log_dir,
+        )
+        try:
+            counts, runs, stats = hammer(injected.port)
+        except BaseException:
+            injected.kill()
+            print(f"chaos-smoke: FAILED request in injected phase; "
+                  f"see {injected.log_path}")
+            raise
+        code = injected.terminate()
+
+        counters = stats["service"]["counters"]
+        fired = stats.get("faults", {}).get("fired", {})
+        problems = []
+        if counts != clean_counts:
+            problems.append("count payloads differ from the clean phase")
+        if set(runs) != set(clean_runs):
+            problems.append("run payloads differ from the clean phase")
+        if counters.get("worker.respawns", 0) < 1:
+            problems.append("no worker respawn recorded")
+        if counters.get("worker.retries", 0) < 1:
+            problems.append("no requeued job recorded")
+        if counters.get("cache.quarantined", 0) < 1:
+            problems.append("no corrupt disk entry quarantined")
+        if counters.get("jobs.failed", 0) != 0:
+            problems.append(f"jobs.failed = {counters['jobs.failed']}")
+        if code != 0:
+            problems.append(f"injected server exited {code}")
+
+        print(f"chaos-smoke: injected phase counters: "
+              f"respawns={counters.get('worker.respawns', 0)} "
+              f"retries={counters.get('worker.retries', 0)} "
+              f"crashes={counters.get('worker.crashes', 0)} "
+              f"quarantined={counters.get('cache.quarantined', 0)} "
+              f"failed={counters.get('jobs.failed', 0)} "
+              f"fired={fired}")
+        if problems:
+            for problem in problems:
+                print("chaos-smoke: FAIL:", problem)
+            return 1
+        print(f"chaos-smoke: OK -- {len(COUNT_SPECS) + RUN_JOBS} requests, "
+              f"0 failures, byte-identical payloads through "
+              f"{counters.get('worker.crashes', 0)} worker crash(es) and "
+              f"{counters.get('cache.quarantined', 0)} quarantined entries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ PUBLIC_MODULES = (
     "src/repro/service/__init__.py",
     "src/repro/service/cache.py",
     "src/repro/service/client.py",
+    "src/repro/service/faults.py",
     "src/repro/service/jobs.py",
     "src/repro/service/registry.py",
     "src/repro/service/server.py",
