@@ -1,0 +1,142 @@
+"""Batched shot sampling: the shots-vs-throughput curve behind PR 9.
+
+The statevector engine carries its amplitudes as ``(B, 2**n)`` and runs
+every structure-classified kernel across the whole batch axis in one
+dispatch.  For sampling, the backend forks the deterministic prefix into
+a batched state and replays only the stochastic suffix, so the per-shot
+Python dispatch cost (gate classification, kernel lookup, axis
+bookkeeping) is amortized over ``B`` shots.
+
+Where that wins -- and where it cannot -- is a memory-bandwidth story:
+
+* A full-width 16-qubit suffix is memory-bound (each dense op streams
+  the whole ``B * 2**16`` complex buffer), so batching buys little and
+  can even lose.  The engine's auto batch sizing therefore keys on the
+  *live* suffix width, not the circuit width.
+* The representative win is a wide circuit that uncomputes its ancillas
+  before measuring: the fork-point live state is small, the suffix is
+  dispatch-overhead-dominated, and one batched dispatch replaces ``B``
+  scalar ones.
+
+This benchmark measures that representative shape: a 16-qubit circuit
+(4 data qubits + 12 ancillas entangled by a deep compute/uncompute
+prefix, Term'd before the first measurement) whose stochastic suffix
+acts on the 4-qubit core.  The recorded claim is the acceptance bar of
+PR 9: >= 5x shots/sec at B=64 over B=1.  Batched and scalar sampling
+consume the same rng stream, so every point on the curve must also
+produce bit-identical seeded counts.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke mode (smaller width, fewer
+shots, no perf assertion; records land in the ``quick/`` trees).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import build, get_backend, qubit
+from repro.transform.inline import compile_flat
+
+from conftest import quick_mode, record_benchmark, report
+
+CORE = 3 if quick_mode() else 4
+ANCILLAS = 5 if quick_mode() else 12
+SHOTS = 64 if quick_mode() else 1024
+BATCH_SIZES = (1, 8) if quick_mode() else (1, 4, 16, 64)
+
+
+def _sampled_core(qc, *core):
+    """Wide compute/uncompute prefix, stochastic suffix on a small core.
+
+    All ancillas are entangled with the data qubits by a CNOT+T ladder,
+    then uncomputed and Term'd, so the fork-point live state holds only
+    the ``len(core)``-qubit core.  The suffix is a mid-circuit
+    measurement followed by rounds of classically-controlled
+    corrections -- the shape dynamic-lifting circuits (BWT, GSE walks)
+    leave for the sampler.
+    """
+    anc = [qc.qinit(False) for _ in range(ANCILLAS)]
+    for q in core:
+        qc.hadamard(q)
+    steps = []
+    for _layer in range(2):
+        for i, a in enumerate(anc):
+            steps.append((a, core[i % len(core)]))
+    for a, c in steps:
+        qc.qnot(a, controls=c)
+        qc.gate_T(a)
+    for a, c in reversed(steps):
+        qc.gate_T(a, inverted=True)
+        qc.qnot(a, controls=c)
+    for a in anc:
+        qc.qterm(a)
+    m = qc.measure(core[0])
+    rest = list(core[1:])
+    for _round in range(3):
+        qc.qnot(rest[0], controls=m)
+        qc.gate_S(rest[1], controls=m)
+        qc.hadamard(rest[-1])
+        qc.gate_T(rest[0])
+        qc.qnot(rest[-1], controls=rest[0])
+    return (m,) + tuple(rest)
+
+
+def _throughput(bc, batch: int) -> tuple[float, dict[str, int]]:
+    """Median-free single timing is enough: SHOTS amortizes the noise."""
+    backend = get_backend("statevector", batch=batch)
+    backend.run(bc, shots=8, seed=0)  # warm matrix/kernel LRUs
+    start = time.perf_counter()
+    result = backend.run(bc, shots=SHOTS, seed=42)
+    elapsed = time.perf_counter() - start
+    assert result.metadata["batch"] == batch
+    return SHOTS / elapsed, result.counts
+
+
+def test_batched_sampling_speedup():
+    width = CORE + ANCILLAS
+    bc, _ = build(_sampled_core, *([qubit] * CORE))
+    assert bc.check() == width
+    compiled = compile_flat(bc)
+    assert compiled.prefix_len < len(compiled.gates)
+
+    curve: dict[str, float] = {}
+    reference_counts: dict[str, int] | None = None
+    for batch in BATCH_SIZES:
+        shots_per_s, counts = _throughput(bc, batch)
+        curve[str(batch)] = round(shots_per_s, 1)
+        # Same seeded rng stream regardless of batch size => the counts
+        # must be bit-identical at every point on the curve.
+        if reference_counts is None:
+            reference_counts = counts
+        else:
+            assert counts == reference_counts, (batch, counts)
+
+    speedup = curve[str(BATCH_SIZES[-1])] / curve["1"]
+    record = {
+        "qubits": width,
+        "core_qubits": CORE,
+        "shots": SHOTS,
+        "suffix_gates": len(compiled.gates) - compiled.prefix_len,
+        "shots_per_s": curve,
+        "speedup": round(speedup, 3),
+    }
+    baseline = record_benchmark("batched_sim", record)
+    report(
+        f"batched vs scalar shot sampling ({width} qubits, "
+        f"{CORE}-qubit live core, {SHOTS} shots)",
+        [
+            ("suffix gates (per shot)", "-", record["suffix_gates"]),
+            *[
+                (f"B={batch} (shots/s)", "-", curve[str(batch)])
+                for batch in BATCH_SIZES
+            ],
+            (f"speedup B={BATCH_SIZES[-1]} vs B=1", ">= 5", f"{speedup:.2f}x"),
+            (
+                "recorded baseline speedup",
+                "-",
+                baseline["speedup"] if baseline else "recorded now",
+            ),
+        ],
+    )
+    if not quick_mode():
+        assert speedup >= 5.0, record

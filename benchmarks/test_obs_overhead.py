@@ -20,6 +20,7 @@ statistic for cost floors.
 
 from __future__ import annotations
 
+import gc
 import time
 
 from repro import obs
@@ -56,11 +57,20 @@ def test_enabled_telemetry_overhead_under_budget():
     with obs.capture():
         _one_round(sim, gates)
 
-    disabled_times, enabled_times = [], []
-    for _ in range(ROUNDS):
-        disabled_times.append(_one_round(sim, gates))
-        with obs.capture() as rec:
-            enabled_times.append(_one_round(sim, gates))
+    # Cyclic-GC pauses are the dominant noise source when this runs after
+    # other tests (their surviving objects make gen-2 collections cost
+    # more than the 2% budget); collect once, then keep the collector out
+    # of the timed rounds so the ratio measures instrumentation only.
+    gc.collect()
+    gc.disable()
+    try:
+        disabled_times, enabled_times = [], []
+        for _ in range(ROUNDS):
+            disabled_times.append(_one_round(sim, gates))
+            with obs.capture() as rec:
+                enabled_times.append(_one_round(sim, gates))
+    finally:
+        gc.enable()
     # The enabled rounds really did record: every gate classified.
     kernel_counts = sum(
         count for name, count in rec.counters.items()

@@ -13,8 +13,14 @@ and shot sampling has two fast paths:
   "run then measure everything" circuits batch too.
 * Circuits with genuine mid-circuit measurement are stochastic, but their
   *deterministic prefix* (every gate before the first measurement) is not:
-  it is simulated once and the state is forked per shot, so only the
-  stochastic suffix is replayed ``shots`` times.
+  it is simulated once and the state is *broadcast* into a batched
+  statevector, so the stochastic suffix advances a whole batch of shots
+  per kernel dispatch instead of replaying shot by shot.  Measurement
+  randomness is pre-drawn shot-major, which keeps seeded counts
+  bit-identical to the per-shot fork loop this replaced (and to full
+  per-shot replays).  The batch size comes from the ``batch=`` backend
+  option (``Program.run(..., batch=N)``), defaulting to a memory-bounded
+  auto size.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.circuit import BCircuit
-from ..core.gates import Gate, Measure
+from ..core.gates import Discard, Gate, Init, Measure
 from ..core.stream import StreamConsumer
 from ..core.wires import QUANTUM
 from ..obs import core as _obs
@@ -31,6 +37,15 @@ from ..transform.inline import compile_flat, iter_flat_gates
 from .base import Backend, BackendError, RunResult, outcome_key
 from .registry import register_backend
 
+#: Auto-sized fork batches target this many amplitudes in flight (one
+#: MiB of complex128), sized from the *live* suffix width at the fork
+#: point.  Batching multiplies throughput where per-dispatch overhead
+#: dominates (a compact post-Term state replaying a stochastic suffix)
+#: and is memory-bound where it does not (a full-width dense suffix), so
+#: the auto size backs off to per-shot forking as the live state grows.
+#: ``batch=`` overrides it in either direction.
+_AUTO_BATCH_AMPLITUDES = 1 << 16
+
 
 def _load_inputs(sim: StateVector, bc: BCircuit,
                  in_values: dict[int, bool]) -> None:
@@ -38,7 +53,7 @@ def _load_inputs(sim: StateVector, bc: BCircuit,
         if wtype == QUANTUM:
             sim.add_qubit(wire, in_values.get(wire, False))
         else:
-            sim.bits[wire] = in_values.get(wire, False)
+            sim.set_bit(wire, in_values.get(wire, False))
 
 
 @register_backend
@@ -48,8 +63,11 @@ class StatevectorBackend(Backend):
     name = "statevector"
     capabilities = frozenset({"counts", "statevector"})
 
-    def __init__(self, max_width: int = 26):
+    def __init__(self, max_width: int = 26, batch: int | None = None):
         self.max_width = max_width
+        if batch is not None and batch < 1:
+            raise BackendError(f"batch must be positive, got {batch}")
+        self.batch = batch
 
     def supports(self, bc: BCircuit) -> bool:
         return bc.check() <= self.max_width
@@ -91,10 +109,13 @@ class StatevectorBackend(Backend):
         if compiled.prefix_len < tail:
             if _obs.ENABLED:
                 _obs.add("run.shots.forked", shots)
-            counts = self._sample_forked(
+            counts, fork_batch = self._sample_forked(
                 bc, gates, compiled.prefix_len, in_values, shots, rng
             )
             batched = False
+            metadata = {
+                "batched": batched, "width": width, "batch": fork_batch,
+            }
         else:
             if _obs.ENABLED:
                 _obs.add("run.shots.batched", shots)
@@ -102,12 +123,25 @@ class StatevectorBackend(Backend):
                 bc, gates[:tail], in_values, shots, rng, measured
             )
             batched = True
+            metadata = {"batched": batched, "width": width}
         return RunResult(
             backend=self.name,
             shots=shots,
             counts=counts,
-            metadata={"batched": batched, "width": width},
+            metadata=metadata,
         )
+
+    def _fork_batch(self, shots: int, live_width: int) -> int:
+        """How many shots one forked batch advances in lockstep.
+
+        *live_width* is the suffix's peak qubit count -- the live state
+        at the fork plus every suffix ``Init`` -- not the circuit's
+        overall width: a 16-qubit circuit that uncomputes down to a
+        4-qubit measured core batches thousands of shots per dispatch.
+        """
+        if self.batch is not None:
+            return max(1, min(self.batch, shots))
+        return max(1, min(shots, _AUTO_BATCH_AMPLITUDES >> live_width))
 
     # -- shots=None: expose the final state --------------------------------
 
@@ -140,14 +174,23 @@ class StatevectorBackend(Backend):
     # -- stochastic circuits: fork the state at the first measurement -------
 
     def _sample_forked(self, bc, gates: list[Gate], split: int,
-                       in_values, shots: int, rng) -> dict[str, int]:
-        """Per-shot sampling with the deterministic prefix simulated once.
+                       in_values, shots: int, rng,
+                       ) -> tuple[dict[str, int], int]:
+        """Batched sampling with the deterministic prefix simulated once.
 
         ``gates[:split]`` contains no ``Measure``/``Discard`` and therefore
         consumes no randomness: its final state is shared by every shot.
-        Each shot forks that state (sharing the rng stream, so seeded
-        counts are identical to full per-shot replays) and runs only the
-        stochastic suffix.
+        The state is broadcast into batches of up to *batch_size* members
+        and the stochastic suffix advances each whole batch in lockstep,
+        one kernel dispatch per gate.
+
+        Seeded counts stay bit-identical to sequential per-shot forking:
+        each batch pre-draws its measurement randomness *shot-major* with
+        one ``rng.random((b, events))`` call -- which consumes the rng
+        stream exactly as ``b`` sequential scalar simulations would --
+        and the batched state then serves stochastic event j from column
+        j.  ``events`` is static: one per suffix ``Measure``/``Discard``
+        plus one per quantum output measured at readout.
         """
         base = StateVector(rng=rng)
         _load_inputs(base, bc, in_values)
@@ -155,19 +198,45 @@ class StatevectorBackend(Backend):
             base.execute(gate)
         suffix = gates[split:]
         outputs = bc.circuit.outputs
+        live_width = base.num_qubits + sum(
+            1 for g in suffix if isinstance(g, Init)
+        )
+        batch_size = self._fork_batch(shots, live_width)
+        events = sum(
+            1 for g in suffix if isinstance(g, (Measure, Discard))
+        ) + sum(1 for _, t in outputs if t == QUANTUM)
         counts: dict[str, int] = {}
-        for _ in range(shots):
-            sim = base.copy()
+        done = 0
+        while done < shots:
+            b = min(batch_size, shots - done)
+            fork = base.broadcast(b)
+            if events:
+                fork.preload_randoms(rng.random((b, events)))
+            if _obs.ENABLED:
+                _obs.add("sim.batch.forks")
+                _obs.observe("sim.batch.occupancy", b)
             for gate in suffix:
-                sim.execute(gate)
-            key = outcome_key(
-                [
-                    sim.measure_qubit(w) if t == QUANTUM else sim.bits[w]
-                    for w, t in outputs
-                ]
-            )
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+                fork.execute(gate)
+            columns = []
+            for w, t in outputs:
+                value = (
+                    fork.measure_qubit(w) if t == QUANTUM else fork.bits[w]
+                )
+                column = np.asarray(value)
+                if column.ndim == 0:
+                    column = np.full(b, bool(column))
+                columns.append(column.astype(bool))
+            if columns:
+                rows = np.stack(columns, axis=1)
+                uniques, reps = np.unique(rows, axis=0, return_counts=True)
+                for row, n in zip(uniques, reps):
+                    key = outcome_key([bool(x) for x in row])
+                    counts[key] = counts.get(key, 0) + int(n)
+            else:
+                key = outcome_key([])
+                counts[key] = counts.get(key, 0) + b
+            done += b
+        return counts, batch_size
 
 
 def draw_counts(sim: StateVector, outputs, shots: int, rng,
@@ -245,7 +314,7 @@ class StatevectorFeed(StreamConsumer):
             if wtype == QUANTUM:
                 self.sim.add_qubit(wire, self.in_values.get(wire, False))
             else:
-                self.sim.bits[wire] = self.in_values.get(wire, False)
+                self.sim.set_bit(wire, self.in_values.get(wire, False))
 
     def gate(self, gate: Gate) -> None:
         from ..core.gates import Comment

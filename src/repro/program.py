@@ -612,6 +612,12 @@ class Program:
         compiled gate stream of :meth:`compiled`; the counting backends
         never inline, so any-size hierarchies stay cheap to estimate.
 
+        Extra keyword *options* configure the backend itself -- e.g.
+        ``run("statevector", shots=1024, batch=64)`` advances 64 shots
+        per kernel dispatch through the batched statevector engine
+        (seeded counts are bit-identical at every batch size; the
+        default is a memory-bounded auto size).
+
         *trace* -- a path or open file handle -- captures telemetry for
         this run (generation, compile, and execution spans plus kernel
         and cache metrics; see :mod:`repro.obs`) and writes it there in

@@ -54,7 +54,7 @@ def canonical_run_options(raw: object) -> dict:
         raw = {}
     if not isinstance(raw, dict):
         raise ServiceError("'run' must be a JSON object")
-    unknown = set(raw) - {"backend", "shots", "seed", "in_values"}
+    unknown = set(raw) - {"backend", "shots", "seed", "in_values", "batch"}
     if unknown:
         raise ServiceError(
             f"unknown run option(s): {', '.join(sorted(unknown))}"
@@ -67,6 +67,11 @@ def canonical_run_options(raw: object) -> dict:
         isinstance(shots, bool) or not isinstance(shots, int) or shots < 1
     ):
         raise ServiceError("'run.shots' must be a positive integer or null")
+    batch = raw.get("batch")
+    if batch is not None and (
+        isinstance(batch, bool) or not isinstance(batch, int) or batch < 1
+    ):
+        raise ServiceError("'run.batch' must be a positive integer or null")
     seed = raw.get("seed")
     if seed is not None and (
         isinstance(seed, bool) or not isinstance(seed, int)
@@ -92,7 +97,7 @@ def canonical_run_options(raw: object) -> dict:
             converted[wire] = value
     return {
         "backend": backend, "shots": shots, "seed": seed,
-        "in_values": converted,
+        "in_values": converted, "batch": batch,
     }
 
 

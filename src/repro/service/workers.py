@@ -90,11 +90,15 @@ def run_program_payload(program, run_kwargs: dict) -> dict:
     """
     from .serialize import result_payload
 
+    extra = {}
+    if run_kwargs.get("batch") is not None:
+        extra["batch"] = run_kwargs["batch"]
     result = program.run(
         run_kwargs.get("backend", "statevector"),
         shots=run_kwargs.get("shots"),
         seed=run_kwargs.get("seed"),
         in_values=run_kwargs.get("in_values"),
+        **extra,
     )
     return result_payload(result)
 

@@ -1,10 +1,21 @@
-"""Bit-indexed statevector kernels over a flat, contiguous amplitude array.
+"""Bit-indexed statevector kernels over a flat, batched amplitude array.
 
 The legacy dense engine paid moveaxis + reshape + matmul round trips that
 copied the whole ``(2,)*n`` state several times per gate.  This module is
-the replacement hot path: the state lives in ONE contiguous ``2**n``
-complex vector, ``reshape((2,) * n)`` of which is a free view, and every
-gate mutates strided sub-views of that buffer in place.
+the replacement hot path: the state lives in ONE contiguous
+``(B, 2**n)`` complex buffer (``B`` simulated states advancing in
+lockstep -- shots, or parameter bindings), ``reshape((B,) + (2,) * n)``
+of which is a free view, and every gate mutates strided sub-views of
+that buffer in place.  Kernels never index the batch axis: every slot
+they build leaves axis 0 as a full slice, so ONE dispatch advances all
+``B`` members -- the manyQ idiom that turns per-shot Python/numpy
+dispatch overhead into a single vectorized operation.
+
+Kernels are array-module agnostic: they only use the access patterns
+probed by :mod:`repro.sim.xp` (strided views, elementwise arithmetic,
+slice assignment), so the same code drives numpy buffers today and any
+``REPRO_ARRAY_MODULE`` drop-in (cupy) tomorrow.  numpy appears below
+only on the host side, to classify gate matrices.
 
 Gates are classified once per ``(name, param, inverted)`` key (LRU) by the
 *structure* of their cached matrix:

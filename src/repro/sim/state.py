@@ -7,20 +7,34 @@ extended circuit model: dynamic qubit allocation (Init grows the state,
 Term shrinks it *and checks the programmer's assertion*), measurement,
 classical wires, and classically-controlled gates.
 
-The state is ONE flat contiguous complex vector of length ``2**n``;
-``reshape((2,) * n)`` of it is a free view with one axis per live qubit,
-and gates mutate strided sub-views of the buffer in place through the
-specialized kernels of :mod:`repro.sim.kernels` -- diagonal gates touch
-half the state with a single elementwise multiply, bit flips are slice
-exchanges, and only the residual dense cases combine slices per a matrix.
-Classical wires live in a plain dict.  Qubit count is limited by memory
-(about 24 qubits in a few GB), which is ample for the library's tests --
-the paper's large circuits are *counted*, never simulated.
+The state is ONE flat contiguous complex buffer of shape ``(B, 2**n)``:
+``B`` independent simulations (shots, or parameter bindings) advancing in
+lockstep, with ``reshape((B,) + (2,) * n)`` a free view carrying one axis
+per live qubit after the batch axis.  Gates mutate strided sub-views of
+the buffer in place through the specialized kernels of
+:mod:`repro.sim.kernels` -- diagonal gates touch half of every member
+with a single elementwise multiply, bit flips are slice exchanges, and
+only the residual dense cases combine slices per a matrix.  Kernels never
+index the batch axis, so ONE dispatch advances all ``B`` members: the
+per-gate Python/numpy dispatch overhead that dominates at moderate qubit
+counts is paid once per batch instead of once per shot.  At ``batch=1``
+(the default) the engine is float-for-float identical to the pre-batch
+flat engine.  Across batch sizes, measurement randomness, outcomes, and
+seeded counts are bit-identical (see :meth:`StateVector.preload_randoms`)
+and amplitudes agree to machine rounding -- numpy's SIMD loops may round
+a strided batch column one ULP differently than a lone element.
+
+Buffers are allocated through the array-module seam
+(:mod:`repro.sim.xp`), so the same engine drives numpy today and any
+capability-probed drop-in (cupy) selected via ``REPRO_ARRAY_MODULE``.
+Classical wires live in a plain dict -- scalar bools at ``batch=1``,
+host-side numpy bool arrays of shape ``(B,)`` otherwise (classical state
+stays on the host even when amplitudes live on a device).
 
 :class:`LegacyStateVector` preserves the original moveaxis + reshape +
 matmul engine verbatim as the reference implementation: the randomized
-equivalence suite pins every kernel against it, and the throughput
-benchmarks measure the flat engine's speedup over it.
+equivalence suites pin every kernel -- scalar and batched -- against it,
+and the throughput benchmarks measure the flat engine's speedup over it.
 """
 
 from __future__ import annotations
@@ -51,6 +65,8 @@ from ..core.gates import (
     Term,
 )
 from ..core.wires import QUANTUM
+from ..obs import core as _obs
+from . import xp as _xp
 from .kernels import (
     _apply_dense,
     _pattern_bits,
@@ -70,25 +86,46 @@ _CLASSICAL_FUNCTIONS = {
     "eq": lambda values: values[0] == values[1],
 }
 
+#: Vectorized forms of the classical functions, applied over a stacked
+#: ``(k, B)`` bool array when the state is batched.
+_CLASSICAL_VECTOR_FUNCTIONS = {
+    "and": lambda values: np.logical_and.reduce(values, axis=0),
+    "or": lambda values: np.logical_or.reduce(values, axis=0),
+    "xor": lambda values: values.sum(axis=0) % 2 == 1,
+    "not": lambda values: ~values[0],
+    "eq": lambda values: values[0] == values[1],
+}
+
 
 class StateVector:
-    """A resizable flat statevector with named qubit axes and a classical
-    store.
+    """A resizable flat statevector with named qubit axes, a classical
+    store, and a leading batch axis.
 
-    The public surface is unchanged from the legacy engine -- ``state``
-    still reads as a ``(2,) * n`` array with ``axes`` mapping wire ids to
-    axis indices -- but the amplitudes live in one contiguous buffer
-    (``data``) that the kernels of :mod:`repro.sim.kernels` mutate in
-    place.
+    ``data`` has shape ``(batch, 2**n)``; at ``batch=1`` the public
+    surface is unchanged from the scalar engine (``state`` reads as a
+    ``(2,) * n`` array, classical bits are plain bools, and
+    :meth:`measure_qubit` returns a bool).  At ``batch > 1`` every member
+    advances through the same gate sequence in one kernel dispatch,
+    ``state`` reads as ``(batch,) + (2,) * n``, classical bits are host
+    ``(batch,)`` bool arrays, and measurement collapses each member to
+    its own outcome.  ``axes`` maps wire ids to *qubit* axis indices
+    (batch axis excluded); kernels see those indices shifted by one.
     """
 
-    __slots__ = ("data", "axes", "bits", "rng")
+    __slots__ = ("data", "axes", "bits", "rng", "batch", "_presampled")
 
-    def __init__(self, rng: np.random.Generator | None = None):
-        self.data = np.ones(1, dtype=complex)  # zero qubits: amplitude 1
-        self.axes: dict[int, int] = {}  # wire id -> axis index
-        self.bits: dict[int, bool] = {}
+    def __init__(
+        self, rng: np.random.Generator | None = None, batch: int = 1
+    ):
+        if batch < 1:
+            raise SimulationError("batch size must be >= 1")
+        self.batch = int(batch)
+        # zero qubits: every member is the scalar amplitude 1
+        self.data = _xp.xp().ones((self.batch, 1), dtype=complex)
+        self.axes: dict[int, int] = {}  # wire id -> qubit axis index
+        self.bits: dict[int, bool | np.ndarray] = {}
         self.rng = rng if rng is not None else np.random.default_rng()
+        self._presampled = None
 
     # -- qubit bookkeeping ---------------------------------------------------
 
@@ -98,11 +135,15 @@ class StateVector:
 
     @property
     def state(self) -> np.ndarray:
-        """The legacy ``(2,) * n`` tensor layout (a free view of ``data``)."""
-        return self.data.reshape((2,) * self.num_qubits)
+        """The ``(2,) * n`` tensor layout (a free view of ``data``),
+        with a leading batch axis when ``batch > 1``."""
+        shape = (2,) * self.num_qubits
+        if self.batch == 1:
+            return self.data.reshape(shape)
+        return self.data.reshape((self.batch,) + shape)
 
     def _view(self) -> np.ndarray:
-        return self.data.reshape((2,) * len(self.axes))
+        return self.data.reshape((self.batch,) + (2,) * len(self.axes))
 
     def copy(self) -> "StateVector":
         """An independent fork of the simulated state.
@@ -112,38 +153,127 @@ class StateVector:
         as repeated fresh simulations would (shot sampling relies on this).
         """
         clone = StateVector.__new__(StateVector)
+        clone.batch = self.batch
         clone.data = self.data.copy()
         clone.axes = dict(self.axes)
-        clone.bits = dict(self.bits)
+        clone.bits = {
+            w: (v.copy() if isinstance(v, np.ndarray) else v)
+            for w, v in self.bits.items()
+        }
         clone.rng = self.rng
+        clone._presampled = self._presampled
         return clone
+
+    def broadcast(self, batch: int) -> "StateVector":
+        """Fork this batch-1 state into *batch* lockstep members.
+
+        Every member starts as an exact copy of this state; the random
+        generator is shared, as in :meth:`copy`.  This is how the shot
+        sampler turns one simulated deterministic prefix into a whole
+        batch of stochastic suffix replays.
+        """
+        if self.batch != 1:
+            raise SimulationError("only a batch-1 state can broadcast")
+        if batch < 1:
+            raise SimulationError("batch size must be >= 1")
+        clone = StateVector.__new__(StateVector)
+        clone.batch = int(batch)
+        if batch == 1:
+            clone.data = self.data.copy()
+            clone.bits = dict(self.bits)
+        else:
+            clone.data = _xp.xp().repeat(self.data, batch, axis=0)
+            clone.bits = {
+                w: np.full(batch, bool(v)) for w, v in self.bits.items()
+            }
+        clone.axes = dict(self.axes)
+        clone.rng = self.rng
+        clone._presampled = None
+        return clone
+
+    def set_bit(self, wire: int, value: bool) -> None:
+        """Set classical wire *wire* to *value* on every member."""
+        if self.batch == 1:
+            self.bits[wire] = bool(value)
+        else:
+            self.bits[wire] = np.full(self.batch, bool(value))
+
+    def _bit_array(self, value) -> np.ndarray:
+        """A classical value as a host ``(batch,)`` bool array."""
+        if isinstance(value, np.ndarray):
+            return value
+        return np.full(self.batch, bool(value))
 
     def add_qubit(self, wire: int, value: bool) -> None:
         if wire in self.axes:
             raise SimulationError(f"qubit {wire} already allocated")
-        # Appending an axis in C order interleaves: new[2*i + bit] = old[i].
-        grown = np.zeros(self.data.size * 2, dtype=complex)
-        grown[int(value)::2] = self.data
+        # Appending an axis in C order interleaves: new[2*i + bit] = old[i]
+        # member by member.
+        grown = _xp.xp().zeros(
+            (self.batch, self.data.shape[1] * 2), dtype=complex
+        )
+        grown[:, int(value)::2] = self.data
         self.data = grown
         self.axes[wire] = len(self.axes)
 
     def _remove_axis(self, wire: int, keep_index: int) -> None:
+        """Collapse *wire* to the same basis state in every member."""
         axis = self.axes.pop(wire)
-        view = self.data.reshape((2,) * (len(self.axes) + 1))
-        kept = view[_subindex(view.ndim, ((axis, keep_index),))]
-        self.data = np.ascontiguousarray(kept).reshape(-1)
+        view = self.data.reshape((self.batch,) + (2,) * (len(self.axes) + 1))
+        kept = view[_subindex(view.ndim, ((axis + 1, keep_index),))]
+        self.data = _xp.xp().ascontiguousarray(kept).reshape(self.batch, -1)
+        for other, other_axis in self.axes.items():
+            if other_axis > axis:
+                self.axes[other] = other_axis - 1
+
+    def _remove_axis_members(self, wire: int, outcomes: np.ndarray) -> None:
+        """Collapse *wire* to a per-member basis state (batched measure).
+
+        ``outcomes`` is a host bool array of shape ``(batch,)``; member i
+        keeps the slice where the wire's bit equals ``outcomes[i]``,
+        gathered in one ``take_along_axis`` over the batch.
+        """
+        axis = self.axes.pop(wire)
+        n = len(self.axes) + 1
+        xpm = _xp.xp()
+        view = self.data.reshape(
+            self.batch, 1 << axis, 2, 1 << (n - 1 - axis)
+        )
+        idx = xpm.asarray(outcomes.astype(np.int64)).reshape(
+            self.batch, 1, 1, 1
+        )
+        kept = xpm.take_along_axis(view, idx, axis=2)
+        self.data = xpm.ascontiguousarray(kept).reshape(self.batch, -1)
         for other, other_axis in self.axes.items():
             if other_axis > axis:
                 self.axes[other] = other_axis - 1
 
     def _axis_weight(self, wire: int, value: int) -> float:
-        """Squared amplitude mass of the subspace where *wire* is *value*."""
-        half = self._view()[_subindex(len(self.axes), ((self.axes[wire], value),))]
+        """Squared amplitude mass of the subspace where *wire* is *value*,
+        summed over the whole batch (a scalar; batch-1 callers rely on the
+        exact legacy float behavior)."""
+        half = self._view()[
+            _subindex(len(self.axes) + 1, ((self.axes[wire] + 1, value),))
+        ]
         return float(np.sum(np.abs(half) ** 2))
 
+    def _axis_weights(self, wire: int, value: int) -> np.ndarray:
+        """Per-member squared amplitude mass where *wire* is *value*."""
+        half = self._view()[
+            _subindex(len(self.axes) + 1, ((self.axes[wire] + 1, value),))
+        ]
+        return (abs(half) ** 2).reshape(self.batch, -1).sum(axis=1)
+
     def remove_qubit_asserted(self, wire: int, value: bool) -> None:
-        """Project onto |value> after checking the assertion holds."""
-        if math.sqrt(self._axis_weight(wire, 1 - int(value))) > 1e-6:
+        """Project onto |value> after checking the assertion holds for
+        every member."""
+        if self.batch == 1:
+            wrong = self._axis_weight(wire, 1 - int(value))
+        else:
+            wrong = float(
+                _xp.to_host(self._axis_weights(wire, 1 - int(value))).max()
+            )
+        if math.sqrt(wrong) > 1e-6:
             raise AssertionFailedError(
                 f"qubit {wire} terminated with assertion |{int(value)}> "
                 "but has nonzero amplitude in the other basis state"
@@ -151,36 +281,109 @@ class StateVector:
         self._remove_axis(wire, int(value))
         self._renormalize()
 
-    def measure_qubit(self, wire: int) -> bool:
-        p_one = self._axis_weight(wire, 1)
-        total = float(np.sum(np.abs(self.data) ** 2))
-        outcome = bool(self.rng.random() < p_one / total)
-        self._remove_axis(wire, int(outcome))
+    def measure_qubit(self, wire: int):
+        """Measure *wire*, collapsing each member to its own outcome.
+
+        Returns a bool at ``batch=1``, a host ``(batch,)`` bool array
+        otherwise.  One value of measurement randomness is consumed per
+        member (from the preloaded matrix when :meth:`preload_randoms`
+        armed one, else from ``rng``).
+        """
+        if self.batch == 1:
+            p_one = self._axis_weight(wire, 1)
+            total = float(np.sum(np.abs(self.data) ** 2))
+            outcome = bool(self._draw_scalar() < p_one / total)
+            self._remove_axis(wire, int(outcome))
+            self._renormalize()
+            return outcome
+        p_one = self._axis_weights(wire, 1)
+        total = (abs(self.data) ** 2).sum(axis=1)
+        probs = _xp.to_host(p_one / total)
+        outcomes = self._draw_members() < probs
+        self._remove_axis_members(wire, outcomes)
         self._renormalize()
-        return outcome
+        return outcomes
+
+    def preload_randoms(self, draws: np.ndarray) -> None:
+        """Serve measurement randomness from a pre-drawn matrix.
+
+        ``draws`` has shape ``(batch, events)``, drawn *shot-major* (one
+        row per member) in a single ``rng.random((batch, events))`` call
+        -- which consumes the underlying bit stream exactly as ``batch``
+        sequential scalar simulations would, so batched sampling stays
+        bit-identical to the per-shot fork loop it replaced.  Stochastic
+        event j then consumes column j across all members.
+        """
+        columns = np.asarray(draws, dtype=float).T
+        self._presampled = iter(columns)
+
+    def _draw_scalar(self) -> float:
+        if self._presampled is not None:
+            return float(self._next_column()[0])
+        return self.rng.random()
+
+    def _draw_members(self) -> np.ndarray:
+        if self._presampled is not None:
+            return self._next_column()
+        return self.rng.random(self.batch)
+
+    def _next_column(self) -> np.ndarray:
+        column = next(self._presampled, None)
+        if column is None:
+            raise SimulationError(
+                "preloaded measurement randomness exhausted; the sampler "
+                "under-counted the circuit's stochastic events"
+            )
+        return column
 
     def _renormalize(self) -> None:
-        norm = math.sqrt(float(np.sum(np.abs(self.data) ** 2)))
-        if norm < _TOLERANCE:
-            raise SimulationError("state collapsed to zero norm")
-        self.data /= norm
+        if self.batch == 1:
+            norm = math.sqrt(float(np.sum(np.abs(self.data) ** 2)))
+            if norm < _TOLERANCE:
+                raise SimulationError("state collapsed to zero norm")
+            self.data /= norm
+            return
+        norms = _xp.xp().sqrt((abs(self.data) ** 2).sum(axis=1))
+        if float(_xp.to_host(norms).min()) < _TOLERANCE:
+            raise SimulationError(
+                "a batch member collapsed to zero norm"
+            )
+        self.data /= norms[:, None]
 
     # -- gate application ------------------------------------------------
 
     def _split_controls(
         self, controls: tuple[Control, ...]
-    ) -> tuple[tuple[int, int], ...] | None:
-        """Quantum controls as (axis, required bit) masks.
+    ) -> tuple[tuple[tuple[int, int], ...], np.ndarray | None] | None:
+        """Quantum controls as (view axis, required bit) masks, plus the
+        classical-control member mask.
 
-        Returns None if a classical control is unsatisfied (gate skipped).
+        Returns None when no member satisfies the classical controls (the
+        gate is skipped entirely); otherwise ``(quantum, mask)`` where
+        ``mask`` is None when every member satisfies them, or a host bool
+        array selecting the members that do.  Quantum-control axes are
+        already shifted past the batch axis, ready for the kernel layer.
         """
         quantum = []
+        mask = None
         for ctl in controls:
             if ctl.wire_type == QUANTUM:
-                quantum.append((self.axes[ctl.wire], 1 if ctl.positive else 0))
-            elif self.bits[ctl.wire] != ctl.positive:
+                quantum.append(
+                    (self.axes[ctl.wire] + 1, 1 if ctl.positive else 0)
+                )
+                continue
+            value = self.bits[ctl.wire]
+            if isinstance(value, np.ndarray):
+                satisfied = value == ctl.positive
+                mask = satisfied if mask is None else (mask & satisfied)
+            elif value != ctl.positive:
                 return None
-        return tuple(quantum)
+        if mask is not None:
+            if not mask.any():
+                return None
+            if mask.all():
+                mask = None
+        return tuple(quantum), mask
 
     def apply_unitary(
         self,
@@ -189,14 +392,24 @@ class StateVector:
         controls: tuple[Control, ...] = (),
     ) -> None:
         """Apply an explicit matrix (the uncached general entry point)."""
-        ctrl = self._split_controls(controls)
-        if ctrl is None:
+        resolved = self._split_controls(controls)
+        if resolved is None:
             return
+        ctrl, mask = resolved
         view = self._view()
+        if mask is None:
+            self._apply_matrix(view, matrix, targets, ctrl)
+            return
+        members = _xp.xp().asarray(mask)
+        sub = view[members]
+        self._apply_matrix(sub, matrix, targets, ctrl)
+        view[members] = sub
+
+    def _apply_matrix(self, view, matrix, targets, ctrl) -> None:
         if not targets:  # global phase on the control subspace
             view[_subindex(view.ndim, ctrl)] *= matrix[0, 0]
             return
-        target_axes = tuple(self.axes[t] for t in targets)
+        target_axes = tuple(self.axes[t] + 1 for t in targets)
         slots = [
             _subindex(
                 view.ndim,
@@ -213,24 +426,32 @@ class StateVector:
         handler = _DISPATCH.get(type(gate))
         if handler is None:
             raise SimulationError(f"cannot simulate gate {gate!r}")
+        if _obs.ENABLED and self.batch > 1:
+            _obs.add("sim.batch.gates")
         handler(self, gate)
 
     def _exec_named(self, gate: NamedGate) -> None:
-        ctrl = self._split_controls(gate.controls)
-        if ctrl is None:
+        resolved = self._split_controls(gate.controls)
+        if resolved is None:
             return
+        ctrl, mask = resolved
         kernel = gate_kernel(gate.name, gate.param, gate.inverted)
         if kernel.arity != len(gate.targets):
             raise SimulationError(
                 f"gate {gate.name!r} expects {kernel.arity} target(s), "
                 f"got {len(gate.targets)}"
             )
-        apply_kernel(
-            self._view(),
-            kernel,
-            tuple(self.axes[t] for t in gate.targets),
-            ctrl,
-        )
+        target_axes = tuple(self.axes[t] + 1 for t in gate.targets)
+        if mask is None:
+            apply_kernel(self._view(), kernel, target_axes, ctrl)
+            return
+        # Mixed classical controls: copy out the satisfying members, run
+        # the kernel on the sub-batch, scatter the result back.
+        view = self._view()
+        members = _xp.xp().asarray(mask)
+        sub = view[members]
+        apply_kernel(sub, kernel, target_axes, ctrl)
+        view[members] = sub
 
     def _exec_comment(self, gate: Comment) -> None:
         return
@@ -248,10 +469,15 @@ class StateVector:
         self.bits[gate.wire] = self.measure_qubit(gate.wire)
 
     def _exec_cinit(self, gate: CInit) -> None:
-        self.bits[gate.wire] = gate.value
+        self.set_bit(gate.wire, gate.value)
 
     def _exec_cterm(self, gate: CTerm) -> None:
-        if self.bits.pop(gate.wire) != gate.value:
+        previous = self.bits.pop(gate.wire)
+        if isinstance(previous, np.ndarray):
+            mismatch = bool(np.any(previous != gate.value))
+        else:
+            mismatch = previous != gate.value
+        if mismatch:
             raise AssertionFailedError(
                 f"classical wire {gate.wire} terminated with wrong value"
             )
@@ -260,10 +486,24 @@ class StateVector:
         self.bits.pop(gate.wire)
 
     def _exec_cgate(self, gate: CGate) -> None:
-        inputs = [self.bits[w] for w in gate.inputs]
-        value = _CLASSICAL_FUNCTIONS[gate.name](inputs)
+        if self.batch == 1:
+            inputs = [self.bits[w] for w in gate.inputs]
+            value = _CLASSICAL_FUNCTIONS[gate.name](inputs)
+            if gate.uncompute:
+                if self.bits.pop(gate.target) != value:
+                    raise AssertionFailedError(
+                        f"CGate* uncompute mismatch on wire {gate.target}"
+                    )
+            else:
+                self.bits[gate.target] = value
+            return
+        inputs = np.stack(
+            [self._bit_array(self.bits[w]) for w in gate.inputs]
+        )
+        value = _CLASSICAL_VECTOR_FUNCTIONS[gate.name](inputs)
         if gate.uncompute:
-            if self.bits.pop(gate.target) != value:
+            previous = self._bit_array(self.bits.pop(gate.target))
+            if bool(np.any(previous != value)):
                 raise AssertionFailedError(
                     f"CGate* uncompute mismatch on wire {gate.target}"
                 )
@@ -271,16 +511,26 @@ class StateVector:
             self.bits[gate.target] = value
 
     def _exec_cnot(self, gate: CNot) -> None:
-        satisfied = all(
-            (
-                self.bits[c.wire] == c.positive
-                if c.wire_type != QUANTUM
-                else self._classical_control_on_qubit(c)
+        if self.batch == 1:
+            satisfied = all(
+                (
+                    self.bits[c.wire] == c.positive
+                    if c.wire_type != QUANTUM
+                    else self._classical_control_on_qubit(c)
+                )
+                for c in gate.controls
             )
-            for c in gate.controls
-        )
-        if satisfied:
-            self.bits[gate.wire] = not self.bits[gate.wire]
+            if satisfied:
+                self.bits[gate.wire] = not self.bits[gate.wire]
+            return
+        satisfied = np.ones(self.batch, dtype=bool)
+        for c in gate.controls:
+            if c.wire_type == QUANTUM:
+                self._classical_control_on_qubit(c)
+            else:
+                satisfied &= self._bit_array(self.bits[c.wire]) == c.positive
+        current = self._bit_array(self.bits[gate.wire])
+        self.bits[gate.wire] = np.where(satisfied, ~current, current)
 
     def _exec_boxcall(self, gate: BoxCall) -> None:
         raise SimulationError(
@@ -295,7 +545,12 @@ class StateVector:
 
     def basis_probabilities(self, wires: list[int]) -> dict[tuple[int, ...], float]:
         """Probability of each computational-basis outcome on *wires*."""
-        state = self.state
+        if self.batch > 1:
+            raise SimulationError(
+                "basis_probabilities is defined on a single state; "
+                "run with batch=1 to inspect amplitudes"
+            )
+        state = _xp.to_host(self.state)
         order = [self.axes[w] for w in wires]
         probs = np.abs(state) ** 2
         other = [a for a in range(state.ndim) if a not in order]
@@ -332,9 +587,12 @@ class LegacyStateVector:
     """The original ``(2,)*n`` moveaxis + matmul engine, kept verbatim.
 
     This is the reference implementation the flat kernel engine is pinned
-    against (tests/test_kernels.py) and benchmarked over
-    (benchmarks/test_kernel_throughput.py).  Do not optimize it.
+    against (tests/test_kernels.py, tests/test_batched.py) and benchmarked
+    over (benchmarks/test_kernel_throughput.py).  Do not optimize it.
     """
+
+    #: Legacy states are never batched (basis_probabilities is shared).
+    batch = 1
 
     def __init__(self, rng: np.random.Generator | None = None):
         self.state = np.ones((), dtype=complex)  # zero qubits: amplitude 1
@@ -500,11 +758,14 @@ class LegacyStateVector:
 
 
 def simulate(bc: BCircuit, in_values: dict[int, bool] | None = None,
-             rng: np.random.Generator | None = None) -> StateVector:
+             rng: np.random.Generator | None = None,
+             batch: int = 1) -> StateVector:
     """Simulate a circuit hierarchy from computational-basis inputs.
 
     ``in_values`` maps input wire ids to initial basis values (default all
     False).  Returns the final :class:`StateVector` (outputs unmeasured).
+    ``batch`` runs that many lockstep copies of the circuit in one pass --
+    identical until measurement, then collapsing member by member.
 
     This is a single pass, so the hierarchy is *streamed* lazily -- a
     circuit whose inlined gate list would not fit in memory still
@@ -515,12 +776,12 @@ def simulate(bc: BCircuit, in_values: dict[int, bool] | None = None,
     from ..transform.inline import iter_flat_gates
 
     in_values = in_values or {}
-    sim = StateVector(rng=rng)
+    sim = StateVector(rng=rng, batch=batch)
     for wire, wtype in bc.circuit.inputs:
         if wtype == QUANTUM:
             sim.add_qubit(wire, in_values.get(wire, False))
         else:
-            sim.bits[wire] = in_values.get(wire, False)
+            sim.set_bit(wire, in_values.get(wire, False))
     for gate in iter_flat_gates(bc):
         sim.execute(gate)
     return sim

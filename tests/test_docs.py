@@ -55,3 +55,8 @@ def test_intra_doc_links_resolve():
 
 def test_public_api_docstring_coverage():
     assert check_docs.check_docstrings(REPO) == []
+
+
+def test_performance_handbook_names_every_baseline():
+    """Every committed baseline JSON has a row in docs/performance.md."""
+    assert check_docs.check_baseline_freshness(REPO) == []

@@ -27,7 +27,8 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 #: Markdown files whose links are checked.
 DOC_FILES = ("README.md", "docs/architecture.md", "docs/tutorial.md",
-             "docs/api.md", "docs/observability.md", "docs/service.md")
+             "docs/api.md", "docs/observability.md", "docs/service.md",
+             "docs/performance.md")
 
 #: Modules whose public surface must be fully docstringed.
 PUBLIC_MODULES = (
@@ -136,19 +137,46 @@ def check_docstrings(repo: pathlib.Path = REPO) -> list[str]:
     return missing
 
 
+def check_baseline_freshness(repo: pathlib.Path = REPO) -> list[str]:
+    """Return committed baselines the performance handbook omits.
+
+    ``docs/performance.md`` is the reader's map of the repository's
+    recorded performance claims, so a benchmark that commits a baseline
+    JSON without a row in the handbook is documentation rot: the claim
+    exists but nobody is told how to read it.  Every
+    ``benchmarks/baselines/*.json`` (the full-size tree; the ``quick/``
+    mirror tracks the same names) must be mentioned by filename.
+    """
+    handbook = repo / "docs" / "performance.md"
+    if not handbook.exists():
+        return ["docs/performance.md: file missing"]
+    text = handbook.read_text()
+    stale = []
+    for path in sorted((repo / "benchmarks" / "baselines").glob("*.json")):
+        if path.name not in text:
+            stale.append(
+                f"docs/performance.md: committed baseline "
+                f"benchmarks/baselines/{path.name} is not documented"
+            )
+    return stale
+
+
 def main() -> int:
-    """Run both checks; print findings; non-zero exit on any problem."""
+    """Run all checks; print findings; non-zero exit on any problem."""
     link_problems = check_links()
     doc_problems = check_docstrings()
-    for problem in link_problems + doc_problems:
+    baseline_problems = check_baseline_freshness()
+    for problem in link_problems + doc_problems + baseline_problems:
         print("DOCS:", problem)
-    if link_problems or doc_problems:
+    if link_problems or doc_problems or baseline_problems:
         print(
             f"\n{len(link_problems)} broken link(s), "
-            f"{len(doc_problems)} missing docstring(s)"
+            f"{len(doc_problems)} missing docstring(s), "
+            f"{len(baseline_problems)} undocumented baseline(s)"
         )
         return 1
-    print("docs healthy: links resolve, public API fully docstringed")
+    print("docs healthy: links resolve, public API fully docstringed, "
+          "all committed baselines documented")
     return 0
 
 
