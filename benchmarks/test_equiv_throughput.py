@@ -1,0 +1,114 @@
+"""Equivalence-checker throughput: the escalation order pays for itself.
+
+The ``equiv`` backend tries the Clifford tableau decider before
+statevector basis enumeration (see :mod:`repro.backends.equiv`).  This
+benchmark measures both deciders on the *same* Clifford pair -- a GHZ
+ladder wide enough that exhaustive simulation is doing real exponential
+work -- and records their ratio as the ``speedup``: how much the cheap
+decider saves every time it applies.  It also times one end-to-end
+round-trip proof (export to QASM, re-import, prove equivalent) for an
+algorithm-sized circuit, the workflow the CI ``equiv`` job runs per
+algorithm family.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke mode (narrower ladder,
+fewer repetitions; records land in the ``quick/`` trees).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.backends.equiv import decide_equivalence
+from repro.core.circuit import BCircuit, Circuit
+from repro.core.gates import Control, NamedGate
+from repro.core.wires import QUANTUM
+from repro.program import Program
+
+from conftest import quick_mode, record_benchmark, report
+
+LADDER = 6 if quick_mode() else 10
+REPS = 3 if quick_mode() else 10
+
+
+def _ghz_ladder(n: int) -> BCircuit:
+    gates = [NamedGate("H", (0,))]
+    gates += [
+        NamedGate("not", (w + 1,), (Control(w),)) for w in range(n - 1)
+    ]
+    inputs = tuple((w, QUANTUM) for w in range(n))
+    return BCircuit(Circuit(inputs, tuple(gates), inputs))
+
+
+def _checks_per_s(a: BCircuit, b: BCircuit, *, max_width: int,
+                  expect_decider: str) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        verdict = decide_equivalence(a, b, max_width=max_width)
+        best = min(best, time.perf_counter() - start)
+        assert verdict.verdict == "equivalent", verdict.reason
+        assert verdict.decider == expect_decider, verdict.decider
+    return 1.0 / best
+
+
+def test_equiv_throughput():
+    ladder = _ghz_ladder(LADDER)
+    # Tableau decider: cap at 0 so statevector can never be consulted.
+    clifford_rate = _checks_per_s(
+        ladder, ladder, max_width=0, expect_decider="clifford"
+    )
+    # Same pair, tableau bypassed by a non-Clifford no-op pad (T then
+    # T* cancels, but breaks the NamedGate-Clifford screen): the
+    # statevector decider enumerates all 2**n basis inputs.
+    pad = (
+        NamedGate("T", (0,)),
+        NamedGate("T", (0,), inverted=True),
+    )
+    padded = BCircuit(
+        Circuit(
+            ladder.circuit.inputs,
+            ladder.circuit.gates + pad,
+            ladder.circuit.outputs,
+        )
+    )
+    sv_rate = _checks_per_s(
+        padded, padded, max_width=LADDER, expect_decider="statevector"
+    )
+    speedup = clifford_rate / sv_rate
+
+    # One end-to-end round-trip proof at algorithm scale.
+    from repro.algorithms.gse.main import gse_program
+
+    program = gse_program(2, 1.0, 1).transform("binary")
+    start = time.perf_counter()
+    verdict = program.equivalent_to(
+        Program.loads_qasm(program.qasm()), max_width=20
+    )
+    roundtrip_s = time.perf_counter() - start
+    assert verdict.is_equivalent, verdict.reason
+
+    record = {
+        "ladder_qubits": LADDER,
+        "clifford_checks_per_s": round(clifford_rate, 1),
+        "statevector_checks_per_s": round(sv_rate, 1),
+        "gse_roundtrip_proof_s": round(roundtrip_s, 4),
+        "speedup": round(speedup, 3),
+    }
+    baseline = record_benchmark("equiv", record)
+    report(
+        f"equivalence deciders on a {LADDER}-qubit GHZ ladder",
+        [
+            ("clifford (checks/s)", "-", record["clifford_checks_per_s"]),
+            ("statevector (checks/s)", "-",
+             record["statevector_checks_per_s"]),
+            ("clifford vs statevector", "> 1", f"{speedup:.2f}x"),
+            ("gse round-trip proof (s)", "-",
+             record["gse_roundtrip_proof_s"]),
+            (
+                "recorded baseline speedup",
+                "-",
+                baseline["speedup"] if baseline else "recorded now",
+            ),
+        ],
+    )
+    assert speedup > 1.0, record

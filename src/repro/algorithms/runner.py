@@ -71,6 +71,12 @@ def add_execution_arguments(
              "stderr, or write machine-readable JSONL to FILE",
     )
     parser.add_argument(
+        "-i", "--input", metavar="FILE", default=None,
+        help="load the circuit from FILE instead of generating it: "
+             ".qasm files parse as OpenQASM 2, anything else as "
+             "Quipper-ASCII interchange text",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="print a one-line run summary "
              "(gates/depth/wall/cache_hit) to stderr",
@@ -150,6 +156,25 @@ def telemetry_session(args: argparse.Namespace,
         print(summary_line(rec, program), file=sys.stderr)
 
 
+def load_program(path: str) -> Program:
+    """Load a circuit file as a Program, dispatching on the extension.
+
+    ``.qasm`` parses as OpenQASM 2 (:meth:`Program.from_qasm`); anything
+    else is read as Quipper-ASCII interchange text
+    (:meth:`Program.loads`).  Parsing stays lazy either way.
+    """
+    if path.endswith(".qasm"):
+        return Program.from_qasm(path, name=path)
+
+    def make():
+        from ..io import loads as _loads
+
+        with open(path, "r", encoding="utf-8") as handle:
+            return _loads(handle.read()), None
+
+    return Program(make, name=path, stage="parse")
+
+
 def format_counts(counts: dict[str, int]) -> str:
     """Render a counts dictionary, most frequent outcome first."""
     total = sum(counts.values())
@@ -163,13 +188,24 @@ def emit(program: Program | BCircuit, args: argparse.Namespace) -> int:
     """Render or execute a Program according to the parsed uniform flags.
 
     Accepts a bare :class:`~repro.core.circuit.BCircuit` for backward
-    compatibility and wraps it on the spot.  Telemetry flags
-    (``--trace`` / ``--profile`` / ``-v``) capture the whole action --
-    generation, transformation, and execution all happen lazily inside
-    the session, so the profile covers the full pipeline.
+    compatibility and wraps it on the spot.  When ``-i/--input FILE``
+    was given the generated program is replaced by the file's circuit
+    (see :func:`load_program`), so a ``.qasm`` export feeds the exact
+    same pipeline -- ``-g``, ``-O``, every format -- as a generated
+    circuit.  Telemetry flags (``--trace`` / ``--profile`` / ``-v``)
+    capture the whole action -- generation, transformation, and
+    execution all happen lazily inside the session, so the profile
+    covers the full pipeline.
     """
     if isinstance(program, BCircuit):
         program = Program.from_bcircuit(program)
+    if getattr(args, "input", None):
+        # The generated program was never built (generation is lazy), so
+        # swapping in the file costs nothing; -g was chained before emit
+        # by the CLI, so re-chain it onto the loaded circuit here.
+        program = apply_gate_base(
+            load_program(args.input), getattr(args, "gate_base", None)
+        )
     program = apply_optimize(program, getattr(args, "optimize", False))
     try:
         with telemetry_session(args, program):

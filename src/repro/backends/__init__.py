@@ -25,7 +25,13 @@ statevector dense ndarray simulation     counts, statevector
 clifford    CHP stabilizer tableau       counts
 classical   boolean wire evaluation      counts, deterministic
 resources   hierarchical count/depth     resources, deterministic
+equiv       three-decider equivalence    deterministic
 ========== ============================= ==========================
+
+The ``equiv`` backend is comparative: construct it with the circuit to
+compare against (``get_backend("equiv", other=...)``) and ``run``
+returns a structured verdict instead of counts -- see
+:mod:`repro.backends.equiv`.
 """
 
 from .base import Backend, BackendError, RunResult, marginal_counts
@@ -34,6 +40,7 @@ from .registry import available_backends, get_backend, register_backend
 # Importing the adapter modules registers the built-in backends.
 from . import classical as _classical  # noqa: F401
 from . import clifford as _clifford  # noqa: F401
+from . import equiv as _equiv  # noqa: F401
 from . import resources as _resources  # noqa: F401
 from . import statevector as _statevector  # noqa: F401
 from .resources import format_resource_report

@@ -19,10 +19,15 @@ the flat wire lists.  :func:`loads` accepts both flavours: text without
 ``Shape:`` lines (e.g. captured from ``print_generic``) still parses, its
 subroutines just carry ``None`` shapes.
 
-For export to the wider toolchain, :func:`repro.io.bcircuit_to_qasm`
-emits flat OpenQASM 2.0 (see :mod:`repro.io.qasm` for the mapping and its
-limits).  QASM is an exit door, not a round-trip: the hierarchical
-structure is inlined away.
+For interchange with the wider toolchain,
+:func:`repro.io.bcircuit_to_qasm` emits flat OpenQASM 2.0 (see
+:mod:`repro.io.qasm` for the mapping) and :func:`repro.io.parse_qasm`
+reads OpenQASM 2.0 back into the extended circuit model (see
+:mod:`repro.io.qasm_parser`).  Export inlines the box hierarchy away,
+but the round trip is byte-stable -- exporting, importing, and
+exporting again reproduces the first export exactly -- and the
+``equiv`` backend (:mod:`repro.backends.equiv`) can prove the re-import
+equivalent to the original.
 """
 
 from __future__ import annotations
@@ -33,16 +38,19 @@ from ..core.circuit import BCircuit
 from ..output.ascii import format_circuit
 from .ascii_parser import AsciiParseError, encode_shape, parse_bcircuit
 from .qasm import QasmExportError, QasmStreamWriter, bcircuit_to_qasm
+from .qasm_parser import QasmParseError, parse_qasm
 
 __all__ = [
     "AsciiParseError",
     "QasmExportError",
+    "QasmParseError",
     "QasmStreamWriter",
     "bcircuit_to_qasm",
     "dump",
     "dumps",
     "load",
     "loads",
+    "parse_qasm",
 ]
 
 

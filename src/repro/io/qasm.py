@@ -20,8 +20,15 @@ wire ever used.  The extended-model gates map as follows:
 
 Negative controls are conjugated with ``x`` on the control wire.  Gates
 QASM 2 genuinely cannot express (multiple classical controls, classical
-logic ``CGate``/``CNot``, classically-fed ``CInit(True)`` chains) raise
-:class:`QasmExportError` -- decompose or restructure the circuit first.
+logic ``CGate``/``CNot``) raise :class:`QasmExportError` -- decompose or
+restructure the circuit first.
+
+The comment lines the exporter writes are a stable dialect, not just
+prose: the importer (:mod:`repro.io.qasm_parser`) reads ``// assert``,
+``// discard``, ``// cinit``, ``// cterm``, ``// cdiscard``, and
+``// global phase`` markers back into the extended-model gates they
+stand for, which is what makes export -> import -> export byte-stable
+(see ``docs/interchange.md`` for the dialect table).
 """
 
 from __future__ import annotations
@@ -79,13 +86,22 @@ class _QasmWriter:
 
     def creg(self, wire: int) -> str:
         if wire not in self.cregs:
-            self.cregs[wire] = f"c{wire}"
+            # Sequential naming (c0, c1, ... in allocation order) keeps
+            # export -> import -> export byte-stable: the importer
+            # re-allocates registers in the same first-use order.
+            self.cregs[wire] = f"c{len(self.cregs)}"
         return self.cregs[wire]
 
     def opaque(self, name: str, arity: int) -> str:
         if name not in self.opaques:
             ident = re.sub(r"\W+", "_", name).strip("_") or "gate"
             ident = f"op_{ident}"
+            # Distinct display names can sanitize to one ident ('V' and
+            # 'V*' both give op_V); suffix until unique so the importer
+            # can tell them apart.
+            taken = set(self.opaques.values())
+            while ident in taken:
+                ident += "_"
             args = ", ".join(f"a{i}" for i in range(arity))
             self.emit(f"// no qelib1 equivalent for {name!r}:")
             self.emit(f"opaque {ident} {args};")
@@ -198,6 +214,20 @@ def _emit_named_core(writer: _QasmWriter, gate: NamedGate,
         ident = writer.opaque(gate.display_name(), len(targets))
         writer.emit(f"{guard}{ident} {', '.join(targets)};")
         return
+    if name in ("omega", "phase"):
+        # A controlled global phase is a diagonal phase on the control
+        # wires themselves: u1 for one control, cu1 for two.
+        angle = math.pi / 4.0 if name == "omega" else param
+        if gate.inverted:
+            angle = -angle
+        if len(quantum) == 1:
+            writer.emit(f"{guard}u1({_fmt_angle(angle)}) {ctls[0]};")
+            return
+        if len(quantum) == 2:
+            writer.emit(
+                f"{guard}cu1({_fmt_angle(angle)}) {ctls[0]}, {ctls[1]};"
+            )
+            return
     if len(quantum) == 1:
         if name in _CONTROLLED:
             writer.emit(
@@ -222,6 +252,40 @@ def _emit_named_core(writer: _QasmWriter, gate: NamedGate,
                 angle = -angle
             writer.emit(
                 f"{guard}cu1({_fmt_angle(angle)}) {ctls[0]}, {targets[0]};"
+            )
+            return
+        if name == "V":
+            # Controlled sqrt(X): conjugate a cu1(+-pi/2) by Hadamards
+            # on the target (H . diag(1, +-i) . H = V / V-dagger).
+            angle = -math.pi / 2.0 if gate.inverted else math.pi / 2.0
+            writer.emit(f"{guard}h {targets[0]};")
+            writer.emit(
+                f"{guard}cu1({_fmt_angle(angle)}) {ctls[0]}, {targets[0]};"
+            )
+            writer.emit(f"{guard}h {targets[0]};")
+            return
+        if name == "exp(-i%Z)":
+            # exp(-i t Z) == Rz(2t) exactly, so the controlled form is
+            # crz(2t).
+            writer.emit(
+                f"{guard}crz({_fmt_angle(2.0 * param)}) {ctls[0]}, "
+                f"{targets[0]};"
+            )
+            return
+        if name == "Ry":
+            # cu3(theta, 0, 0) is exactly controlled-Ry(theta).
+            writer.emit(
+                f"{guard}cu3({_fmt_angle(param)}, 0.0, 0.0) {ctls[0]}, "
+                f"{targets[0]};"
+            )
+            return
+        if name == "Rx":
+            # Rx(theta) == Rz(-pi/2) Ry(theta) Rz(pi/2) exactly, which
+            # is cu3(theta, -pi/2, pi/2).
+            writer.emit(
+                f"{guard}cu3({_fmt_angle(param)}, "
+                f"{_fmt_angle(-math.pi / 2.0)}, "
+                f"{_fmt_angle(math.pi / 2.0)}) {ctls[0]}, {targets[0]};"
             )
             return
     if len(quantum) == 2 and name in ("X", "not"):
@@ -353,10 +417,19 @@ def _emit_gate(writer: _QasmWriter, gate) -> None:
             writer.emit(f"x {scratch};")
             writer.emit(f"measure {scratch} -> {writer.creg(gate.wire)}[0];")
         else:
-            writer.creg(gate.wire)  # declared; cregs start at 0
+            # cregs start at 0, so the init itself is free -- but the
+            # marker pins the allocation position so the importer can
+            # rebuild the CInit (and the declaration order stays stable).
+            writer.emit(f"// cinit {writer.creg(gate.wire)} = 0")
         return
-    if isinstance(gate, (CTerm, CDiscard)):
-        writer.emit(f"// end of classical wire {gate.wire}")
+    if isinstance(gate, CTerm):
+        writer.emit(
+            f"// cterm {writer.creg(gate.wire)} == {int(gate.value)} "
+            "(quipper classical termination)"
+        )
+        return
+    if isinstance(gate, CDiscard):
+        writer.emit(f"// cdiscard {writer.creg(gate.wire)}")
         return
     if isinstance(gate, (CGate, CNot)):
         raise QasmExportError(

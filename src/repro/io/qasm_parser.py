@@ -1,0 +1,795 @@
+"""OpenQASM 2.0 importer feeding the :class:`~repro.program.Program` pipeline.
+
+Inverts :func:`repro.io.qasm.bcircuit_to_qasm` and accepts general
+OpenQASM 2 programs against ``qelib1.inc``:
+
+* every ``qreg`` qubit becomes a circuit *input* wire (QASM qubits are
+  implicitly |0>-initialized, which is exactly how the equivalence
+  backend pads missing inputs);
+* the qelib1 gate set maps back onto the repro vocabulary through a
+  fixed table (``x`` -> ``X``, ``sdg`` -> ``S`` inverted, ``rz`` ->
+  ``Rz``, ``u1`` -> ``R(2pi/%)`` when the angle is bit-exactly
+  ``+-2pi/2^p``, ``ccx`` -> doubly-controlled ``X``, ...), with
+  ``u2``/``u3``/``U`` decomposed into ``Rz``/``Ry`` and an explicit
+  global-phase gate so the operator is reproduced exactly, not just up
+  to phase;
+* ``measure`` becomes the extended-model :class:`~repro.core.gates.Measure`
+  (the wire id is preserved and its type flips to classical), and
+  ``if (c == v) ...`` becomes a classical :class:`~repro.core.gates.Control`;
+* parameterless ``gate`` definitions become
+  :class:`~repro.core.circuit.Subroutine` entries called through
+  :class:`~repro.core.gates.BoxCall`; parametrized definitions are
+  inlined at each call site with the angle expressions evaluated;
+* the comment dialect written by the exporter (``// assert``,
+  ``// discard``, ``// cinit``, ``// cterm``, ``// cdiscard``,
+  ``// global phase``, and the ``opaque`` preamble) is read back into
+  the extended-model gates it stands for, which makes
+  export -> import -> export byte-stable; unrecognized ``//`` lines
+  become :class:`~repro.core.gates.Comment` gates.
+
+Angle expressions support the OpenQASM 2 grammar (``pi``, ``+ - * / ^``,
+``sin``/``cos``/``tan``/``exp``/``ln``/``sqrt``); plain float literals
+round-trip bit-exactly.  Constructs outside the dialect (``reset``,
+conditioned measurement, conditions on multi-bit registers) raise
+:class:`QasmParseError`.  See ``docs/interchange.md`` for the coverage
+table.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from dataclasses import dataclass, field
+
+from ..core.circuit import BCircuit, Circuit, Subroutine
+from ..core.errors import QuipperError
+from ..core.gates import (
+    BoxCall,
+    CDiscard,
+    CInit,
+    Comment,
+    Control,
+    CTerm,
+    Discard,
+    Init,
+    Measure,
+    NamedGate,
+    Term,
+)
+from ..core.wires import CLASSICAL, QUANTUM, Qubit
+from .ascii_parser import _parse_number
+
+
+class QasmParseError(QuipperError):
+    """The text is not an OpenQASM 2 program this dialect can read."""
+
+
+# ---------------------------------------------------------------------------
+# Angle expressions
+# ---------------------------------------------------------------------------
+
+_FUNCTIONS = {
+    "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "exp": math.exp, "ln": math.log, "sqrt": math.sqrt,
+}
+
+_ALLOWED_NODES = (
+    ast.Expression, ast.BinOp, ast.UnaryOp, ast.Constant, ast.Name,
+    ast.Call, ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow,
+    ast.USub, ast.UAdd, ast.Load,
+)
+
+
+def _eval_angle(expr: str, env: dict[str, float]) -> float:
+    """Evaluate a QASM angle expression (``pi/2``, ``2*theta``, ...)."""
+    text = expr.strip().replace("^", "**")
+    if not text:
+        raise QasmParseError("empty angle expression")
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as exc:
+        raise QasmParseError(f"bad angle expression {expr!r}") from exc
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODES):
+            raise QasmParseError(
+                f"unsupported construct in angle expression {expr!r}"
+            )
+
+    def run(node):
+        if isinstance(node, ast.Expression):
+            return run(node.body)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)):
+                return float(node.value)
+            raise QasmParseError(f"bad literal in {expr!r}")
+        if isinstance(node, ast.Name):
+            if node.id == "pi":
+                return math.pi
+            if node.id in env:
+                return float(env[node.id])
+            raise QasmParseError(f"unknown name {node.id!r} in {expr!r}")
+        if isinstance(node, ast.UnaryOp):
+            value = run(node.operand)
+            return -value if isinstance(node.op, ast.USub) else value
+        if isinstance(node, ast.BinOp):
+            left, right = run(node.left), run(node.right)
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            return left ** right
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) or node.keywords:
+                raise QasmParseError(f"bad function call in {expr!r}")
+            fn = _FUNCTIONS.get(node.func.id)
+            if fn is None or len(node.args) != 1:
+                raise QasmParseError(f"bad function call in {expr!r}")
+            return fn(run(node.args[0]))
+        raise QasmParseError(f"unsupported angle expression {expr!r}")
+
+    return run(tree)
+
+
+def _pi_power(angle: float) -> tuple[float, bool] | None:
+    """Match *angle* against ``+-2pi/2^p`` bit-exactly; ``(p, negated)``."""
+    magnitude = abs(angle)
+    for power in range(64):
+        if 2.0 * math.pi / (2.0 ** power) == magnitude:
+            return float(power), angle < 0
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Statement splitting
+# ---------------------------------------------------------------------------
+
+
+def _split_call(stmt: str) -> tuple[str, list[str], list[str]]:
+    """Split ``name(p1, p2) a, b`` into (name, param exprs, arg tokens)."""
+    match = re.match(r"^([A-Za-z_]\w*)\s*", stmt)
+    if not match:
+        raise QasmParseError(f"bad statement {stmt!r}")
+    name = match.group(1)
+    rest = stmt[match.end():].lstrip()
+    params: list[str] = []
+    if rest.startswith("("):
+        depth, i = 0, 0
+        for i, char in enumerate(rest):
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+        else:
+            raise QasmParseError(f"unbalanced parentheses in {stmt!r}")
+        inner = rest[1:i]
+        params = [p.strip() for p in inner.split(",")] if inner.strip() else []
+        rest = rest[i + 1:].strip()
+    args = [a.strip() for a in rest.split(",")] if rest else []
+    if any(not a for a in args):
+        raise QasmParseError(f"bad argument list in {stmt!r}")
+    return name, params, args
+
+
+@dataclass
+class _Call:
+    """One statement of a ``gate`` body, unresolved."""
+
+    name: str
+    params: list[str]
+    args: list[str]
+
+
+@dataclass
+class _GateDef:
+    """A parsed custom ``gate`` definition."""
+
+    name: str
+    params: tuple[str, ...]
+    args: tuple[str, ...]
+    body: list[_Call] = field(default_factory=list)
+
+
+@dataclass
+class _Creg:
+    """A classical register: declared size and per-bit wire bindings."""
+
+    size: int
+    bits: dict[int, int] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Dialect comments (written by repro.io.qasm, read back here)
+# ---------------------------------------------------------------------------
+
+_TERM_C = re.compile(
+    r"^assert (\w+)\[(\d+)\] == \|([01])> \(quipper termination\)$"
+)
+_DISCARD_C = re.compile(r"^discard (\w+)\[(\d+)\]$")
+_CINIT_C = re.compile(r"^cinit (\w+) = 0$")
+_CTERM_C = re.compile(
+    r"^cterm (\w+) == ([01]) \(quipper classical termination\)$"
+)
+_CDISCARD_C = re.compile(r"^cdiscard (\w+)$")
+_PHASE_C = re.compile(
+    r"^global phase (omega|phase)(?:\(([^)]*)\))?(\*)? omitted$"
+)
+_OPAQUE_C = re.compile(r"^no qelib1 equivalent for '(.*)':$")
+
+_QREG = re.compile(r"^qreg\s+(\w+)\s*\[\s*(\d+)\s*\]$")
+_CREG = re.compile(r"^creg\s+(\w+)\s*\[\s*(\d+)\s*\]$")
+_MEASURE = re.compile(r"^measure\s+(.+?)\s*->\s*(.+)$")
+_IF = re.compile(r"^if\s*\(\s*(\w+)\s*==\s*(\d+)\s*\)\s*(.+)$")
+_ARG = re.compile(r"^(\w+)(?:\[(\d+)\])?$")
+
+
+class _Importer:
+    """Single-pass OpenQASM 2 reader building the extended circuit model."""
+
+    def __init__(self) -> None:
+        self.qregs: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: dict[str, _Creg] = {}
+        self.gates: list = []
+        self.types: dict[int, str] = {}
+        self.alive: list[int] = []  # insertion-ordered live wires
+        self.gate_defs: dict[str, _GateDef] = {}
+        self.opaques: dict[str, tuple[str, bool]] = {}
+        self.namespace: dict[str, Subroutine] = {}
+        self.pending_opaque: str | None = None
+        self.saw_header = False
+        self._next_fresh = 0
+
+    # -- wires --------------------------------------------------------
+
+    def _fresh_wire(self) -> int:
+        wire = self._next_fresh
+        self._next_fresh += 1
+        return wire
+
+    def _qubit_wire(self, token: str) -> int:
+        match = _ARG.match(token)
+        if not match or match.group(2) is None:
+            raise QasmParseError(f"expected an indexed qubit, got {token!r}")
+        name, index = match.group(1), int(match.group(2))
+        if name not in self.qregs:
+            raise QasmParseError(f"undeclared quantum register {name!r}")
+        offset, size = self.qregs[name]
+        if index >= size:
+            raise QasmParseError(f"{token}: index out of range (size {size})")
+        return offset + index
+
+    def _kill(self, wire: int) -> None:
+        if wire in self.alive:
+            self.alive.remove(wire)
+
+    def _touch_quantum(self, wire: int, sink, what: str) -> None:
+        """Require *wire* to be a live qubit, resurrecting if needed.
+
+        The exporter emits ``Init(False)`` silently, and the builder
+        reuses wire ids after ``Term``/``Discard`` -- so a qubit column
+        that was terminated and is then used again stands for a fresh
+        |0> allocation on the same column.  (``Init(True)`` reuse is
+        covered too: the exporter renders it as the silent init plus an
+        ``x``.)
+        """
+        if wire in self.alive:
+            if self.types.get(wire) != QUANTUM:
+                raise QasmParseError(f"{what} touches classical wire {wire}")
+            return
+        sink.append(Init(wire, False))
+        self.types[wire] = QUANTUM
+        self.alive.append(wire)
+
+    # -- comment dialect ----------------------------------------------
+
+    def comment(self, text: str) -> None:
+        """Dispatch one ``//`` comment line (dialect marker or prose)."""
+        match = _OPAQUE_C.match(text)
+        if match:
+            self.pending_opaque = match.group(1)
+            return
+        match = _TERM_C.match(text)
+        if match:
+            wire = self._qubit_wire(f"{match.group(1)}[{match.group(2)}]")
+            self.gates.append(Term(wire, match.group(3) == "1"))
+            self._kill(wire)
+            return
+        match = _DISCARD_C.match(text)
+        if match:
+            wire = self._qubit_wire(f"{match.group(1)}[{match.group(2)}]")
+            self.gates.append(Discard(wire))
+            self._kill(wire)
+            return
+        match = _CINIT_C.match(text)
+        if match:
+            creg = self._creg(match.group(1))
+            wire = self._fresh_wire()
+            creg.bits[0] = wire
+            self.gates.append(CInit(wire, False))
+            self.types[wire] = CLASSICAL
+            self.alive.append(wire)
+            return
+        match = _CTERM_C.match(text)
+        if match:
+            wire = self._bound_bit(match.group(1))
+            self.gates.append(CTerm(wire, match.group(2) == "1"))
+            self._kill(wire)
+            return
+        match = _CDISCARD_C.match(text)
+        if match:
+            wire = self._bound_bit(match.group(1))
+            self.gates.append(CDiscard(wire))
+            self._kill(wire)
+            return
+        match = _PHASE_C.match(text)
+        if match:
+            name, param, star = match.groups()
+            value = _parse_number(param) if param is not None else None
+            self.gates.append(
+                NamedGate(name, (), param=value, inverted=star is not None)
+            )
+            return
+        self.gates.append(Comment(text))
+
+    def _creg(self, name: str) -> _Creg:
+        if name not in self.cregs:
+            raise QasmParseError(f"undeclared classical register {name!r}")
+        return self.cregs[name]
+
+    def _bound_bit(self, name: str) -> int:
+        creg = self._creg(name)
+        if creg.size != 1:
+            raise QasmParseError(
+                f"register {name!r} has {creg.size} bits; the dialect "
+                "only tracks one-bit classical registers as wires"
+            )
+        if 0 not in creg.bits:
+            raise QasmParseError(f"register {name!r} was never written")
+        return creg.bits[0]
+
+    # -- statements ---------------------------------------------------
+
+    def statement(self, stmt: str) -> None:
+        """Dispatch one ``;``-terminated statement."""
+        if not self.saw_header:
+            match = re.match(r"^OPENQASM\s+(\S+)$", stmt)
+            if not match or not match.group(1).startswith("2"):
+                raise QasmParseError(
+                    "expected an 'OPENQASM 2.x;' header, got "
+                    f"{stmt + ';'!r}"
+                )
+            self.saw_header = True
+            return
+        match = re.match(r'^include\s+"([^"]+)"$', stmt)
+        if match:
+            if match.group(1) != "qelib1.inc":
+                raise QasmParseError(
+                    f"unsupported include {match.group(1)!r} (only "
+                    "qelib1.inc is built in)"
+                )
+            return
+        match = _QREG.match(stmt)
+        if match:
+            name, size = match.group(1), int(match.group(2))
+            if name in self.qregs or name in self.cregs:
+                raise QasmParseError(f"duplicate register {name!r}")
+            offset = self._next_fresh
+            self.qregs[name] = (offset, size)
+            for i in range(size):
+                self.types[offset + i] = QUANTUM
+                self.alive.append(offset + i)
+            self._next_fresh += size
+            return
+        match = _CREG.match(stmt)
+        if match:
+            name, size = match.group(1), int(match.group(2))
+            if name in self.qregs or name in self.cregs:
+                raise QasmParseError(f"duplicate register {name!r}")
+            self.cregs[name] = _Creg(size)
+            return
+        if stmt.startswith("opaque"):
+            self._opaque_decl(stmt)
+            return
+        match = _MEASURE.match(stmt)
+        if match:
+            self._measure(match.group(1), match.group(2))
+            return
+        match = _IF.match(stmt)
+        if match:
+            self._conditional(*match.groups())
+            return
+        if stmt.startswith("barrier"):
+            return
+        if stmt.startswith("reset"):
+            raise QasmParseError(
+                "'reset' is outside the dialect (no extended-model "
+                "equivalent that preserves the wire)"
+            )
+        self._apply(stmt, guard=None)
+
+    def _opaque_decl(self, stmt: str) -> None:
+        name, params, args = _split_call(stmt[len("opaque"):].strip())
+        del params, args
+        if self.pending_opaque is not None:
+            display = self.pending_opaque
+            self.pending_opaque = None
+            inverted = display.endswith("*")
+            self.opaques[name] = (display.rstrip("*"), inverted)
+        else:
+            base = name[3:] if name.startswith("op_") else name
+            self.opaques[name] = (base, False)
+
+    def _measure(self, src: str, dst: str) -> None:
+        src_m, dst_m = _ARG.match(src), _ARG.match(dst)
+        if not src_m or not dst_m:
+            raise QasmParseError(f"bad measure operands {src!r} -> {dst!r}")
+        if src_m.group(2) is None and dst_m.group(2) is None:
+            # Whole-register broadcast: measure q -> c;
+            if src_m.group(1) not in self.qregs:
+                raise QasmParseError(
+                    f"undeclared quantum register {src_m.group(1)!r}"
+                )
+            _, size = self.qregs[src_m.group(1)]
+            creg = self._creg(dst_m.group(1))
+            if creg.size != size:
+                raise QasmParseError(
+                    f"measure {src} -> {dst}: register sizes differ"
+                )
+            for i in range(size):
+                self._measure_one(f"{src_m.group(1)}[{i}]",
+                                  dst_m.group(1), i)
+            return
+        if src_m.group(2) is None or dst_m.group(2) is None:
+            raise QasmParseError(f"bad measure operands {src!r} -> {dst!r}")
+        self._measure_one(src, dst_m.group(1), int(dst_m.group(2)))
+
+    def _measure_one(self, src: str, cname: str, bit: int) -> None:
+        wire = self._qubit_wire(src)
+        self._touch_quantum(wire, self.gates, f"measure {src}")
+        creg = self._creg(cname)
+        if bit >= creg.size:
+            raise QasmParseError(f"{cname}[{bit}]: index out of range")
+        self.gates.append(Measure(wire))
+        self.types[wire] = CLASSICAL
+        creg.bits[bit] = wire
+
+    def _conditional(self, cname: str, value: str, inner: str) -> None:
+        creg = self._creg(cname)
+        if creg.size != 1:
+            raise QasmParseError(
+                f"if ({cname} == ...): conditions on multi-bit registers "
+                "are outside the dialect"
+            )
+        if int(value) not in (0, 1):
+            raise QasmParseError(
+                f"if ({cname} == {value}): a one-bit register is 0 or 1"
+            )
+        if 0 not in creg.bits:
+            # An unwritten creg reads 0: bind it to a fresh classical
+            # wire initialized False so the guard simulates faithfully.
+            wire = self._fresh_wire()
+            creg.bits[0] = wire
+            self.gates.append(CInit(wire, False))
+            self.types[wire] = CLASSICAL
+            self.alive.append(wire)
+        inner = inner.strip()
+        if inner.startswith("measure") or inner.startswith("if"):
+            raise QasmParseError(
+                f"conditioned {inner.split()[0]!r} is outside the dialect"
+            )
+        guard = Control(creg.bits[0], int(value) == 1, CLASSICAL)
+        self._apply(inner, guard=guard)
+
+    # -- gate applications --------------------------------------------
+
+    def _apply(self, stmt: str, guard: Control | None) -> None:
+        name, param_exprs, arg_tokens = _split_call(stmt)
+        params = [_eval_angle(p, {}) for p in param_exprs]
+        broadcast = [
+            (token, _ARG.match(token)) for token in arg_tokens
+        ]
+        if any(m is None for _, m in broadcast):
+            raise QasmParseError(f"bad operand in {stmt!r}")
+        if broadcast and all(m.group(2) is None for _, m in broadcast):
+            # Whole-register broadcast: h q;  cx a, b;
+            sizes = set()
+            for token, m in broadcast:
+                if m.group(1) not in self.qregs:
+                    raise QasmParseError(
+                        f"undeclared quantum register {token!r}"
+                    )
+                sizes.add(self.qregs[m.group(1)][1])
+            if len(sizes) != 1:
+                raise QasmParseError(
+                    f"broadcast over differently-sized registers in {stmt!r}"
+                )
+            for i in range(sizes.pop()):
+                wires = [
+                    self._qubit_wire(f"{m.group(1)}[{i}]")
+                    for _, m in broadcast
+                ]
+                self._dispatch(name, params, wires, guard, self.gates)
+            return
+        wires = [self._qubit_wire(token) for token in arg_tokens]
+        if len(set(wires)) != len(wires):
+            raise QasmParseError(f"repeated qubit operand in {stmt!r}")
+        self._dispatch(name, params, wires, guard, self.gates)
+
+    def _dispatch(self, name, params, wires, guard, sink) -> None:
+        """Resolve one application into extended-model gates on *sink*."""
+        for wire in wires:
+            self._touch_quantum(wire, sink, f"gate {name!r}")
+        if name in self.gate_defs:
+            self._apply_custom(self.gate_defs[name], params, wires, guard,
+                               sink)
+            return
+        if name in self.opaques:
+            base, inverted = self.opaques[name]
+            extra = (guard,) if guard else ()
+            sink.append(
+                NamedGate(base, tuple(wires), extra, inverted=inverted)
+            )
+            return
+        self._apply_builtin(name, params, wires, guard, sink)
+
+    def _apply_custom(self, define, params, wires, guard, sink) -> None:
+        if len(params) != len(define.params) or len(wires) != len(define.args):
+            raise QasmParseError(
+                f"gate {define.name!r} expects {len(define.params)} "
+                f"params / {len(define.args)} qubits"
+            )
+        if not define.params and sink is self.gates:
+            # Parameterless definitions stay hierarchical: one Subroutine,
+            # called through BoxCall (mirrors Quipper's boxed subcircuits).
+            endpoints = tuple((w, QUANTUM) for w in wires)
+            sink.append(
+                BoxCall(
+                    name=define.name,
+                    in_wires=endpoints,
+                    out_wires=endpoints,
+                    controls=(guard,) if guard else (),
+                )
+            )
+            return
+        # Parametrized definitions (or nested expansion inside another
+        # body) inline with formals substituted.
+        env = dict(zip(define.params, params))
+        wire_map = dict(zip(define.args, wires))
+        for call in define.body:
+            values = [_eval_angle(p, env) for p in call.params]
+            try:
+                mapped = [wire_map[a] for a in call.args]
+            except KeyError as exc:
+                raise QasmParseError(
+                    f"gate {define.name!r} uses undeclared qubit "
+                    f"argument {exc.args[0]!r}"
+                ) from None
+            self._dispatch(call.name, values, mapped, guard, sink)
+
+    def _apply_builtin(self, name, params, wires, guard, sink) -> None:
+        extra = (guard,) if guard else ()
+
+        def put(gname, targets, controls=(), inverted=False, param=None):
+            sink.append(
+                NamedGate(
+                    gname, tuple(targets), tuple(controls) + extra,
+                    inverted=inverted, param=param,
+                )
+            )
+
+        def need(n_params, n_wires):
+            if len(params) != n_params or len(wires) != n_wires:
+                raise QasmParseError(
+                    f"{name} expects {n_params} params / {n_wires} qubits"
+                )
+
+        def u1_like(angle, controls):
+            power = _pi_power(angle)
+            if power is not None:
+                put("R(2pi/%)", wires[-1:], controls, inverted=power[1],
+                    param=power[0])
+            else:
+                # diag(1, e^{i a}) on a wire is exactly a global phase
+                # controlled on that wire (the exporter's encoding of
+                # controlled phase gates, so this round-trips).
+                put("phase", (), tuple(controls) + (Control(wires[-1]),),
+                    param=angle)
+
+        def u3_like(theta, phi, lam, controls):
+            # U(theta, phi, lam) == phase((phi+lam)/2) Rz(phi) Ry(theta)
+            # Rz(lam), exactly (not just up to phase).  The two angle
+            # patterns the exporter itself emits fold back into single
+            # vocabulary rotations.
+            if phi == 0.0 and lam == 0.0:
+                put("Ry", wires[-1:], controls, param=theta)
+                return
+            if phi == -math.pi / 2.0 and lam == math.pi / 2.0:
+                # Rz(-pi/2) Ry(theta) Rz(pi/2) == Rx(theta).
+                put("Rx", wires[-1:], controls, param=theta)
+                return
+            if lam != 0.0:
+                put("Rz", wires[-1:], controls, param=lam)
+            put("Ry", wires[-1:], controls, param=theta)
+            if phi != 0.0:
+                put("Rz", wires[-1:], controls, param=phi)
+            if (phi + lam) / 2.0 != 0.0:
+                put("phase", (), controls, param=(phi + lam) / 2.0)
+
+        simple = {"x": "X", "y": "Y", "z": "Z", "h": "H", "s": "S",
+                  "t": "T", "sdg": "S", "tdg": "T"}
+        rotations = {"rx": "Rx", "ry": "Ry", "rz": "Rz"}
+        controlled = {"cx": "X", "CX": "X", "cy": "Y", "cz": "Z",
+                      "ch": "H"}
+        if name in simple:
+            need(0, 1)
+            put(simple[name], wires, inverted=name in ("sdg", "tdg"))
+        elif name == "id":
+            need(0, 1)
+        elif name in rotations:
+            need(1, 1)
+            put(rotations[name], wires, param=params[0])
+        elif name == "u1":
+            need(1, 1)
+            u1_like(params[0], ())
+        elif name == "u2":
+            need(2, 1)
+            u3_like(math.pi / 2.0, params[0], params[1], ())
+        elif name in ("u3", "U", "u"):
+            need(3, 1)
+            u3_like(params[0], params[1], params[2], ())
+        elif name in controlled:
+            need(0, 2)
+            put(controlled[name], wires[1:], (Control(wires[0]),))
+        elif name == "ccx":
+            need(0, 3)
+            put("X", wires[2:], (Control(wires[0]), Control(wires[1])))
+        elif name == "crz":
+            need(1, 2)
+            put("Rz", wires[1:], (Control(wires[0]),), param=params[0])
+        elif name == "cu1":
+            need(1, 2)
+            u1_like(params[0], (Control(wires[0]),))
+        elif name == "cu3":
+            need(3, 2)
+            u3_like(params[0], params[1], params[2], (Control(wires[0]),))
+        elif name == "swap":
+            need(0, 2)
+            put("swap", wires)
+        elif name == "cswap":
+            need(0, 3)
+            put("swap", wires[1:], (Control(wires[0]),))
+        else:
+            raise QasmParseError(f"unknown gate {name!r}")
+
+    # -- gate definitions ---------------------------------------------
+
+    def define_gate(self, header: str, body: str) -> None:
+        """Process a ``gate name(params) args { body }`` definition."""
+        name, params, args = _split_call(header)
+        if (name in self.gate_defs or name in self.opaques
+                or name in self.qregs or name in self.cregs):
+            raise QasmParseError(f"duplicate definition of {name!r}")
+        define = _GateDef(name, tuple(params), tuple(args))
+        for raw in body.split(";"):
+            stmt = raw.strip()
+            if not stmt or stmt.startswith("barrier"):
+                continue
+            cname, cparams, cargs = _split_call(stmt)
+            unknown = [a for a in cargs if a not in define.args]
+            if unknown:
+                raise QasmParseError(
+                    f"gate {name!r} body uses undeclared qubits {unknown}"
+                )
+            define.body.append(_Call(cname, cparams, cargs))
+        self.gate_defs[name] = define
+        if not params:
+            # Parameterless: build the Subroutine now so call sites can
+            # stay hierarchical BoxCalls.
+            formals = list(range(len(args)))
+            gates: list = []
+            env_def = _GateDef(name, (), tuple(args), define.body)
+            saved_alive, saved_types = self.alive, dict(self.types)
+            self.alive = list(formals)
+            self.types = {w: QUANTUM for w in formals}
+            try:
+                self._apply_custom(env_def, [], formals, None, gates)
+            finally:
+                self.alive, self.types = saved_alive, saved_types
+            endpoints = tuple((w, QUANTUM) for w in formals)
+            self.namespace[name] = Subroutine(
+                name=name,
+                circuit=Circuit(inputs=endpoints, gates=gates,
+                                outputs=endpoints),
+                in_shape=tuple(Qubit(w) for w in formals),
+                out_shape=tuple(Qubit(w) for w in formals),
+            )
+
+    # -- assembly -----------------------------------------------------
+
+    def finish(self, check: bool) -> BCircuit:
+        """Assemble the accumulated program into a checked circuit."""
+        if not self.saw_header:
+            raise QasmParseError("empty input (no OPENQASM header)")
+        inputs = tuple(
+            (offset + i, QUANTUM)
+            for _, (offset, size) in sorted(
+                self.qregs.items(), key=lambda item: item[1][0]
+            )
+            for i in range(size)
+        )
+        outputs = tuple(
+            (wire, self.types[wire]) for wire in sorted(self.alive)
+        )
+        bc = BCircuit(
+            Circuit(inputs=inputs, gates=self.gates, outputs=outputs),
+            self.namespace,
+        )
+        if check:
+            bc.check()
+        return bc
+
+
+_GATE_HEADER = re.compile(r"^gate\s+(.+)$", re.DOTALL)
+
+
+def parse_qasm(text: str, check: bool = True) -> BCircuit:
+    """Parse OpenQASM 2 text into a hierarchical extended-model circuit.
+
+    With ``check`` (the default) the reconstructed circuit is validated
+    with :meth:`~repro.core.circuit.BCircuit.check`, so malformed input
+    is rejected rather than producing an inconsistent hierarchy.  Raises
+    :class:`QasmParseError` for syntax errors and for constructs outside
+    the supported dialect.
+    """
+    importer = _Importer()
+    buffer = ""
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if not buffer and line.startswith("//"):
+            importer.comment(line[2:].strip())
+            continue
+        if "//" in line and '"' not in line:
+            line = line.split("//", 1)[0].strip()
+            if not line:
+                continue
+        buffer = f"{buffer} {line}".strip() if buffer else line
+        try:
+            buffer = _drain(importer, buffer)
+        except QasmParseError as exc:
+            raise QasmParseError(f"line {lineno}: {exc}") from None
+    if buffer:
+        raise QasmParseError(f"unterminated statement {buffer!r}")
+    return importer.finish(check)
+
+
+def _drain(importer: _Importer, buffer: str) -> str:
+    """Consume complete statements from *buffer*; return the remainder."""
+    while buffer:
+        if _GATE_HEADER.match(buffer):
+            open_brace = buffer.find("{")
+            if open_brace < 0:
+                return buffer
+            close_brace = buffer.find("}", open_brace)
+            if close_brace < 0:
+                return buffer
+            header = buffer[len("gate"):open_brace].strip()
+            body = buffer[open_brace + 1:close_brace]
+            importer.define_gate(header, body)
+            buffer = buffer[close_brace + 1:].strip()
+            continue
+        semi = buffer.find(";")
+        if semi < 0:
+            return buffer
+        stmt = buffer[:semi].strip()
+        buffer = buffer[semi + 1:].strip()
+        if stmt:
+            importer.statement(stmt)
+    return buffer

@@ -254,6 +254,35 @@ class Program:
 
         return cls(lambda: (_loads(text), None), name=name, stage="parse")
 
+    @classmethod
+    def loads_qasm(cls, text: str, name: str | None = None) -> "Program":
+        """A Program backed by OpenQASM 2 text (lazy parse).
+
+        The text is read by :func:`repro.io.parse_qasm` on first use:
+        qelib1 gates map onto the repro vocabulary, ``measure``/``if``
+        become the extended model's measurement and classical controls,
+        and parameterless ``gate`` definitions stay hierarchical as
+        boxed subroutines.  ``Program.loads_qasm(p.qasm())`` is the
+        round trip the ``equiv`` backend certifies.
+        """
+        from .io import parse_qasm as _parse_qasm
+
+        return cls(
+            lambda: (_parse_qasm(text), None), name=name, stage="parse"
+        )
+
+    @classmethod
+    def from_qasm(cls, path, name: str | None = None) -> "Program":
+        """A Program backed by an OpenQASM 2 file (lazy read + parse)."""
+
+        def make():
+            from .io import parse_qasm as _parse_qasm
+
+            with open(path, "r", encoding="utf-8") as handle:
+                return _parse_qasm(handle.read()), None
+
+        return cls(make, name=name, stage="parse")
+
     # -- generation ---------------------------------------------------------
 
     def _built(self) -> tuple[BCircuit, object]:
@@ -666,6 +695,23 @@ class Program:
         ):
             if getattr(self.bcircuit, "_compiled_flat", None) is None:
                 self.compiled()
+
+    def equivalent_to(self, other, **options):
+        """Decide whether this program equals *other* up to global phase.
+
+        Runs the ``equiv`` backend (:mod:`repro.backends.equiv`) over
+        the pair and returns its structured
+        :class:`~repro.backends.equiv.EquivVerdict`: ``verdict`` is
+        ``"equivalent"``, ``"distinct"`` (with a witness basis input),
+        or ``"unknown"``, and ``decider`` names the cheapest decider
+        that settled it (Clifford tableau, statevector unitary
+        comparison, or normal-form matching -- see the backend docs for
+        the escalation order).  *other* is a :class:`Program` or a bare
+        :class:`~repro.core.circuit.BCircuit`; extra *options* configure
+        the backend (e.g. ``max_width=``).
+        """
+        result = self.run("equiv", other=other, **options)
+        return result.metadata["equiv"]
 
     def report(self, backend: str = "statevector", *,
                shots: int | None = None,

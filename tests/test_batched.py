@@ -19,7 +19,6 @@ pins it three ways:
 
 from __future__ import annotations
 
-import math
 import random
 import sys
 import types
@@ -29,37 +28,22 @@ import pytest
 
 from repro import Program, build, get_backend, qubit
 from repro.backends.base import BackendError, outcome_key
-from repro.core.gates import (
-    CInit,
-    Control,
-    Discard,
-    Init,
-    Measure,
-    NamedGate,
-    Term,
-)
+from repro.core.gates import Control, Discard, Measure, NamedGate
 from repro.core.errors import SimulationError
-from repro.core.wires import CLASSICAL, QUANTUM
+from repro.core.wires import QUANTUM
 from repro.obs import core as obs_core
 from repro.sim import xp as sim_xp
 from repro.sim.kernels import DENSE, DIAGONAL, PERMUTE, PHASE, gate_kernel
-from repro.sim.matrices import _FIXED, gate_matrix_cached
+from repro.sim.matrices import gate_matrix_cached
 from repro.sim.state import LegacyStateVector, StateVector, simulate
+from strategies import (
+    PARAMETRIZED as _PARAMETRIZED,
+    VOCABULARY as _VOCABULARY,
+    random_gates,
+    superpose as _superpose,
+)
 
 BATCH_SIZES = (1, 3, 8, 64)
-
-_PARAMETRIZED = {
-    "exp(-i%Z)": lambda rnd: rnd.uniform(-2.0, 2.0),
-    "exp(-i%ZZ)": lambda rnd: rnd.uniform(-2.0, 2.0),
-    "R(2pi/%)": lambda rnd: float(rnd.randint(1, 6)),
-    "rGate": lambda rnd: float(rnd.randint(1, 6)),
-    "Rx": lambda rnd: rnd.uniform(-math.pi, math.pi),
-    "Ry": lambda rnd: rnd.uniform(-math.pi, math.pi),
-    "Rz": lambda rnd: rnd.uniform(-math.pi, math.pi),
-    "phase": lambda rnd: rnd.uniform(-math.pi, math.pi),
-}
-
-_VOCABULARY = sorted(set(_FIXED) | set(_PARAMETRIZED))
 
 
 class _ScriptedRng:
@@ -70,15 +54,6 @@ class _ScriptedRng:
 
     def random(self):
         return self._values.pop(0)
-
-
-def _superpose(n):
-    """An entangling preamble giving every amplitude a distinct value."""
-    gates = [NamedGate("H", (w,)) for w in range(n)]
-    for w in range(n):
-        gates.append(NamedGate("Rz", ((w + 1) % n,), param=0.3 + 0.4 * w))
-        gates.append(NamedGate("T", (w,), controls=(Control((w + 1) % n),)))
-    return gates
 
 
 def _stochastic_events(gates):
@@ -242,70 +217,14 @@ class TestRandomizedStochasticCircuits:
     run batched with shot-major scripted randomness and compared member
     by member against scalar and legacy replays of the same draws."""
 
-    def _random_gates(self, rnd, n_qubits):
-        gates = list(_superpose(n_qubits))
-        next_wire = n_qubits
-        live = list(range(n_qubits))
-        classical = []
-        for _ in range(40):
-            kind = rnd.random()
-            if kind < 0.60 and len(live) >= 2:
-                name = rnd.choice(_VOCABULARY)
-                param = (
-                    _PARAMETRIZED[name](rnd) if name in _PARAMETRIZED else None
-                )
-                arity = (
-                    gate_matrix_cached(name, param, False).shape[0]
-                    .bit_length() - 1
-                )
-                if arity > len(live):
-                    continue
-                picks = rnd.sample(live, min(len(live), arity + 2))
-                targets = tuple(picks[:arity])
-                controls = []
-                for extra in picks[arity:]:
-                    if rnd.random() < 0.5:
-                        controls.append(Control(extra, rnd.random() < 0.5))
-                if classical and rnd.random() < 0.4:
-                    controls.append(
-                        Control(rnd.choice(classical), rnd.random() < 0.5,
-                                CLASSICAL)
-                    )
-                gates.append(
-                    NamedGate(
-                        name, targets, tuple(controls),
-                        inverted=rnd.random() < 0.3, param=param,
-                    )
-                )
-            elif kind < 0.72:
-                value = rnd.random() < 0.5
-                ancilla = next_wire
-                next_wire += 1
-                gates.append(Init(ancilla, value))
-                gates.append(
-                    NamedGate("T", (rnd.choice(live),),
-                              (Control(ancilla, True),))
-                )
-                gates.append(Term(ancilla, value))
-            elif kind < 0.84:
-                classical.append(next_wire)
-                gates.append(CInit(next_wire, rnd.random() < 0.5))
-                next_wire += 1
-            elif len(live) > 2:
-                victim = rnd.choice(live)
-                live.remove(victim)
-                if rnd.random() < 0.6:
-                    gates.append(Measure(victim))
-                    classical.append(victim)
-                else:
-                    gates.append(Discard(victim))
-        return gates
-
     @pytest.mark.parametrize("trial", range(8))
     def test_random_circuit_members_match_scalar_and_legacy(self, trial):
         rnd = random.Random(4000 + trial)
         n = rnd.randint(4, 5)
-        gates = self._random_gates(rnd, n)
+        gates = random_gates(
+            rnd, n, gate_p=0.60, ancilla_p=0.12, cinit_p=0.12,
+            classical_control_p=0.4, measure_p=0.6,
+        )
         events = _stochastic_events(gates)
         batch = BATCH_SIZES[trial % len(BATCH_SIZES)]
         draws = np.random.default_rng(99 + trial).random((batch, events))

@@ -25,14 +25,18 @@ class TestBwtCli:
         assert len(lines) == 1
         assert lines[0].startswith("bwt: error:") or ": error:" in lines[0]
 
-    def test_unencodable_qasm_exits_2(self, capsys):
-        # The BWT walk keeps controlled rotations OpenQASM 2 cannot
-        # encode; that refusal is an argument error, not a crash.
+    def test_controlled_rotation_qasm_export_succeeds(self, capsys):
+        # This invocation used to exit 2: the BWT walk's controlled
+        # exp(-i%Z) / V gates had no OpenQASM 2 spelling.  The exporter
+        # now encodes them exactly (crz, h/cu1/h), so the same command
+        # must produce a parseable program instead of a refusal.
+        from repro.program import Program
+
         status = bwt_main(["-n", "2", "-f", "qasm"])
         captured = capsys.readouterr()
-        assert status == 2
-        assert "Traceback" not in captured.err
-        assert ": error:" in captured.err
+        assert status == 0
+        assert captured.out.startswith("OPENQASM 2.0;")
+        assert Program.loads_qasm(captured.out).qasm() == captured.out
 
     def test_valid_invocation_still_exits_0(self, capsys):
         assert bwt_main(["-n", "3", "-f", "gatecount"]) == 0

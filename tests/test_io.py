@@ -562,3 +562,33 @@ class TestWidthMemoization:
         assert sub._width is not None
         sub.invalidate_width()
         assert sub._width is None
+
+
+class TestGoldenQasm:
+    """Pin the exact QASM text for every algorithm family.
+
+    The fixtures under ``golden/qasm`` freeze the dialect: column
+    allocation order, dialect comments, angle formatting, opaque
+    declarations.  Any exporter change that rewrites them must be
+    deliberate (regenerate via
+    ``tests/test_qasm_roundtrip.ALGORITHMS``).
+    """
+
+    @pytest.mark.parametrize(
+        "name", ["bf", "bwt", "cl", "gse", "qls", "tf", "usv"]
+    )
+    def test_algorithm_qasm_matches_golden(self, name):
+        from test_qasm_roundtrip import ALGORITHMS
+
+        golden = (GOLDEN_DIR / "qasm" / f"{name}.qasm").read_text()
+        text = ALGORITHMS[name]().transform("binary").qasm()
+        assert text == golden
+
+    @pytest.mark.parametrize(
+        "name", ["bf", "bwt", "cl", "gse", "qls", "tf", "usv"]
+    )
+    def test_golden_qasm_reimports(self, name):
+        from repro.program import Program
+
+        text = (GOLDEN_DIR / "qasm" / f"{name}.qasm").read_text()
+        assert Program.loads_qasm(text).qasm() == text

@@ -12,23 +12,13 @@ agree exactly.
 
 from __future__ import annotations
 
-import math
 import random
 
 import numpy as np
 import pytest
 
 from repro import build, get_backend, qubit
-from repro.core.gates import (
-    GATE_INFO,
-    CInit,
-    Control,
-    Discard,
-    Init,
-    Measure,
-    NamedGate,
-    Term,
-)
+from repro.core.gates import GATE_INFO, Control, Measure, NamedGate
 from repro.core.wires import CLASSICAL, QUANTUM
 from repro.sim.kernels import (
     DENSE,
@@ -37,23 +27,15 @@ from repro.sim.kernels import (
     PHASE,
     gate_kernel,
 )
-from repro.sim.matrices import _FIXED, gate_matrix, gate_matrix_cached
+from repro.sim.matrices import gate_matrix, gate_matrix_cached
 from repro.sim.state import LegacyStateVector, StateVector
 from repro.transform.inline import compile_flat
-
-#: Parametrized gate names and a specimen-parameter generator.
-_PARAMETRIZED = {
-    "exp(-i%Z)": lambda rnd: rnd.uniform(-2.0, 2.0),
-    "exp(-i%ZZ)": lambda rnd: rnd.uniform(-2.0, 2.0),
-    "R(2pi/%)": lambda rnd: float(rnd.randint(1, 6)),
-    "rGate": lambda rnd: float(rnd.randint(1, 6)),
-    "Rx": lambda rnd: rnd.uniform(-math.pi, math.pi),
-    "Ry": lambda rnd: rnd.uniform(-math.pi, math.pi),
-    "Rz": lambda rnd: rnd.uniform(-math.pi, math.pi),
-    "phase": lambda rnd: rnd.uniform(-math.pi, math.pi),
-}
-
-_VOCABULARY = sorted(set(_FIXED) | set(_PARAMETRIZED))
+from strategies import (
+    PARAMETRIZED as _PARAMETRIZED,
+    VOCABULARY as _VOCABULARY,
+    random_gates,
+    superpose as _superpose,
+)
 
 
 def _run_both(gates, n_qubits, seed=7, bits=()):
@@ -83,17 +65,6 @@ def _assert_states_match(new, old):
     phase = a[anchor] / b[anchor]
     assert abs(abs(phase) - 1.0) < 1e-9
     np.testing.assert_allclose(a, phase * b, atol=1e-9)
-
-
-def _superpose(n):
-    """An entangling preamble giving every amplitude a distinct value."""
-    gates = [NamedGate("H", (w,)) for w in range(n)]
-    for w in range(n):
-        gates.append(NamedGate("Rz", ((w + 1) % n,), param=0.3 + 0.4 * w))
-        gates.append(
-            NamedGate("T", (w,), controls=(Control((w + 1) % n),))
-        )
-    return gates
 
 
 class TestGateVocabulary:
@@ -178,74 +149,11 @@ class TestKernelClassification:
 class TestRandomizedCircuits:
     """Random circuits over the whole extended model, both engines."""
 
-    def _random_gates(self, rnd, n_qubits):
-        gates = list(_superpose(n_qubits))
-        wires = list(range(n_qubits))
-        next_wire = n_qubits
-        live = list(wires)
-        classical = []
-        for _ in range(40):
-            kind = rnd.random()
-            if kind < 0.70 and len(live) >= 2:
-                name = rnd.choice(_VOCABULARY)
-                param = (
-                    _PARAMETRIZED[name](rnd) if name in _PARAMETRIZED else None
-                )
-                arity = (
-                    gate_matrix_cached(name, param, False).shape[0]
-                    .bit_length() - 1
-                )
-                if arity > len(live):
-                    continue
-                picks = rnd.sample(live, min(len(live), arity + 2))
-                targets = tuple(picks[:arity])
-                controls = []
-                for extra in picks[arity:]:
-                    if rnd.random() < 0.5:
-                        controls.append(Control(extra, rnd.random() < 0.5))
-                if classical and rnd.random() < 0.3:
-                    controls.append(
-                        Control(rnd.choice(classical), rnd.random() < 0.5,
-                                CLASSICAL)
-                    )
-                gates.append(
-                    NamedGate(
-                        name, targets, tuple(controls),
-                        inverted=rnd.random() < 0.3, param=param,
-                    )
-                )
-            elif kind < 0.80:
-                # Dynamic allocation: Init an ancilla, use it only as a
-                # control (so it stays in its basis state), Term it back.
-                value = rnd.random() < 0.5
-                ancilla = next_wire
-                next_wire += 1
-                gates.append(Init(ancilla, value))
-                target = rnd.choice(live)
-                gates.append(
-                    NamedGate("T", (target,), (Control(ancilla, True),))
-                )
-                gates.append(Term(ancilla, value))
-            elif kind < 0.90:
-                classical.append(next_wire)
-                gates.append(CInit(next_wire, rnd.random() < 0.5))
-                next_wire += 1
-            elif len(live) > 2:
-                # Mid-circuit measurement / discard.
-                victim = rnd.choice(live)
-                live.remove(victim)
-                if rnd.random() < 0.5:
-                    gates.append(Measure(victim))
-                    classical.append(victim)
-                else:
-                    gates.append(Discard(victim))
-        return gates
-
     @pytest.mark.parametrize("trial", range(12))
     def test_random_circuit_equivalence(self, trial):
         rnd = random.Random(1000 + trial)
         n = rnd.randint(3, 5)
-        gates = self._random_gates(rnd, n)
+        gates = random_gates(rnd, n)
         new, old = _run_both(gates, n, seed=55 + trial)
         _assert_states_match(new, old)
 

@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro import Program
-from repro.core.builder import build, neg
+from repro.core.builder import build
 from repro.core.circuit import BCircuit, Circuit
 from repro.core.gates import (
     BoxCall,
@@ -38,6 +38,7 @@ from repro.optimize import (
     optimize_gates,
     optimize_gates_fixpoint,
 )
+from strategies import random_circuit as _random_circuit
 
 
 def _H(q):
@@ -193,67 +194,6 @@ def assert_equivalent(program: Program, optimized: Program):
     assert fidelity == pytest.approx(1.0, abs=1e-9)
 
 
-_NAMES_PLAIN = ("X", "Y", "Z", "H", "S", "T", "V", "E", "iX")
-_NAMES_ROT = ("Rz", "Rx", "Ry", "exp(-i%Z)")
-
-
-def _random_circuit(qc, qs, rnd: random.Random, length: int):
-    wires = list(qs)
-
-    def pick_controls(exclude):
-        pool = [q for q in wires if q is not exclude]
-        rnd.shuffle(pool)
-        picked = pool[: rnd.randint(0, 2)]
-        return [q if rnd.random() < 0.7 else neg(q) for q in picked] or None
-
-    for _ in range(length):
-        roll = rnd.random()
-        target = rnd.choice(wires)
-        if roll < 0.35:
-            qc.named_gate(
-                rnd.choice(_NAMES_PLAIN), target,
-                controls=pick_controls(target),
-                inverted=rnd.random() < 0.3,
-            )
-        elif roll < 0.60:
-            name = rnd.choice(_NAMES_ROT)
-            param = rnd.choice(
-                [rnd.uniform(-3.0, 3.0), math.pi / 2, math.pi / 4,
-                 -math.pi / 2, math.pi]
-            )
-            qc.named_gate(
-                name, target, controls=pick_controls(target), param=param
-            )
-        elif roll < 0.75:
-            # Deliberate cancellation fodder: a gate then its inverse.
-            name = rnd.choice(_NAMES_PLAIN)
-            controls = pick_controls(target)
-            qc.named_gate(name, target, controls=controls)
-            qc.named_gate(
-                name, target, controls=controls,
-                inverted=name not in ("X", "Y", "Z", "H"),
-            )
-        elif roll < 0.85:
-            other = rnd.choice([q for q in wires if q is not target])
-            qc.named_gate(
-                rnd.choice(("swap", "W")), target, other, controls=None
-            )
-        else:
-            # An ancilla-scoped compute/act/uncompute block.
-            def compute():
-                anc = qc.qinit_qubit(False)
-                qc.qnot(anc, controls=(target,))
-                return anc
-
-            def act(anc):
-                qc.gate_T(anc)
-                qc.gate_Z(rnd.choice(wires), controls=anc)
-                return None
-
-            qc.with_computed(compute, act)
-            # with_computed leaves the replayed Init's inverse (a Term)
-            # closing the ancilla.
-    return qs
 
 
 class TestRandomizedEquivalence:

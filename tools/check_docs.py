@@ -28,13 +28,15 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 #: Markdown files whose links are checked.
 DOC_FILES = ("README.md", "docs/architecture.md", "docs/tutorial.md",
              "docs/api.md", "docs/observability.md", "docs/service.md",
-             "docs/performance.md")
+             "docs/performance.md", "docs/interchange.md")
 
 #: Modules whose public surface must be fully docstringed.
 PUBLIC_MODULES = (
     "src/repro/program.py",
     "src/repro/streaming.py",
     "src/repro/backends/base.py",
+    "src/repro/backends/equiv.py",
+    "src/repro/io/qasm_parser.py",
     "src/repro/optimize/__init__.py",
     "src/repro/optimize/passes.py",
     "src/repro/optimize/peephole.py",
